@@ -1,0 +1,67 @@
+"""A2 — ablation: the greedy O(T^2) knapsack vs the exact exhaustive
+solver inside the GAP.
+
+The Cohen–Katzir–Raz bound says GAP quality is (1 + alpha) where alpha
+is the knapsack's ratio, so a better knapsack can only help — but the
+paper banks on the greedy being good enough at run-time.  We measure
+mapping quality (total communication distance of the resulting
+placements) and time with both oracles on small applications, where
+the exhaustive solver is affordable.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps import GeneratorConfig, generate
+from repro.arch import AllocationState, mesh
+from repro.baselines import communication_distance
+from repro.binding import bind
+from repro.core import BOTH, MappingCost, MappingOptions, map_application
+from repro.core.knapsack import solve_exhaustive, solve_greedy
+
+SEEDS = range(12)
+
+
+def _run(knapsack):
+    total_distance = 0.0
+    mapped = 0
+    started = time.perf_counter()
+    for seed in SEEDS:
+        app = generate(
+            GeneratorConfig(inputs=1, internals=4, outputs=1,
+                            utilization_low=0.3, utilization_high=0.7),
+            seed=seed,
+        )
+        state = AllocationState(mesh(4, 4))
+        try:
+            binding = bind(app, state)
+            result = map_application(
+                app, binding.choice, state, cost=MappingCost(BOTH),
+                options=MappingOptions(knapsack=knapsack),
+            )
+        except Exception:
+            continue
+        total_distance += communication_distance(app, result.placement, state)
+        mapped += 1
+    elapsed = time.perf_counter() - started
+    return total_distance, mapped, elapsed
+
+
+def bench_ablation_knapsack(benchmark):
+    def run_both():
+        return _run(solve_greedy), _run(solve_exhaustive)
+
+    greedy, exact = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    print()
+    print(f"greedy knapsack:     distance {greedy[0]:.0f} over {greedy[1]} "
+          f"apps in {greedy[2]*1000:.0f} ms")
+    print(f"exhaustive knapsack: distance {exact[0]:.0f} over {exact[1]} "
+          f"apps in {exact[2]*1000:.0f} ms")
+
+    assert greedy[1] == exact[1], "both oracles should map the same apps"
+    if exact[0] > 0:
+        # greedy quality within 25% of the exact oracle's mapping quality
+        assert greedy[0] <= exact[0] * 1.25, (
+            f"greedy mapping distance {greedy[0]:.0f} vs exact {exact[0]:.0f}"
+        )

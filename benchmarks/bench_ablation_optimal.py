@@ -1,0 +1,83 @@
+"""A3 — ablation: heuristic mapping quality vs branch-and-bound optimum.
+
+The paper's future work: "we compare these results with an ILP
+formulation to determine the quality of the resource allocations."
+This benchmark realises that comparison on small instances: the
+incremental heuristic's total communication distance against the exact
+optimum, plus the first-fit and random baselines for context.
+"""
+
+from __future__ import annotations
+
+from repro.apps import GeneratorConfig, generate
+from repro.arch import AllocationState, mesh
+from repro.baselines import (
+    annealed_map,
+    communication_distance,
+    first_fit_map,
+    optimal_map,
+    random_map,
+)
+from repro.binding import bind
+from repro.core import BOTH, MappingCost, map_application
+
+SEEDS = range(10)
+
+
+def _distances():
+    heuristic = optimal = first_fit = randomised = annealed = 0.0
+    instances = 0
+    for seed in SEEDS:
+        app = generate(
+            GeneratorConfig(inputs=1, internals=3, outputs=1,
+                            utilization_low=0.4, utilization_high=0.8,
+                            extra_edge_probability=0.3),
+            seed=seed,
+        )
+
+        def fresh():
+            return AllocationState(mesh(3, 3))
+
+        state = fresh()
+        try:
+            binding = bind(app, state)
+            best = optimal_map(app, binding.choice, state)
+        except Exception:
+            continue
+        state_h = fresh()
+        result = map_application(app, binding.choice, state_h,
+                                 cost=MappingCost(BOTH))
+        state_f = fresh()
+        ff = first_fit_map(app, binding.choice, state_f)
+        state_r = fresh()
+        rnd = random_map(app, binding.choice, state_r, seed=seed)
+        state_sa = fresh()
+        sa = annealed_map(app, binding.choice, state_sa, seed=seed,
+                          iterations=1200)
+
+        heuristic += communication_distance(app, result.placement, state_h)
+        optimal += best.cost
+        first_fit += communication_distance(app, ff.placement, state_f)
+        randomised += communication_distance(app, rnd.placement, state_r)
+        annealed += communication_distance(app, sa.placement, state_sa)
+        instances += 1
+    return heuristic, optimal, first_fit, randomised, annealed, instances
+
+
+def bench_ablation_optimal(benchmark):
+    (heuristic, optimal, first_fit, randomised, annealed,
+     instances) = benchmark.pedantic(_distances, iterations=1, rounds=1)
+    print()
+    print(f"instances: {instances}")
+    print(f"total communication distance — optimal: {optimal:.0f}, "
+          f"heuristic: {heuristic:.0f}, annealed: {annealed:.0f}, "
+          f"first-fit: {first_fit:.0f}, random: {randomised:.0f}")
+
+    assert instances >= 5
+    assert heuristic >= optimal - 1e-9, "optimum must lower-bound everything"
+    # the heuristic should sit much closer to optimal than random does
+    assert heuristic <= optimal * 1.6 + 1e-9, (
+        f"heuristic {heuristic:.0f} strayed from optimum {optimal:.0f}"
+    )
+    assert heuristic < randomised, "heuristic must beat random placement"
+    assert annealed >= optimal - 1e-9, "optimum must lower-bound annealing"

@@ -1,0 +1,71 @@
+"""A1 — ablation: BFS vs Dijkstra routing.
+
+The paper (Section II, citing [11]): "The less complex breadth-first
+search is used for routing, because it has no noticeable performance
+differences in terms of successful routes and energy consumption,
+compared to Dijkstra's algorithm."  We verify that claim on the
+communication datasets: admission counts and mean hops per channel of
+the two routers must agree closely.
+"""
+
+from __future__ import annotations
+
+from repro.apps.datasets import DatasetSpec
+from repro.core import BOTH
+from repro.experiments import prepare_dataset
+from repro.experiments.harness import run_dataset_sequences
+from repro.manager import Kairos
+from repro.routing import BfsRouter, DijkstraRouter
+
+
+def _run(router_factory, prepared, platform, sequences):
+    """Admission count and mean hops for one router over sequences."""
+    import random
+
+    from repro.manager import AllocationFailure
+
+    admitted = 0
+    attempts = 0
+    hops = []
+    for index in range(sequences):
+        manager = Kairos(platform, weights=BOTH, validation_mode="skip",
+                         router=router_factory())
+        rng = random.Random(index)
+        order = list(prepared.applications)
+        rng.shuffle(order)
+        for position, app in enumerate(order):
+            attempts += 1
+            try:
+                layout = manager.allocate(app, f"p{position}")
+            except AllocationFailure:
+                continue
+            admitted += 1
+            hops.append(layout.hops_per_channel())
+    mean_hops = sum(hops) / len(hops) if hops else 0.0
+    return admitted, attempts, mean_hops
+
+
+def bench_ablation_routing(benchmark, scale, platform):
+    prepared = prepare_dataset(
+        DatasetSpec("communication", "medium"),
+        applications=scale.applications, seed=0, platform=platform,
+    )
+
+    def run_both():
+        bfs = _run(BfsRouter, prepared, platform, scale.sequences)
+        dijkstra = _run(
+            lambda: DijkstraRouter(congestion_weight=1.0),
+            prepared, platform, scale.sequences,
+        )
+        return bfs, dijkstra
+
+    (bfs, dijkstra) = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    print()
+    print(f"BFS:      admitted {bfs[0]}/{bfs[1]}, hops/channel {bfs[2]:.2f}")
+    print(f"Dijkstra: admitted {dijkstra[0]}/{dijkstra[1]}, "
+          f"hops/channel {dijkstra[2]:.2f}")
+
+    # "no noticeable performance differences": within 15% on admissions
+    if bfs[0] and dijkstra[0]:
+        ratio = dijkstra[0] / bfs[0]
+        assert 0.85 <= ratio <= 1.20, f"admission ratio {ratio:.2f}"

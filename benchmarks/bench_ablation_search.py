@@ -1,0 +1,68 @@
+"""A4 — ablation: the extra BFS search ring of Section III-B.
+
+"Once we have discovered enough elements in the platform to map the
+tasks in Ti, a single additional search step is performed" so that
+secondary objectives (fragmentation) have alternatives to choose from.
+We compare extra_rings = 0 vs 1 (the paper's choice) vs 2 on the
+communication datasets: the extra ring should not hurt admissions, and
+it should give the fragmentation objective more room (equal or lower
+final fragmentation).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.datasets import DatasetSpec
+from repro.core import BOTH
+from repro.experiments import prepare_dataset
+from repro.manager import AllocationFailure, Kairos
+from repro.core.mapping import MappingOptions
+
+
+def _run(extra_rings, prepared, platform, sequences):
+    admitted = 0
+    final_fragmentation = []
+    for index in range(sequences):
+        manager = Kairos(
+            platform, weights=BOTH, validation_mode="skip",
+            mapping_options=MappingOptions(extra_rings=extra_rings),
+        )
+        rng = random.Random(index)
+        order = list(prepared.applications)
+        rng.shuffle(order)
+        for position, app in enumerate(order):
+            try:
+                manager.allocate(app, f"p{position}")
+                admitted += 1
+            except AllocationFailure:
+                pass
+        final_fragmentation.append(manager.external_fragmentation())
+    mean_frag = sum(final_fragmentation) / len(final_fragmentation)
+    return admitted, mean_frag
+
+
+def bench_ablation_search(benchmark, scale, platform):
+    prepared = prepare_dataset(
+        DatasetSpec("communication", "small"),
+        applications=scale.applications, seed=0, platform=platform,
+    )
+
+    def run_all():
+        return {
+            rings: _run(rings, prepared, platform, scale.sequences)
+            for rings in (0, 1, 2)
+        }
+
+    results = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    print()
+    for rings, (admitted, fragmentation) in sorted(results.items()):
+        print(f"extra_rings={rings}: admitted {admitted}, "
+              f"final fragmentation {fragmentation:.1f}%")
+
+    base_admitted, _ = results[0]
+    paper_admitted, _ = results[1]
+    # the extra ring must not collapse admissions
+    assert paper_admitted >= base_admitted * 0.8, (
+        f"extra ring hurt admissions: {paper_admitted} vs {base_admitted}"
+    )

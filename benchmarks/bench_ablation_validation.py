@@ -1,0 +1,65 @@
+"""A5 — ablation: state-space simulation vs analytical validation.
+
+Section V future work: "the complexity of the throughput analysis may
+be moved to design-time, making the validation approach a lot faster."
+We compare the two throughput engines on the 53-task beamformer layout
+(the validation workload the paper calls problematic): the
+maximum-cycle-ratio validator must agree with the simulation on the
+achieved throughput and beat it substantially on wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps import beamforming_application
+from repro.arch import AllocationState
+from repro.binding import bind
+from repro.core import BOTH, MappingCost, map_application
+from repro.routing import BfsRouter
+from repro.validation import (
+    analytical_throughput,
+    analyze_throughput,
+    layout_to_sdf,
+)
+
+
+def bench_ablation_validation(benchmark, platform):
+    app = beamforming_application()
+    state = AllocationState(platform)
+    binding = bind(app, state)
+    mapping = map_application(app, binding.choice, state,
+                              cost=MappingCost(BOTH))
+    routing = BfsRouter().route_application(app, mapping.placement, state)
+    graph = layout_to_sdf(app, binding.choice, mapping.placement,
+                          routing.routes, state)
+
+    def run_both():
+        started = time.perf_counter()
+        simulated = analyze_throughput(graph)
+        simulation_time = time.perf_counter() - started
+        started = time.perf_counter()
+        analytical = analytical_throughput(graph)
+        analytical_time = time.perf_counter() - started
+        return simulated, simulation_time, analytical, analytical_time
+
+    simulated, sim_time, analytical, ana_time = benchmark.pedantic(
+        run_both, iterations=1, rounds=3,
+    )
+    print()
+    print(f"simulation: throughput(output)={simulated.of('output'):.6f} "
+          f"in {sim_time * 1000:.1f} ms "
+          f"({simulated.firings_simulated} firings)")
+    print(f"analytical: throughput(output)={analytical['output']:.6f} "
+          f"in {ana_time * 1000:.1f} ms")
+
+    # the engines must agree on the 53-task layout
+    relative_error = abs(
+        analytical["output"] - simulated.of("output")
+    ) / simulated.of("output")
+    assert relative_error < 1e-6, f"engines disagree by {relative_error:.2e}"
+    # and the analytical engine must deliver the promised speed-up
+    assert ana_time < sim_time, (
+        f"analytical {ana_time * 1000:.1f} ms not faster than "
+        f"simulation {sim_time * 1000:.1f} ms"
+    )

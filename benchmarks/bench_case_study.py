@@ -1,0 +1,30 @@
+"""E6 — the Section IV-A case-study timing breakdown.
+
+Paper (200 MHz ARM926): binding 70.4 ms, mapping 21.7 ms, routing
+7.4 ms, validation 20.6 ms.  We report host-Python milliseconds; the
+claim under test is the *shape*: binding is the bottleneck for the
+53-task application ("although binding is fast for small applications,
+here it is actually the bottleneck") while mapping "scales quite well"
+and routing stays cheapest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import PAPER_CASE_STUDY_MS, case_study_timing
+
+
+def bench_case_study(benchmark, platform):
+    timings = benchmark.pedantic(
+        case_study_timing,
+        kwargs={"platform": platform, "repeats": 1},
+        iterations=1, rounds=3,
+    )
+    ms = timings.as_milliseconds()
+    print()
+    print("case study per-phase ms (measured):",
+          {k: round(v, 1) for k, v in ms.items()})
+    print("case study per-phase ms (paper):   ", PAPER_CASE_STUDY_MS)
+
+    assert ms["binding"] > ms["mapping"], "binding should dominate mapping"
+    assert ms["routing"] < ms["binding"], "routing should be cheapest"
+    assert ms["mapping"] < 200, "mapping must stay in run-time range"

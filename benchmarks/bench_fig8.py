@@ -1,0 +1,43 @@
+"""E3 — regenerate Fig. 8: hops allocated per channel vs sequence
+position, per mapping objective, with the success-rate overlay.
+
+Checks the qualitative shapes: success rate decays along the
+sequence, and the fragmentation-only objective allocates at least as
+many hops per channel as the communication-only objective ("aiming at
+fragmentation reduction increases the average communication
+distance").
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig8, run_fig89
+
+
+def bench_fig8(benchmark, scale, platform):
+    result = benchmark.pedantic(
+        run_fig89,
+        kwargs={"scale": scale, "seed": 0, "platform": platform},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_fig8(result))
+
+    for name, series in result.series.items():
+        rates = series.success_rate()
+        early = sum(rates[:3]) / 3
+        late = sum(rates[-3:]) / 3
+        assert late <= early, (
+            f"{name}: success rate should decay along the sequence "
+            f"({early:.0f}% -> {late:.0f}%)"
+        )
+
+    def mean_hops(series):
+        values = [h for h in series.hops() if h is not None]
+        return sum(values) / len(values) if values else 0.0
+
+    frag_hops = mean_hops(result.objective("Fragmentation"))
+    comm_hops = mean_hops(result.objective("Communication"))
+    assert frag_hops >= comm_hops * 0.95, (
+        f"fragmentation objective should cost hops: "
+        f"frag={frag_hops:.2f} vs comm={comm_hops:.2f}"
+    )

@@ -1,0 +1,44 @@
+"""E4 — regenerate Fig. 9: external resource fragmentation vs sequence
+position, per mapping objective, with the success-rate overlay.
+
+Checks the qualitative shapes: fragmentation rises from zero as the
+platform fills, and the fragmentation-aware objectives keep the
+plateau at or below the fragmentation-blind ones.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig9, run_fig89
+
+
+def bench_fig9(benchmark, scale, platform):
+    result = benchmark.pedantic(
+        run_fig89,
+        kwargs={"scale": scale, "seed": 0, "platform": platform},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_fig9(result))
+
+    for name, series in result.series.items():
+        frag = series.fragmentation()
+        assert frag[0] >= 0.0
+        peak = max(frag)
+        assert peak > 0.0, f"{name}: fragmentation never moved"
+        assert peak <= 100.0
+
+    # fragmentation-aware mapping should not end *more* fragmented than
+    # the blind objectives (paper: the Fragmentation/Both curves sit
+    # below None/Communication)
+    aware = min(
+        result.objective("Fragmentation").final_fragmentation(),
+        result.objective("Both").final_fragmentation(),
+    )
+    blind = max(
+        result.objective("None").final_fragmentation(),
+        result.objective("Communication").final_fragmentation(),
+    )
+    assert aware <= blind * 1.25, (
+        f"fragmentation-aware objectives ended at {aware:.1f}% vs "
+        f"blind {blind:.1f}%"
+    )

@@ -1,0 +1,44 @@
+"""E1 — regenerate Table I: failure distribution per phase.
+
+Prints the measured table next to the paper's numbers and checks the
+load-bearing qualitative claims:
+
+* communication-oriented datasets fail predominantly in routing,
+* computation-intensive datasets fail predominantly in binding,
+* the large computation dataset shifts failures toward routing
+  relative to the small one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table1, run_table1
+
+
+def bench_table1(benchmark, scale, platform):
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs={"scale": scale, "seed": 0, "platform": platform},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_table1(result))
+
+    for row in result.rows:
+        total = row.binding_pct + row.mapping_pct + row.routing_pct
+        if total == 0.0:
+            continue  # tiny surviving dataset produced no failures
+        if row.dataset.startswith("communication"):
+            assert row.dominant_phase() == "routing", (
+                f"{row.dataset}: expected routing-dominated failures, "
+                f"got {row.dominant_phase()}"
+            )
+        else:
+            assert row.dominant_phase() == "binding", (
+                f"{row.dataset}: expected binding-dominated failures, "
+                f"got {row.dominant_phase()}"
+            )
+    small = result.row("computation_small")
+    large = result.row("computation_large")
+    assert large.routing_pct >= small.routing_pct, (
+        "large computation apps should shift failures toward routing"
+    )

@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+Benchmarks default to a reduced scale so ``pytest benchmarks/
+--benchmark-only`` completes in minutes; set ``REPRO_APPS=100
+REPRO_SEQUENCES=30`` (and ``REPRO_FIG10_COMM_STEP=1
+REPRO_FIG10_FRAG_STEP=10``) for the paper's full protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import HarnessScale, default_platform
+
+#: reduced default scale for the benchmark suite
+BENCH_DEFAULT = HarnessScale(applications=24, sequences=3, positions=20)
+
+
+@pytest.fixture(scope="session")
+def scale() -> HarnessScale:
+    return HarnessScale.from_environment(BENCH_DEFAULT)
+
+
+@pytest.fixture(scope="session")
+def platform():
+    return default_platform()

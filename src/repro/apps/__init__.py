@@ -1,0 +1,50 @@
+"""Application substrate: task graphs, implementations, constraints,
+the TGFF-like generator, the six paper datasets and the beamforming
+case study."""
+
+from repro.apps.beamforming import beamforming_application
+from repro.apps.constraints import (
+    ConstraintError,
+    LatencyConstraint,
+    PerformanceConstraint,
+    ThroughputConstraint,
+    normalize,
+)
+from repro.apps.datasets import (
+    ALL_SPECS,
+    DatasetSpec,
+    make_dataset,
+    paper_datasets,
+)
+from repro.apps.generator import GenerationError, GeneratorConfig, generate
+from repro.apps.implementations import (
+    Implementation,
+    ImplementationError,
+    dsp_implementation,
+    pinned_implementation,
+)
+from repro.apps.taskgraph import Application, Channel, Task, TaskGraphError
+
+__all__ = [
+    "ALL_SPECS",
+    "Application",
+    "Channel",
+    "ConstraintError",
+    "DatasetSpec",
+    "GenerationError",
+    "GeneratorConfig",
+    "Implementation",
+    "ImplementationError",
+    "LatencyConstraint",
+    "PerformanceConstraint",
+    "Task",
+    "TaskGraphError",
+    "ThroughputConstraint",
+    "beamforming_application",
+    "dsp_implementation",
+    "generate",
+    "make_dataset",
+    "normalize",
+    "paper_datasets",
+    "pinned_implementation",
+]

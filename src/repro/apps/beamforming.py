@@ -1,0 +1,216 @@
+"""The beamforming case study (paper Section IV-A, Fig. 6 overlay).
+
+"Containing 53 tasks in a tree-like structure, this application
+requires all 45 DSPs available in the platform, and can thus be
+considered to be a difficult mapping problem."
+
+The paper does not publish the application's internals, so we
+reconstruct a structurally equivalent phased-array beamformer whose
+natural layout matches the CRISP package chain:
+
+* 4 antenna-array *input* tasks, pinned to the FPGA's I/O interfaces
+  (fixed locations — these anchor the mapping's ``T0``),
+* a 5-stage *distribution backbone* ``dist0..dist4`` (one DSP each)
+  that pipelines the sample stream across the chip,
+* 35 FIR filter tasks organised as 5 *delay-and-sum chains* of 7 taps
+  (``fir<p>_0 -> fir<p>_1 -> ... -> fir<p>_6``), one chain hanging off
+  each backbone stage — the classic systolic beamformer structure,
+* a 5-stage *systolic reduction chain* ``acc0..acc4`` (one DSP each)
+  in which stage ``p`` combines its chain's result with the partial
+  beam from stage ``p-1``,
+* 2 sample-buffer tasks on memory tiles and 1 control + 1 output task
+  on the ARM.
+
+DSP tasks: 5 + 35 + 5 = 45 — every DSP in the platform is required.
+Total tasks: 4 + 45 + 2 + 2 = 53.  The graph is "tree-like": a
+distribution spine fanning into chains that a reduction spine gathers
+back up.  Only a handful of logical streams must cross each package
+boundary (backbone, chain hand-off, partial beam) *if* the mapper
+keeps each stage's chain together; a scattered mapping multiplies the
+boundary crossings far beyond the NoC's virtual-channel budget.  The
+application is therefore routable exactly in the regime the Fig. 10
+admission-map experiment studies.
+"""
+
+from __future__ import annotations
+
+from repro.arch.elements import ElementType
+from repro.arch.resources import ResourceVector
+from repro.apps.constraints import LatencyConstraint, ThroughputConstraint
+from repro.apps.implementations import Implementation
+from repro.apps.taskgraph import Application, Task
+
+#: structural constants (change together; validated in tests)
+INPUTS = 4
+STAGES = 5                     #: backbone/reduction stages (= CRISP packages)
+FIRS_PER_STAGE = 7
+FIRS = STAGES * FIRS_PER_STAGE                 # 35
+DSP_TASKS = STAGES + FIRS + STAGES             # 45
+TOTAL_TASKS = INPUTS + DSP_TASKS + 2 + 2       # 53
+
+
+def _dsp_task(name: str, cycles: int, memory: int, time: float) -> Task:
+    """A task with a single DSP implementation close to a full tile."""
+    return Task(
+        name,
+        (
+            Implementation(
+                name=f"{name}_dsp",
+                requirement=ResourceVector(cycles=cycles, memory=memory),
+                execution_time=time,
+                cost=1.0,
+                target_kind=ElementType.DSP,
+            ),
+        ),
+    )
+
+
+def beamforming_application(
+    channel_bandwidth: float = 6.0,
+    throughput_floor: float = 0.02,
+) -> Application:
+    """Build the 53-task beamformer.
+
+    ``channel_bandwidth`` is the sustained rate of the sample streams.
+    DSP tasks request 80-95 of the 100 cycles a DSP offers, so no two
+    of the 45 DSP tasks can share a tile.
+    """
+    app = Application("beamforming")
+
+    # control on the ARM, output stream leaving via the ARM's I/O
+    control = app.add_task(
+        Task(
+            "control",
+            (
+                Implementation(
+                    name="control_arm",
+                    requirement=ResourceVector(cycles=10, memory=8),
+                    execution_time=0.5,
+                    cost=1.0,
+                    target_kind=ElementType.GPP,
+                ),
+            ),
+            role="internal",
+        )
+    )
+    output = app.add_task(
+        Task(
+            "output",
+            (
+                Implementation(
+                    name="output_arm",
+                    requirement=ResourceVector(io=1, memory=4),
+                    execution_time=0.5,
+                    cost=1.0,
+                    target_element="arm",
+                ),
+            ),
+            role="output",
+        )
+    )
+
+    # antenna inputs pinned to the FPGA (fixed I/O interface locations)
+    inputs = []
+    for index in range(INPUTS):
+        task = app.add_task(
+            Task(
+                f"ant{index}",
+                (
+                    Implementation(
+                        name=f"ant{index}_fpga",
+                        requirement=ResourceVector(io=1, memory=2),
+                        execution_time=0.5,
+                        cost=1.0,
+                        target_element="fpga",
+                    ),
+                ),
+                role="input",
+            )
+        )
+        inputs.append(task)
+        app.connect(control, task, bandwidth=1.0)
+
+    # distribution backbone: all antennas feed stage 0, stages chain on
+    stages = []
+    for index in range(STAGES):
+        task = app.add_task(
+            _dsp_task(f"dist{index}", cycles=80, memory=20, time=1.0)
+        )
+        stages.append(task)
+    for antenna in inputs:
+        app.connect(antenna, stages[0], bandwidth=channel_bandwidth)
+    for index in range(STAGES - 1):
+        app.connect(stages[index], stages[index + 1],
+                    bandwidth=channel_bandwidth)
+
+    # FIR chains: 7 taps per backbone stage, systolic delay-and-sum
+    firs: list[list[Task]] = []
+    for stage_index in range(STAGES):
+        chain = []
+        for fir_index in range(FIRS_PER_STAGE):
+            task = app.add_task(
+                _dsp_task(
+                    f"fir{stage_index}_{fir_index}",
+                    cycles=85, memory=24, time=2.0,
+                )
+            )
+            if fir_index == 0:
+                app.connect(stages[stage_index], task,
+                            bandwidth=channel_bandwidth)
+            else:
+                app.connect(chain[-1], task, bandwidth=channel_bandwidth)
+            chain.append(task)
+        firs.append(chain)
+
+    # systolic reduction: acc_p sums its chain's output with the
+    # partial beam from acc_{p-1}
+    accumulators = []
+    for stage_index in range(STAGES):
+        task = app.add_task(
+            _dsp_task(f"acc{stage_index}", cycles=90, memory=16, time=1.5)
+        )
+        accumulators.append(task)
+        app.connect(firs[stage_index][-1], task, bandwidth=channel_bandwidth)
+        if stage_index > 0:
+            app.connect(accumulators[stage_index - 1], task,
+                        bandwidth=channel_bandwidth)
+
+    # double buffering on memory tiles, then out through the ARM
+    buffers = []
+    for index in range(2):
+        task = app.add_task(
+            Task(
+                f"buf{index}",
+                (
+                    Implementation(
+                        name=f"buf{index}_mem",
+                        requirement=ResourceVector(memory=96),
+                        execution_time=0.5,
+                        cost=1.0,
+                        target_kind=ElementType.MEMORY,
+                    ),
+                ),
+            )
+        )
+        buffers.append(task)
+    app.connect(accumulators[-1], buffers[0], bandwidth=channel_bandwidth)
+    app.connect(buffers[0], buffers[1], bandwidth=channel_bandwidth)
+    app.connect(buffers[1], output, bandwidth=channel_bandwidth)
+
+    # performance constraints: a throughput floor at the output and an
+    # end-to-end latency bound over the longest pipeline
+    app.add_constraint(
+        ThroughputConstraint(min_throughput=throughput_floor,
+                             reference_task="output")
+    )
+    app.add_constraint(
+        LatencyConstraint(
+            max_latency=2000.0,
+            path=("ant0", "dist0", "dist1", "dist2", "dist3", "dist4",
+                  "fir4_0", "fir4_1", "fir4_2", "fir4_3", "fir4_4",
+                  "fir4_5", "fir4_6", "acc4", "buf0", "buf1", "output"),
+        )
+    )
+
+    assert len(app) == TOTAL_TASKS, f"expected {TOTAL_TASKS} tasks, got {len(app)}"
+    return app

@@ -1,0 +1,101 @@
+"""Performance constraints and the latency-to-throughput conversion.
+
+The validation phase checks "the performance constraints given in the
+application specification ... against the performance provided by the
+execution layout" (paper Section I).  Following Moreira & Bekooij [12],
+latency constraints are *expressed as throughput constraints*: for a
+self-timed, periodically scheduled dataflow graph, the latency along a
+pipeline of ``k`` actors is bounded by ``k`` periods, so a latency
+bound ``L`` over a ``k``-stage path induces the period bound
+``mu <= L / k``, i.e. a throughput floor of ``k / L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ConstraintError(ValueError):
+    """Raised for malformed constraint specifications."""
+
+
+@dataclass(frozen=True)
+class ThroughputConstraint:
+    """The application must sustain at least ``min_throughput`` firings/s.
+
+    Throughput is measured at a reference task (usually the output
+    task); ``None`` means "the graph's natural output actor".
+    """
+
+    min_throughput: float
+    reference_task: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_throughput <= 0:
+            raise ConstraintError("throughput constraint must be positive")
+
+    def satisfied_by(self, throughput: float) -> bool:
+        return throughput >= self.min_throughput
+
+    def describe(self) -> str:
+        where = self.reference_task or "output"
+        return f"throughput >= {self.min_throughput:g} firings/s at {where}"
+
+
+@dataclass(frozen=True)
+class LatencyConstraint:
+    """End-to-end latency along ``path`` must not exceed ``max_latency``.
+
+    ``path`` is the ordered task chain the latency is measured over
+    (source to sink).  :meth:`as_throughput` performs the conversion of
+    [12]; validation only ever evaluates throughput constraints.
+    """
+
+    max_latency: float
+    path: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.max_latency <= 0:
+            raise ConstraintError("latency constraint must be positive")
+        if len(self.path) < 2:
+            raise ConstraintError("latency path needs at least two tasks")
+        if len(set(self.path)) != len(self.path):
+            raise ConstraintError("latency path must not repeat tasks")
+
+    @property
+    def stages(self) -> int:
+        return len(self.path)
+
+    def as_throughput(self) -> ThroughputConstraint:
+        """Convert to the induced throughput floor ``stages / max_latency``.
+
+        In a self-timed schedule with period ``mu``, a token traverses
+        a ``k``-stage pipeline in at most ``k * mu``; requiring
+        ``k * mu <= L`` yields throughput ``1/mu >= k / L``.
+        """
+        return ThroughputConstraint(
+            min_throughput=self.stages / self.max_latency,
+            reference_task=self.path[-1],
+        )
+
+    def describe(self) -> str:
+        return (
+            f"latency({self.path[0]}..{self.path[-1]}, {self.stages} stages) "
+            f"<= {self.max_latency:g}"
+        )
+
+
+PerformanceConstraint = ThroughputConstraint | LatencyConstraint
+
+
+def normalize(constraints) -> list[ThroughputConstraint]:
+    """Reduce a mixed constraint list to pure throughput constraints."""
+    normalized = []
+    for constraint in constraints:
+        if isinstance(constraint, LatencyConstraint):
+            normalized.append(constraint.as_throughput())
+        elif isinstance(constraint, ThroughputConstraint):
+            normalized.append(constraint)
+        else:
+            raise ConstraintError(f"unknown constraint type {constraint!r}")
+    return normalized

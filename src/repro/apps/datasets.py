@@ -1,0 +1,161 @@
+"""The six synthetic datasets of the paper's evaluation (Section IV).
+
+"We generate applications that are either computational intensive or
+communication oriented.  Tasks in the first set use between 70% and
+100% of the element's resources, and tasks in communication oriented
+applications use between 10% and 70% ... we categorize applications
+based on their size, namely small (<6 tasks), medium (6-10 tasks) and
+large (11-16 tasks) applications."
+
+Each dataset initially contains 100 applications; the experiment
+harness then filters out applications "that cannot be mapped to an
+empty platform", mirroring the paper's protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.apps.generator import GeneratorConfig, generate
+from repro.apps.taskgraph import Application
+
+#: size class -> inclusive total-task bounds
+SIZE_BOUNDS = {
+    "small": (3, 5),
+    "medium": (6, 10),
+    "large": (11, 16),
+}
+
+#: profile -> utilization bounds (fraction of an element's capacity)
+PROFILE_UTILIZATION = {
+    "communication": (0.10, 0.70),
+    "computation": (0.70, 1.00),
+}
+
+#: profile -> channel bandwidth bounds.  Communication-oriented
+#: applications move more data, which is what lets them "time-share
+#: elements, eventually resulting in communication bottlenecks"; the
+#: calibration (documented in EXPERIMENTS.md) makes NoC bandwidth the
+#: binding constraint for communication datasets while computation
+#: datasets exhaust processing elements first, reproducing Table I's
+#: failure-distribution pattern.
+PROFILE_BANDWIDTH = {
+    "communication": (23.0, 60.0),
+    "computation": (3.0, 16.0),
+}
+
+#: default I/O anchoring on CRISP: input/output streams enter via the
+#: FPGA or the ARM ("the application requires specific interfaces for
+#: input and output data streams", Section III-A).
+DEFAULT_IO_ELEMENTS = ("fpga", "arm")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One of the six dataset identities of Table I."""
+
+    profile: str  # "communication" | "computation"
+    size: str     # "small" | "medium" | "large"
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILE_UTILIZATION:
+            raise ValueError(f"unknown profile {self.profile!r}")
+        if self.size not in SIZE_BOUNDS:
+            raise ValueError(f"unknown size {self.size!r}")
+
+    @property
+    def name(self) -> str:
+        return f"{self.profile}_{self.size}"
+
+    @property
+    def label(self) -> str:
+        """Table I row label, e.g. ``Communication Small``."""
+        return f"{self.profile.capitalize()} {self.size.capitalize()}"
+
+
+#: Table I row order.
+ALL_SPECS: tuple[DatasetSpec, ...] = tuple(
+    DatasetSpec(profile, size)
+    for profile in ("communication", "computation")
+    for size in ("small", "medium", "large")
+)
+
+
+def config_for(
+    spec: DatasetSpec,
+    rng: random.Random,
+    io_elements: tuple[str, ...] = DEFAULT_IO_ELEMENTS,
+    pin_io_probability: float = 0.35,
+) -> GeneratorConfig:
+    """Draw one application-shape configuration for ``spec``."""
+    low, high = SIZE_BOUNDS[spec.size]
+    total = rng.randint(low, high)
+    inputs = rng.randint(1, max(1, total // 4))
+    outputs = rng.randint(1, max(1, total // 4))
+    # keep at least one internal task whenever the budget allows
+    while inputs + outputs >= total and (inputs > 1 or outputs > 1):
+        if inputs >= outputs and inputs > 1:
+            inputs -= 1
+        elif outputs > 1:
+            outputs -= 1
+    internals = max(0, total - inputs - outputs)
+    util_low, util_high = PROFILE_UTILIZATION[spec.profile]
+    bw_low, bw_high = PROFILE_BANDWIDTH[spec.profile]
+    return GeneratorConfig(
+        inputs=inputs,
+        internals=internals,
+        outputs=outputs,
+        max_in_degree=3,
+        max_out_degree=3,
+        extra_edge_probability=0.35 if spec.profile == "communication" else 0.20,
+        min_implementations=1,
+        max_implementations=3,
+        utilization_low=util_low,
+        utilization_high=util_high,
+        bandwidth_low=bw_low,
+        bandwidth_high=bw_high,
+        pin_io_probability=pin_io_probability,
+        io_elements=io_elements,
+    )
+
+
+def make_dataset(
+    spec: DatasetSpec,
+    count: int = 100,
+    seed: int = 0,
+    io_elements: tuple[str, ...] = DEFAULT_IO_ELEMENTS,
+    pin_io_probability: float = 0.35,
+) -> list[Application]:
+    """Generate the ``count`` applications of one dataset.
+
+    Deterministic: the dataset is fully determined by (spec, count,
+    seed).  Application names encode their dataset and index.
+    """
+    # str hashes are salted per interpreter run; use a stable digest so
+    # datasets are reproducible across processes.
+    digest = hashlib.sha256(f"{spec.name}/{seed}".encode()).digest()
+    rng = random.Random(int.from_bytes(digest[:8], "big"))
+    applications = []
+    for index in range(count):
+        config = config_for(spec, rng, io_elements, pin_io_probability)
+        app = generate(
+            config,
+            seed=rng.randrange(2**31),
+            name=f"{spec.name}_{index:03d}",
+        )
+        applications.append(app)
+    return applications
+
+
+def paper_datasets(
+    count: int = 100,
+    seed: int = 0,
+    io_elements: tuple[str, ...] = DEFAULT_IO_ELEMENTS,
+) -> dict[str, list[Application]]:
+    """All six Table I datasets, keyed by ``profile_size``."""
+    return {
+        spec.name: make_dataset(spec, count, seed, io_elements)
+        for spec in ALL_SPECS
+    }

@@ -1,0 +1,294 @@
+"""Synthetic application generator (the paper's in-house TGFF analogue).
+
+Section IV: "We use an in-house developed application generator, which
+is similar to TGFF [17] ... the structure of an application can be
+specified with a number of input, internal, and output tasks.  Also the
+maximum in-degree and out-degree of tasks gives direction to the
+generated communication structure.  For each task, we generate a
+number of task implementations, annotated with bounded random resource
+requirements."
+
+The generator builds layered DAGs (inputs -> internals -> outputs),
+guarantees (undirected) connectivity, honours in/out-degree caps, and
+annotates every task with 1..n implementations whose requirements are
+a bounded-random fraction of the target element type's capacity:
+computation-intensive tasks "use between 70% and 100% of the element's
+resources, and tasks in communication oriented applications use
+between 10% and 70%".
+
+Everything is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.arch.elements import ElementType, default_capacity
+from repro.arch.resources import ResourceVector, fraction_of
+from repro.apps.implementations import Implementation
+from repro.apps.taskgraph import Application, Channel, Task
+
+
+class GenerationError(RuntimeError):
+    """Raised when a configuration cannot yield a valid application."""
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the synthetic generator.
+
+    The defaults describe a communication-oriented, medium application;
+    the dataset factory (:mod:`repro.apps.datasets`) derives the six
+    paper datasets from this.
+    """
+
+    #: task structure
+    inputs: int = 1
+    internals: int = 4
+    outputs: int = 1
+    max_in_degree: int = 3
+    max_out_degree: int = 3
+    #: probability of adding an optional extra edge beyond the spanning
+    #: structure, evaluated per candidate pair
+    extra_edge_probability: float = 0.25
+
+    #: implementations
+    min_implementations: int = 1
+    max_implementations: int = 3
+    #: element types an unpinned implementation may target, with weights
+    target_kinds: tuple[tuple[ElementType, float], ...] = (
+        (ElementType.DSP, 0.92),
+        (ElementType.GPP, 0.05),
+        (ElementType.FPGA, 0.03),
+    )
+    #: requirement as a bounded-random fraction of the target capacity
+    utilization_low: float = 0.10
+    utilization_high: float = 0.70
+
+    #: channels
+    bandwidth_low: float = 2.0
+    bandwidth_high: float = 20.0
+
+    #: execution time per firing (feeds the SDF validation model)
+    execution_time_low: float = 0.5
+    execution_time_high: float = 4.0
+
+    #: I/O pinning: each input/output task is, with this probability,
+    #: given a single implementation pinned to one of ``io_elements``
+    #: ("locations may be fixed in the binding phase", Section III-A).
+    pin_io_probability: float = 0.0
+    io_elements: tuple[str, ...] = ()
+    #: resource vector of a pinned I/O implementation
+    io_requirement: ResourceVector = field(
+        default_factory=lambda: ResourceVector(io=1, memory=2)
+    )
+
+    def __post_init__(self) -> None:
+        if self.inputs < 1 or self.outputs < 0 or self.internals < 0:
+            raise GenerationError("need >=1 input and >=0 internal/output tasks")
+        if self.total_tasks < 1:
+            raise GenerationError("application must have at least one task")
+        if self.max_in_degree < 1 or self.max_out_degree < 1:
+            raise GenerationError("degree caps must be at least 1")
+        if not 0 < self.utilization_low <= self.utilization_high <= 1:
+            raise GenerationError("utilization bounds must satisfy 0<lo<=hi<=1")
+        if self.min_implementations < 1:
+            raise GenerationError("tasks need at least one implementation")
+        if self.min_implementations > self.max_implementations:
+            raise GenerationError("min_implementations > max_implementations")
+        if self.pin_io_probability > 0 and not self.io_elements:
+            raise GenerationError("pin_io_probability set but no io_elements")
+
+    @property
+    def total_tasks(self) -> int:
+        return self.inputs + self.internals + self.outputs
+
+
+def generate(config: GeneratorConfig, seed: int = 0, name: str | None = None) -> Application:
+    """Generate one application from ``config`` deterministically."""
+    rng = random.Random(seed)
+    app = Application(name or f"app_{seed}")
+
+    roles = (
+        ["input"] * config.inputs
+        + ["internal"] * config.internals
+        + ["output"] * config.outputs
+    )
+    task_names = [f"t{i}" for i in range(len(roles))]
+
+    for task_name, role in zip(task_names, roles):
+        implementations = _implementations_for(config, rng, task_name, role)
+        app.add_task(Task(task_name, tuple(implementations), role=role))
+
+    _generate_edges(config, rng, app, task_names, roles)
+    return app
+
+
+def _implementations_for(
+    config: GeneratorConfig, rng: random.Random, task_name: str, role: str
+) -> list[Implementation]:
+    """Implementations for one task, possibly pinned for I/O roles."""
+    if (
+        role in ("input", "output")
+        and config.io_elements
+        and rng.random() < config.pin_io_probability
+    ):
+        element = rng.choice(config.io_elements)
+        return [
+            Implementation(
+                name=f"{task_name}_io",
+                requirement=config.io_requirement,
+                execution_time=rng.uniform(
+                    config.execution_time_low, config.execution_time_high
+                ),
+                cost=rng.uniform(0.5, 1.5),
+                target_element=element,
+            )
+        ]
+
+    count = rng.randint(config.min_implementations, config.max_implementations)
+    kinds, weights = zip(*config.target_kinds)
+    implementations = []
+    chosen_kinds = set()
+    for index in range(count):
+        kind = rng.choices(kinds, weights=weights)[0]
+        if kind in chosen_kinds:
+            # one implementation per element type per task keeps the
+            # binding problem meaningful without duplicates
+            continue
+        chosen_kinds.add(kind)
+        utilization = rng.uniform(config.utilization_low, config.utilization_high)
+        requirement = fraction_of(default_capacity(kind), utilization)
+        implementations.append(
+            Implementation(
+                name=f"{task_name}_v{index}",
+                requirement=requirement,
+                execution_time=rng.uniform(
+                    config.execution_time_low, config.execution_time_high
+                ),
+                # cost correlates loosely with utilization: hungrier
+                # implementations tend to be faster but pricier
+                cost=rng.uniform(0.5, 1.5) * (0.5 + utilization),
+                target_kind=kind,
+            )
+        )
+    return implementations
+
+
+def _generate_edges(
+    config: GeneratorConfig,
+    rng: random.Random,
+    app: Application,
+    task_names: list[str],
+    roles: list[str],
+) -> None:
+    """Layered DAG edges honouring the degree caps, then connectivity."""
+    in_degree = {name: 0 for name in task_names}
+    out_degree = {name: 0 for name in task_names}
+    counter = 0
+
+    def add_edge(source: str, target: str) -> None:
+        nonlocal counter
+        app.add_channel(
+            Channel(
+                name=f"c{counter}",
+                source=source,
+                target=target,
+                bandwidth=rng.uniform(config.bandwidth_low, config.bandwidth_high),
+            )
+        )
+        in_degree[target] += 1
+        out_degree[source] += 1
+        counter += 1
+
+    # 1. spanning structure: every non-input task gets >= 1 predecessor
+    #    among strictly earlier tasks (inputs have none by construction).
+    for position, (name, role) in enumerate(zip(task_names, roles)):
+        if role == "input" or position == 0:
+            continue
+        candidates = [
+            earlier
+            for earlier in task_names[:position]
+            if out_degree[earlier] < config.max_out_degree
+            and roles[task_names.index(earlier)] != "output"
+        ]
+        if not candidates:
+            # all earlier tasks saturated: steal capacity by picking the
+            # least-loaded non-output predecessor anyway (cap softly).
+            candidates = [
+                earlier
+                for earlier in task_names[:position]
+                if roles[task_names.index(earlier)] != "output"
+            ]
+            if not candidates:
+                raise GenerationError(
+                    "no admissible predecessor; increase max_out_degree"
+                )
+        # prefer predecessors that still have no successor, which keeps
+        # the graph connected with fewer fix-ups
+        dangling = [c for c in candidates if out_degree[c] == 0]
+        source = rng.choice(dangling or candidates)
+        add_edge(source, name)
+
+    # 2. every input/internal task must feed someone
+    for position, (name, role) in enumerate(zip(task_names, roles)):
+        if role == "output" or out_degree[name] > 0:
+            continue
+        later = [
+            target
+            for target in task_names[position + 1:]
+            if in_degree[target] < config.max_in_degree
+        ]
+        if not later:
+            later = task_names[position + 1:]
+        if not later:
+            continue  # single-task or trailing-input corner case
+        add_edge(name, rng.choice(later))
+
+    # 3. optional density edges within the degree caps
+    for i, source in enumerate(task_names):
+        if roles[i] == "output":
+            continue
+        for target in task_names[i + 1:]:
+            if roles[task_names.index(target)] == "input":
+                continue
+            if out_degree[source] >= config.max_out_degree:
+                break
+            if in_degree[target] >= config.max_in_degree:
+                continue
+            if app.channels_between(source, target):
+                continue
+            if rng.random() < config.extra_edge_probability:
+                add_edge(source, target)
+
+    # 4. connectivity fix-up: bridge any remaining undirected components
+    #    (rare; happens when inputs feed disjoint subgraphs).
+    components = _components(app)
+    while len(components) > 1:
+        first, second = components[0], components[1]
+        source = min(first)
+        target = min(second)
+        # direction: earlier position feeds later to preserve the DAG
+        if task_names.index(source) > task_names.index(target):
+            source, target = target, source
+        add_edge(source, target)
+        components = _components(app)
+
+
+def _components(app: Application) -> list[set[str]]:
+    remaining = set(app.tasks)
+    components = []
+    while remaining:
+        seed_task = min(remaining)
+        seen = {seed_task}
+        stack = [seed_task]
+        while stack:
+            current = stack.pop()
+            for neighbor in app.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        components.append(seen)
+        remaining -= seen
+    return sorted(components, key=min)

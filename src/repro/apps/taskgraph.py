@@ -1,0 +1,314 @@
+"""Application model: annotated task graphs.
+
+An application ``A = <T, C>`` is a set of tasks connected by directed
+communication channels (paper Section III).  The application
+specification produced by the design-time partitioning phase contains
+"an annotated task graph and possibly some performance constraints";
+each task carries one or more candidate implementations
+(:mod:`repro.apps.implementations`).
+
+The mapping algorithm needs a handful of graph operations on tasks:
+undirected degree (for the δ(T) starting-task rule), undirected
+distance layers (the neighbourhoods ``Ni`` of the anchor set), and the
+directed predecessor/successor views used to orient the platform
+search.  They are all provided here without any external graph
+library.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.apps.constraints import PerformanceConstraint
+from repro.apps.implementations import Implementation
+
+
+class TaskGraphError(ValueError):
+    """Raised for malformed application construction or queries."""
+
+
+@dataclass(frozen=True)
+class Task:
+    """A schedulable unit of the application.
+
+    ``implementations`` are the design-time alternatives the binding
+    phase chooses among — "for each task, multiple implementations may
+    be provided by different IP manufacturers, using multiple QoS
+    levels, or targeting different memory types and I/O interfaces".
+    """
+
+    name: str
+    implementations: tuple[Implementation, ...] = ()
+    #: free-form role tag used by generators/reports ("input",
+    #: "internal", "output", ...); not consulted by the algorithms.
+    role: str = "internal"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TaskGraphError("task needs a non-empty name")
+        seen = set()
+        for impl in self.implementations:
+            if impl.name in seen:
+                raise TaskGraphError(
+                    f"task {self.name!r} has duplicate implementation "
+                    f"{impl.name!r}"
+                )
+            seen.add(impl.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<Task {self.name} ({len(self.implementations)} impls)>"
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A directed communication channel between two tasks.
+
+    ``bandwidth`` is the sustained rate the route must support;
+    ``tokens_per_firing`` feeds the dataflow (validation) model.
+    ``initial_tokens`` marks feedback channels of cyclic task graphs:
+    data already present when the application starts, without which a
+    cycle could never begin firing.
+    """
+
+    name: str
+    source: str
+    target: str
+    bandwidth: float = 1.0
+    tokens_per_firing: int = 1
+    initial_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TaskGraphError("channel needs a non-empty name")
+        if self.source == self.target:
+            raise TaskGraphError(f"channel {self.name!r} is a self-loop")
+        if self.bandwidth <= 0:
+            raise TaskGraphError(f"channel {self.name!r} needs positive bandwidth")
+        if self.tokens_per_firing < 1:
+            raise TaskGraphError(
+                f"channel {self.name!r} needs at least one token per firing"
+            )
+        if self.initial_tokens < 0:
+            raise TaskGraphError(
+                f"channel {self.name!r} has negative initial tokens"
+            )
+
+    def endpoints(self) -> tuple[str, str]:
+        return (self.source, self.target)
+
+
+@dataclass
+class Application:
+    """An annotated task graph plus optional performance constraints."""
+
+    name: str
+    tasks: dict[str, Task] = field(default_factory=dict)
+    channels: dict[str, Channel] = field(default_factory=dict)
+    constraints: list[PerformanceConstraint] = field(default_factory=list)
+
+    # -- construction ------------------------------------------------------
+
+    def add_task(self, task: Task) -> Task:
+        if task.name in self.tasks:
+            raise TaskGraphError(f"duplicate task {task.name!r}")
+        self.tasks[task.name] = task
+        return task
+
+    def add_channel(self, channel: Channel) -> Channel:
+        if channel.name in self.channels:
+            raise TaskGraphError(f"duplicate channel {channel.name!r}")
+        for endpoint in channel.endpoints():
+            if endpoint not in self.tasks:
+                raise TaskGraphError(
+                    f"channel {channel.name!r} references unknown task "
+                    f"{endpoint!r}"
+                )
+        self.channels[channel.name] = channel
+        return channel
+
+    def connect(
+        self,
+        source: Task | str,
+        target: Task | str,
+        bandwidth: float = 1.0,
+        tokens_per_firing: int = 1,
+        name: str | None = None,
+    ) -> Channel:
+        """Convenience wrapper creating a channel with a generated name."""
+        src = source if isinstance(source, str) else source.name
+        dst = target if isinstance(target, str) else target.name
+        channel_name = name or f"{src}->{dst}"
+        return self.add_channel(
+            Channel(channel_name, src, dst, bandwidth, tokens_per_firing)
+        )
+
+    def add_constraint(self, constraint: PerformanceConstraint) -> None:
+        self.constraints.append(constraint)
+
+    # -- basic queries -------------------------------------------------------
+
+    def task(self, name: str) -> Task:
+        try:
+            return self.tasks[name]
+        except KeyError:
+            raise TaskGraphError(f"unknown task {name!r}") from None
+
+    def channel(self, name: str) -> Channel:
+        try:
+            return self.channels[name]
+        except KeyError:
+            raise TaskGraphError(f"unknown channel {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks.values())
+
+    def __contains__(self, task: Task | str) -> bool:
+        name = task if isinstance(task, str) else task.name
+        return name in self.tasks
+
+    # -- graph structure -------------------------------------------------------
+
+    def successors(self, task: Task | str) -> tuple[str, ...]:
+        name = self._task_name(task)
+        return tuple(
+            c.target for c in self.channels.values() if c.source == name
+        )
+
+    def predecessors(self, task: Task | str) -> tuple[str, ...]:
+        name = self._task_name(task)
+        return tuple(
+            c.source for c in self.channels.values() if c.target == name
+        )
+
+    def neighbors(self, task: Task | str) -> tuple[str, ...]:
+        """Undirected neighbours, deduplicated, in channel order."""
+        name = self._task_name(task)
+        seen: dict[str, None] = {}
+        for channel in self.channels.values():
+            if channel.source == name:
+                seen.setdefault(channel.target)
+            elif channel.target == name:
+                seen.setdefault(channel.source)
+        return tuple(seen)
+
+    def degree(self, task: Task | str) -> int:
+        """Undirected degree d(t): number of incident channels."""
+        name = self._task_name(task)
+        return sum(
+            1
+            for c in self.channels.values()
+            if name in (c.source, c.target)
+        )
+
+    def min_degree(self) -> int:
+        """δ(T): the minimum undirected degree over all tasks."""
+        if not self.tasks:
+            raise TaskGraphError("application has no tasks")
+        return min(self.degree(t) for t in self.tasks)
+
+    def min_degree_tasks(self) -> tuple[str, ...]:
+        """Tasks achieving δ(T) — starting-point candidates (Section III-A)."""
+        delta = self.min_degree()
+        return tuple(t for t in self.tasks if self.degree(t) == delta)
+
+    def channels_between(self, a: Task | str, b: Task | str) -> tuple[Channel, ...]:
+        """All channels (either direction) between two tasks."""
+        name_a, name_b = self._task_name(a), self._task_name(b)
+        return tuple(
+            c
+            for c in self.channels.values()
+            if {c.source, c.target} == {name_a, name_b}
+        )
+
+    def incident_channels(self, task: Task | str) -> tuple[Channel, ...]:
+        name = self._task_name(task)
+        return tuple(
+            c for c in self.channels.values() if name in (c.source, c.target)
+        )
+
+    def distance_layers(self, origins: Iterable[Task | str]) -> list[set[str]]:
+        """Undirected BFS layers from ``origins``.
+
+        ``layers[i]`` is the paper's ``Ti`` — "the tasks in sets with
+        equal distance to the origin task(s)" (Section III-A, step 1).
+        ``layers[0]`` is the origin set itself.  Unreachable tasks (a
+        disconnected application) are *not* included; callers should
+        check :meth:`is_connected` first.
+        """
+        origin_names = [self._task_name(t) for t in origins]
+        if not origin_names:
+            raise TaskGraphError("distance_layers needs at least one origin")
+        distance: dict[str, int] = {}
+        queue: deque[str] = deque()
+        for name in origin_names:
+            if name not in distance:
+                distance[name] = 0
+                queue.append(name)
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.neighbors(current):
+                if neighbor not in distance:
+                    distance[neighbor] = distance[current] + 1
+                    queue.append(neighbor)
+        layers: list[set[str]] = []
+        for name, depth in distance.items():
+            while len(layers) <= depth:
+                layers.append(set())
+            layers[depth].add(name)
+        return layers
+
+    def is_connected(self) -> bool:
+        """True when the undirected task graph is a single component."""
+        if not self.tasks:
+            return True
+        first = next(iter(self.tasks))
+        reached = set()
+        stack = [first]
+        while stack:
+            current = stack.pop()
+            if current in reached:
+                continue
+            reached.add(current)
+            stack.extend(self.neighbors(current))
+        return len(reached) == len(self.tasks)
+
+    def roles(self, role: str) -> tuple[Task, ...]:
+        return tuple(t for t in self.tasks.values() if t.role == role)
+
+    def _task_name(self, task: Task | str) -> str:
+        name = task if isinstance(task, str) else task.name
+        if name not in self.tasks:
+            raise TaskGraphError(f"unknown task {name!r}")
+        return name
+
+    def validate(self) -> None:
+        """Sanity-check the specification before it enters the manager.
+
+        Raises :class:`TaskGraphError` on: no tasks, a task without
+        implementations, or a disconnected task graph (the incremental
+        mapper traverses by graph distance, so every task must be
+        reachable from every anchor).
+        """
+        if not self.tasks:
+            raise TaskGraphError(f"application {self.name!r} has no tasks")
+        for task in self.tasks.values():
+            if not task.implementations:
+                raise TaskGraphError(
+                    f"task {task.name!r} of {self.name!r} has no implementations"
+                )
+        if not self.is_connected():
+            raise TaskGraphError(f"application {self.name!r} is disconnected")
+
+    def __repr__(self) -> str:
+        return (
+            f"<Application {self.name!r}: {len(self.tasks)} tasks, "
+            f"{len(self.channels)} channels>"
+        )

@@ -1,0 +1,141 @@
+"""Fault injection and fault-driven remapping support.
+
+One of the stated motivations for *run-time* resource management is
+"to provide some degree of fault tolerance, due to imperfect
+production processes and wear of materials" (paper abstract) and "to
+circumvent hardware faults" (Section I).  This module provides the
+scenario machinery: deterministic fault campaigns over a platform, and
+the bookkeeping needed to find which applications a fault strands.
+
+The actual re-allocation is performed by the manager
+(:meth:`repro.manager.kairos.Kairos.recover`), which releases the
+affected applications and retries their allocation on the degraded
+platform.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.arch.state import AllocationState
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single fault event."""
+
+    kind: str  # "element" or "link"
+    target: tuple[str, ...]  # (element,) or (node_a, node_b)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("element", "link"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        expected = 1 if self.kind == "element" else 2
+        if len(self.target) != expected:
+            raise ValueError(
+                f"{self.kind} fault expects {expected} target(s), got {self.target}"
+            )
+
+
+@dataclass
+class FaultCampaign:
+    """An ordered list of faults to inject, with an audit trail."""
+
+    faults: list[Fault] = field(default_factory=list)
+    injected: list[Fault] = field(default_factory=list)
+
+    def add_element_fault(self, element: str) -> "FaultCampaign":
+        self.faults.append(Fault("element", (element,)))
+        return self
+
+    def add_link_fault(self, a: str, b: str) -> "FaultCampaign":
+        self.faults.append(Fault("link", (a, b)))
+        return self
+
+    def inject_next(self, state: AllocationState) -> Fault | None:
+        """Inject the next pending fault; returns it, or None when done."""
+        index = len(self.injected)
+        if index >= len(self.faults):
+            return None
+        fault = self.faults[index]
+        if fault.kind == "element":
+            state.fail_element(fault.target[0])
+        else:
+            state.fail_link(fault.target[0], fault.target[1])
+        self.injected.append(fault)
+        return fault
+
+    def inject_all(self, state: AllocationState) -> list[Fault]:
+        injected = []
+        while (fault := self.inject_next(state)) is not None:
+            injected.append(fault)
+        return injected
+
+
+def random_element_campaign(
+    state: AllocationState,
+    count: int,
+    seed: int = 0,
+    spare: Iterable[str] = (),
+) -> FaultCampaign:
+    """A campaign failing ``count`` random elements, excluding ``spare``.
+
+    ``spare`` typically contains the I/O-anchored elements (the ARM and
+    FPGA on CRISP) so the scenario stays mappable at all.
+    Deterministic for a given seed.
+    """
+    rng = random.Random(seed)
+    protected = set(spare)
+    candidates = sorted(
+        e.name for e in state.platform.elements if e.name not in protected
+    )
+    if count > len(candidates):
+        raise ValueError(
+            f"cannot fail {count} elements; only {len(candidates)} candidates"
+        )
+    campaign = FaultCampaign()
+    for name in rng.sample(candidates, count):
+        campaign.add_element_fault(name)
+    return campaign
+
+
+def stranded_applications(state: AllocationState, fault: Fault) -> tuple[str, ...]:
+    """Application ids that lose a placement or a route to ``fault``."""
+    stranded: set[str] = set()
+    if fault.kind == "element":
+        element = fault.target[0]
+        for occupant in state.occupants(element):
+            stranded.add(occupant.app_id)
+        for app_id in state.applications():
+            for reservation in state.reservations_of(app_id):
+                if element in reservation.path:
+                    stranded.add(app_id)
+    else:
+        a, b = fault.target
+        for app_id in state.applications():
+            for reservation in state.reservations_of(app_id):
+                path = reservation.path
+                for hop_a, hop_b in zip(path, path[1:]):
+                    if {hop_a, hop_b} == {a, b}:
+                        stranded.add(app_id)
+                        break
+    return tuple(sorted(stranded))
+
+
+def degrade_sequence(
+    state: AllocationState,
+    campaign: FaultCampaign,
+) -> Sequence[tuple[Fault, tuple[str, ...]]]:
+    """Inject the full campaign, recording who is stranded at each step."""
+    trail = []
+    while True:
+        index = len(campaign.injected)
+        if index >= len(campaign.faults):
+            break
+        fault = campaign.faults[index]
+        victims = stranded_applications(state, fault)
+        campaign.inject_next(state)
+        trail.append((fault, victims))
+    return trail

@@ -1,0 +1,347 @@
+"""The platform graph: elements, routers and links.
+
+A platform ``P = <E, L>`` "provides resources through the processing
+elements E, which are connected with the links L" (paper Section III).
+We model the interconnect explicitly as a graph whose nodes are
+processing elements and NoC routers, and whose edges are physical
+links.  Every link carries a virtual-channel count and a bandwidth
+capacity; their run-time occupancy is tracked by
+:class:`repro.arch.state.AllocationState`, not here — the topology is
+immutable once frozen.
+
+Two derived views are central to the algorithms:
+
+* **hop distances** over the full node graph (used by the mapping cost
+  function and the routers), and
+* the **element adjacency graph** — two elements are adjacent when they
+  share a router or sit on directly-linked routers — which defines the
+  "pairs of adjacent elements" in the paper's external-fragmentation
+  metric and the neighbour bonuses of the mapping cost function.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.arch.elements import Node, ProcessingElement, Router, is_element
+
+
+class TopologyError(ValueError):
+    """Raised for malformed platform construction."""
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected physical link between two platform nodes.
+
+    ``virtual_channels`` is the number of time-shared logical channels
+    the link supports per direction [11]; ``bandwidth`` is the
+    capacity (abstract units/s) shared by the virtual channels of one
+    direction.
+    """
+
+    a: Node
+    b: Node
+    virtual_channels: int = 4
+    bandwidth: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError(f"self-link on {self.a}")
+        if self.virtual_channels < 1:
+            raise TopologyError("a link needs at least one virtual channel")
+        if self.bandwidth <= 0:
+            raise TopologyError("link bandwidth must be positive")
+
+    def endpoints(self) -> tuple[Node, Node]:
+        return (self.a, self.b)
+
+    def other(self, node: Node) -> Node:
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise TopologyError(f"{node} is not an endpoint of {self}")
+
+    def key(self) -> frozenset[str]:
+        return frozenset((self.a.name, self.b.name))
+
+
+class Platform:
+    """An immutable-after-freeze heterogeneous MPSoC model.
+
+    Build by adding nodes and links, then call :meth:`freeze` (the
+    builders in :mod:`repro.arch.builders` do this for you).  After
+    freezing, the derived adjacency and element-neighbour structures
+    are computed once and shared by all allocation state objects.
+    """
+
+    def __init__(self, name: str = "platform"):
+        self.name = name
+        self._nodes: dict[str, Node] = {}
+        self._links: dict[frozenset[str], Link] = {}
+        self._adjacency: dict[str, list[Node]] = {}
+        self._frozen = False
+        self._element_neighbors: dict[str, tuple[ProcessingElement, ...]] = {}
+        self._element_pairs: tuple[tuple[ProcessingElement, ProcessingElement], ...] = ()
+
+    # -- construction -------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        self._require_mutable()
+        if node.name in self._nodes:
+            raise TopologyError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        self._adjacency[node.name] = []
+        return node
+
+    def add_element(self, element: ProcessingElement) -> ProcessingElement:
+        if not isinstance(element, ProcessingElement):
+            raise TopologyError(f"{element!r} is not a ProcessingElement")
+        return self.add_node(element)
+
+    def add_router(self, router: Router) -> Router:
+        if not isinstance(router, Router):
+            raise TopologyError(f"{router!r} is not a Router")
+        return self.add_node(router)
+
+    def add_link(
+        self,
+        a: Node | str,
+        b: Node | str,
+        virtual_channels: int = 4,
+        bandwidth: float = 100.0,
+    ) -> Link:
+        self._require_mutable()
+        node_a = self._resolve(a)
+        node_b = self._resolve(b)
+        link = Link(node_a, node_b, virtual_channels, bandwidth)
+        if link.key() in self._links:
+            raise TopologyError(f"duplicate link {node_a}—{node_b}")
+        self._links[link.key()] = link
+        self._adjacency[node_a.name].append(node_b)
+        self._adjacency[node_b.name].append(node_a)
+        return link
+
+    def freeze(self) -> "Platform":
+        """Finalize the topology and precompute derived structures."""
+        if self._frozen:
+            return self
+        self._frozen = True
+        self._compute_element_adjacency()
+        return self
+
+    def _require_mutable(self) -> None:
+        if self._frozen:
+            raise TopologyError("platform is frozen; cannot modify topology")
+
+    def _resolve(self, node: Node | str) -> Node:
+        if isinstance(node, str):
+            try:
+                return self._nodes[node]
+            except KeyError:
+                raise TopologyError(f"unknown node {node!r}") from None
+        if node.name not in self._nodes or self._nodes[node.name] is not node:
+            raise TopologyError(f"node {node!r} does not belong to this platform")
+        return node
+
+    # -- basic queries -------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def __contains__(self, node: Node | str) -> bool:
+        name = node if isinstance(node, str) else node.name
+        return name in self._nodes
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def element(self, name: str) -> ProcessingElement:
+        node = self.node(name)
+        if not is_element(node):
+            raise TopologyError(f"{name!r} is a router, not an element")
+        return node
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        return tuple(self._nodes.values())
+
+    @property
+    def elements(self) -> tuple[ProcessingElement, ...]:
+        return tuple(n for n in self._nodes.values() if is_element(n))
+
+    @property
+    def routers(self) -> tuple[Router, ...]:
+        return tuple(n for n in self._nodes.values() if not is_element(n))
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        return tuple(self._links.values())
+
+    def link_between(self, a: Node | str, b: Node | str) -> Link:
+        name_a = a if isinstance(a, str) else a.name
+        name_b = b if isinstance(b, str) else b.name
+        try:
+            return self._links[frozenset((name_a, name_b))]
+        except KeyError:
+            raise TopologyError(f"no link between {name_a} and {name_b}") from None
+
+    def neighbors(self, node: Node | str) -> tuple[Node, ...]:
+        name = node if isinstance(node, str) else node.name
+        try:
+            return tuple(self._adjacency[name])
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def degree(self, node: Node | str) -> int:
+        return len(self.neighbors(node))
+
+    # -- distances and neighbourhoods -----------------------------------
+
+    def bfs_distances(
+        self, origins: Iterable[Node], limit: int | None = None
+    ) -> dict[Node, int]:
+        """Hop distances from a set of origins over the full node graph.
+
+        The mapping phase "keeps track of the distance between a newly
+        discovered element and the origins of the BFS, to estimate the
+        cost of the communication routes" (Section III-B); this is that
+        primitive.  ``limit`` bounds the search radius.
+        """
+        distances: dict[Node, int] = {}
+        queue: deque[Node] = deque()
+        for origin in origins:
+            node = self._resolve_frozen(origin)
+            if node not in distances:
+                distances[node] = 0
+                queue.append(node)
+        while queue:
+            node = queue.popleft()
+            depth = distances[node]
+            if limit is not None and depth >= limit:
+                continue
+            for neighbor in self._adjacency[node.name]:
+                if neighbor not in distances:
+                    distances[neighbor] = depth + 1
+                    queue.append(neighbor)
+        return distances
+
+    def hop_distance(self, a: Node | str, b: Node | str) -> int:
+        """Shortest hop count between two nodes (``-1`` if disconnected)."""
+        node_a = self._resolve_frozen(a)
+        node_b = self._resolve_frozen(b)
+        if node_a == node_b:
+            return 0
+        distances = self.bfs_distances([node_a])
+        return distances.get(node_b, -1)
+
+    def neighborhood(self, nodes: Iterable[Node], ring: int) -> set[Node]:
+        """The set of nodes at hop distance exactly ``ring`` from ``nodes``."""
+        if ring < 0:
+            raise ValueError("ring must be non-negative")
+        distances = self.bfs_distances(nodes, limit=ring)
+        return {node for node, depth in distances.items() if depth == ring}
+
+    def is_connected(self) -> bool:
+        if not self._nodes:
+            return True
+        first = next(iter(self._nodes.values()))
+        return len(self.bfs_distances([first])) == len(self._nodes)
+
+    def _resolve_frozen(self, node: Node | str) -> Node:
+        if isinstance(node, str):
+            return self.node(node)
+        if node.name not in self._nodes:
+            raise TopologyError(f"node {node!r} does not belong to this platform")
+        return node
+
+    # -- element adjacency (fragmentation substrate) --------------------
+
+    def _compute_element_adjacency(self) -> None:
+        """Two elements are adjacent when they share a router, sit on
+        directly-linked routers, or are directly linked to each other.
+
+        This matches the intuitive "neighbouring tiles" notion of a
+        NoC: in a mesh with one element per router, the elements of
+        neighbouring routers are adjacent.
+        """
+        neighbors: dict[str, set[ProcessingElement]] = {
+            e.name: set() for e in self.elements
+        }
+        for element in self.elements:
+            reachable: set[ProcessingElement] = set()
+            for first in self._adjacency[element.name]:
+                if is_element(first):
+                    reachable.add(first)
+                    continue
+                # first is a router: elements on it, and on adjacent routers
+                for second in self._adjacency[first.name]:
+                    if is_element(second):
+                        reachable.add(second)
+                    else:
+                        for third in self._adjacency[second.name]:
+                            if is_element(third):
+                                reachable.add(third)
+            reachable.discard(element)
+            neighbors[element.name] = reachable
+        self._element_neighbors = {
+            name: tuple(sorted(found, key=lambda e: e.name))
+            for name, found in neighbors.items()
+        }
+        pairs = set()
+        for name, found in self._element_neighbors.items():
+            for other in found:
+                pairs.add(frozenset((name, other.name)))
+        self._element_pairs = tuple(
+            tuple(sorted((self.element(x) for x in pair), key=lambda e: e.name))
+            for pair in sorted(pairs, key=sorted)
+        )
+
+    def element_neighbors(self, element: ProcessingElement | str) -> tuple[ProcessingElement, ...]:
+        """Adjacent elements of ``element`` (see class docstring)."""
+        self._require_frozen()
+        name = element if isinstance(element, str) else element.name
+        try:
+            return self._element_neighbors[name]
+        except KeyError:
+            raise TopologyError(f"unknown element {name!r}") from None
+
+    @property
+    def element_pairs(self) -> tuple[tuple[ProcessingElement, ProcessingElement], ...]:
+        """All unordered pairs of adjacent elements.
+
+        The denominator of the paper's external resource fragmentation:
+        "the percentage of pairs of adjacent elements of which only one
+        element is used, over all pairs of adjacent elements".
+        """
+        self._require_frozen()
+        return self._element_pairs
+
+    def element_connectivity(self, element: ProcessingElement | str) -> int:
+        """Number of adjacent elements — low values mean border tiles."""
+        return len(self.element_neighbors(element))
+
+    def _require_frozen(self) -> None:
+        if not self._frozen:
+            raise TopologyError("platform must be frozen first (call freeze())")
+
+    # -- misc ------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Platform {self.name!r}: {len(self.elements)} elements, "
+            f"{len(self.routers)} routers, {len(self._links)} links>"
+        )

@@ -1,0 +1,22 @@
+"""Baseline mappers: first-fit, random, simulated annealing, and
+exact branch-and-bound."""
+
+from repro.baselines.annealing import annealed_map
+from repro.baselines.exhaustive import (
+    InstanceTooLargeError,
+    OptimalResult,
+    communication_distance,
+    optimal_map,
+)
+from repro.baselines.first_fit import first_fit_map
+from repro.baselines.random_map import random_map
+
+__all__ = [
+    "InstanceTooLargeError",
+    "annealed_map",
+    "OptimalResult",
+    "communication_distance",
+    "first_fit_map",
+    "optimal_map",
+    "random_map",
+]

@@ -1,0 +1,10 @@
+"""Binding phase: regret-ordered implementation selection."""
+
+from repro.binding.binder import (
+    SINGLE_OPTION_REGRET,
+    BindingError,
+    BindingResult,
+    bind,
+)
+
+__all__ = ["BindingError", "BindingResult", "SINGLE_OPTION_REGRET", "bind"]

@@ -1,0 +1,157 @@
+"""Binding: regret-ordered implementation selection (paper Section II).
+
+"For the binding phase, we use the approach in [9], which selects for
+each task an implementation, ordered by the difference between the
+cheapest and second cheapest assignment, as in [10]."  The idea is the
+classic *regret* (max-difference) heuristic from the knapsack
+literature [10]: tasks whose best option is much better than their
+runner-up are bound first, because postponing them risks losing a
+uniquely good fit.
+
+Binding checks that "the required resources must be available
+*somewhere* in the platform" (Section I) — it does not pick locations
+(that is the mapping phase) but it does maintain a provisional
+capacity pool so that several tasks cannot all be bound against the
+same last free element.  Computation-intensive applications therefore
+fail predominantly here when the platform fills up, matching Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.implementations import Implementation
+from repro.apps.taskgraph import Application
+from repro.arch.elements import ProcessingElement
+from repro.arch.resources import ResourceVector
+from repro.arch.state import AllocationState
+
+#: regret assigned to tasks with a single feasible implementation —
+#: they are bound first, before any flexible task eats their capacity.
+SINGLE_OPTION_REGRET = float("inf")
+
+
+class BindingError(RuntimeError):
+    """The binding phase found no feasible implementation for a task."""
+
+
+@dataclass
+class BindingResult:
+    """Chosen implementation per task, plus provisioning diagnostics."""
+
+    choice: dict[str, Implementation]
+    #: element provisionally charged for each task's requirement (a
+    #: feasibility witness, *not* a placement — mapping decides that)
+    provisional: dict[str, str] = field(default_factory=dict)
+    #: binding order with the regret that drove it (diagnostics)
+    order: list[tuple[str, float]] = field(default_factory=list)
+
+    def __getitem__(self, task: str) -> Implementation:
+        return self.choice[task]
+
+    def __contains__(self, task: str) -> bool:
+        return task in self.choice
+
+    def total_cost(self) -> float:
+        return sum(impl.cost for impl in self.choice.values())
+
+
+class _CapacityPool:
+    """Provisional free capacities during one binding run."""
+
+    def __init__(self, state: AllocationState):
+        self.elements: list[ProcessingElement] = [
+            e for e in state.platform.elements if not state.is_failed(e)
+        ]
+        self.free: dict[str, ResourceVector] = {
+            e.name: state.free(e) for e in self.elements
+        }
+
+    def feasible_element(self, impl: Implementation) -> ProcessingElement | None:
+        """Best-fit element that can still host ``impl``, or None.
+
+        Best fit (minimal leftover on the bottleneck resource) keeps
+        the provisional packing tight, so binding only fails when the
+        platform is genuinely close to full.
+        """
+        best: ProcessingElement | None = None
+        best_slack = float("inf")
+        for element in self.elements:
+            if not impl.runs_on(element):
+                continue
+            free = self.free[element.name]
+            if not impl.requirement.fits_in(free):
+                continue
+            slack = 1.0 - impl.requirement.bottleneck(free)
+            if slack < best_slack or (
+                slack == best_slack and best is not None and element.name < best.name
+            ):
+                best = element
+                best_slack = slack
+        return best
+
+    def reserve(self, element: ProcessingElement, impl: Implementation) -> None:
+        self.free[element.name] = self.free[element.name] - impl.requirement
+
+
+def bind(
+    app: Application,
+    state: AllocationState,
+    quality_weight: float = 0.0,
+) -> BindingResult:
+    """Select one implementation per task, regret-first.
+
+    ``quality_weight`` biases the per-implementation score by its
+    execution time (0 = pure cost, as in the paper's setup; > 0 trades
+    cost against speed, an extension hook used by the examples).
+
+    Raises :class:`BindingError` naming the first task that has no
+    feasible implementation left.
+    """
+    pool = _CapacityPool(state)
+    result = BindingResult(choice={})
+    unbound = sorted(app.tasks)
+
+    def score(impl: Implementation) -> float:
+        return impl.cost + quality_weight * impl.execution_time
+
+    while unbound:
+        # evaluate regret for every unbound task against the current pool
+        best_task: str | None = None
+        best_regret = -1.0
+        best_option: tuple[Implementation, ProcessingElement] | None = None
+        infeasible_task: str | None = None
+        for task in unbound:
+            options: list[tuple[float, Implementation, ProcessingElement]] = []
+            for impl in app.task(task).implementations:
+                element = pool.feasible_element(impl)
+                if element is not None:
+                    options.append((score(impl), impl, element))
+            if not options:
+                infeasible_task = task
+                break
+            options.sort(key=lambda item: (item[0], item[1].name))
+            if len(options) == 1:
+                regret = SINGLE_OPTION_REGRET
+            else:
+                regret = options[1][0] - options[0][0]
+            if regret > best_regret or (
+                regret == best_regret and (best_task is None or task < best_task)
+            ):
+                best_task = task
+                best_regret = regret
+                best_option = (options[0][1], options[0][2])
+        if infeasible_task is not None:
+            raise BindingError(
+                f"task {infeasible_task!r} of {app.name!r} has no feasible "
+                "implementation (insufficient platform resources)"
+            )
+        assert best_task is not None and best_option is not None
+        impl, element = best_option
+        pool.reserve(element, impl)
+        result.choice[best_task] = impl
+        result.provisional[best_task] = element.name
+        result.order.append((best_task, best_regret))
+        unbound.remove(best_task)
+
+    return result

@@ -1,0 +1,223 @@
+"""Command-line interface to the Kairos reproduction.
+
+Subcommands mirror the library's main entry points::
+
+    python -m repro info                      # platform & library summary
+    python -m repro allocate APP.kair         # four-phase allocation
+    python -m repro pack --beamformer out.kair
+    python -m repro pack --generate SEED out.kair
+    python -m repro inspect APP.kair          # decode a binary
+    python -m repro table1 | fig7 | fig8 | fig9 | fig10
+                                              # regenerate paper artifacts
+
+Scale knobs are taken from the environment (``REPRO_APPS``,
+``REPRO_SEQUENCES``, ``REPRO_POSITIONS``, ``REPRO_FIG10_*``) exactly
+as in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.apps import GeneratorConfig, beamforming_application, generate
+from repro.arch import crisp
+from repro.core import CostWeights
+from repro.io import load_application, pack_application, save_application, sniff
+from repro.manager import AllocationFailure, Kairos, generate_plan
+
+
+def _add_weights(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--comm-weight", type=float, default=1.0,
+        help="communication objective weight (default 1.0)",
+    )
+    parser.add_argument(
+        "--frag-weight", type=float, default=1.0,
+        help="fragmentation objective weight (default 1.0)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Run-time Spatial Resource Management for "
+            "Real-Time Applications on Heterogeneous MPSoCs' (DATE 2010)"
+        ),
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("info", help="platform and library summary")
+
+    allocate = commands.add_parser(
+        "allocate", help="run a four-phase allocation of a .kair binary"
+    )
+    allocate.add_argument("binary", help="application binary (.kair)")
+    allocate.add_argument("--validation", default="report",
+                          choices=("enforce", "report", "skip"))
+    allocate.add_argument("--method", default="simulation",
+                          choices=("simulation", "analytical"))
+    allocate.add_argument("--plan", action="store_true",
+                          help="print the bootstrap configuration plan")
+    _add_weights(allocate)
+
+    pack = commands.add_parser("pack", help="write an application binary")
+    source = pack.add_mutually_exclusive_group(required=True)
+    source.add_argument("--beamformer", action="store_true",
+                        help="pack the 53-task case-study beamformer")
+    source.add_argument("--generate", type=int, metavar="SEED",
+                        help="pack a generated application with this seed")
+    pack.add_argument("output", help="output path (.kair)")
+
+    inspect = commands.add_parser("inspect", help="decode a .kair binary")
+    inspect.add_argument("binary")
+
+    for name, description in (
+        ("table1", "Table I — failure distribution per phase"),
+        ("fig7", "Fig. 7 — per-phase runtime vs application size"),
+        ("fig8", "Fig. 8 — hops per channel vs sequence position"),
+        ("fig9", "Fig. 9 — fragmentation vs sequence position"),
+        ("fig10", "Fig. 10 — beamforming admission map"),
+    ):
+        commands.add_parser(name, help=description)
+
+    return parser
+
+
+def _cmd_info() -> int:
+    platform = crisp()
+    kinds: dict[str, int] = {}
+    for element in platform.elements:
+        kinds[element.kind.value] = kinds.get(element.kind.value, 0) + 1
+    print(f"repro {__version__} — Kairos run-time resource manager")
+    print(f"platform of record: {platform}")
+    print("element census:",
+          ", ".join(f"{count}x {kind}" for kind, count in sorted(kinds.items())))
+    print(f"links: {len(platform.links)} "
+          f"(adjacent element pairs: {len(platform.element_pairs)})")
+    app = beamforming_application()
+    print(f"case study: {app.name} — {len(app)} tasks, "
+          f"{len(app.channels)} channels")
+    return 0
+
+
+def _cmd_allocate(args) -> int:
+    try:
+        app = load_application(args.binary)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load {args.binary}: {exc}", file=sys.stderr)
+        return 2
+    manager = Kairos(
+        crisp(),
+        weights=CostWeights(args.comm_weight, args.frag_weight),
+        validation_mode=args.validation,
+        validation_method=args.method,
+    )
+    try:
+        layout = manager.allocate(app)
+    except AllocationFailure as failure:
+        print(f"REJECTED in {failure.phase.value}: {failure.reason}")
+        return 1
+    print(layout.describe())
+    print()
+    print("per-phase timings (ms):",
+          {k: round(v, 2) for k, v in layout.timings.as_milliseconds().items()})
+    if layout.validation is not None:
+        print(f"constraints satisfied: {layout.validation.satisfied}")
+    if args.plan:
+        print()
+        print(generate_plan(app, layout).as_script())
+    return 0
+
+
+def _cmd_pack(args) -> int:
+    if args.beamformer:
+        app = beamforming_application()
+    else:
+        app = generate(
+            GeneratorConfig(inputs=1, internals=4, outputs=1,
+                            pin_io_probability=1.0,
+                            io_elements=("fpga", "arm")),
+            seed=args.generate,
+            name=f"generated_{args.generate}",
+        )
+    save_application(app, args.output)
+    print(f"packed {app.name!r}: {len(app)} tasks, "
+          f"{len(app.channels)} channels -> {args.output}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    try:
+        with open(args.binary, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not sniff(data):
+        print(f"{args.binary}: not a Kairos application binary")
+        return 1
+    from repro.io import unpack_application
+    app = unpack_application(data)
+    print(f"application {app.name!r} ({len(data)} bytes)")
+    for task in sorted(app.tasks):
+        spec = app.task(task)
+        targets = ", ".join(
+            impl.target_element or impl.target_kind.value
+            for impl in spec.implementations
+        )
+        print(f"  task {task} [{spec.role}] -> {targets}")
+    for name in sorted(app.channels):
+        channel = app.channel(name)
+        print(f"  channel {name}: {channel.source} -> {channel.target} "
+              f"@ {channel.bandwidth:g}")
+    for constraint in app.constraints:
+        print(f"  constraint: {constraint.describe()}")
+    return 0
+
+
+def _cmd_experiment(command: str) -> int:
+    from repro.experiments import (
+        HarnessScale,
+        format_fig7,
+        format_fig8,
+        format_fig9,
+        format_fig10,
+        format_table1,
+        run_fig7,
+        run_fig10,
+        run_fig89,
+        run_table1,
+    )
+    scale = HarnessScale.from_environment()
+    if command == "table1":
+        print(format_table1(run_table1(scale)))
+    elif command == "fig7":
+        print(format_fig7(run_fig7(scale)))
+    elif command in ("fig8", "fig9"):
+        result = run_fig89(scale)
+        print(format_fig8(result) if command == "fig8" else format_fig9(result))
+    elif command == "fig10":
+        print(format_fig10(run_fig10()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "allocate":
+        return _cmd_allocate(args)
+    if args.command == "pack":
+        return _cmd_pack(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
+    return _cmd_experiment(args.command)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

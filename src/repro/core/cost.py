@@ -1,0 +1,202 @@
+"""The mapping cost function (paper Section III-D).
+
+"To evaluate the cost of mapping a task t to an element e, we first
+look at the total communication distance involved with candidate
+element e ... If a required distance lookup fails, a relative high
+penalty is given to e ... For yet unmapped tasks the distance is
+inherently unknown, and therefore left out of the equation.
+
+The other mapping objective we consider is external resource
+fragmentation.  An element e receives decreasing bonuses for neighbor
+elements that retain communication peers of t, tasks from the same
+application A, or tasks from other applications.  Additionally, the
+connectivity of an element e is taken into account as well; elements
+on the borders of chips are thus more favorable to use.  The ratio
+between these two objectives is given by weight parameters."
+
+The total cost is ``w_comm * distance_term - w_frag * bonus_term``;
+lower is better.  :data:`NONE`, :data:`COMMUNICATION`,
+:data:`FRAGMENTATION` and :data:`BOTH` are the four configurations of
+Figs. 8-10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.elements import ProcessingElement
+from repro.arch.state import AllocationState
+from repro.apps.taskgraph import Application
+from repro.core.search import SparseDistanceMatrix
+
+#: graded neighbour bonuses (Section III-D: "decreasing bonuses")
+BONUS_PEER = 3.0          #: neighbour hosts a communication peer of t
+BONUS_SAME_APP = 2.0      #: neighbour hosts another task of the same app
+BONUS_OTHER_APP = 1.0     #: neighbour hosts tasks of other applications
+#: weight of the border/connectivity bonus per missing neighbour
+BONUS_BORDER = 0.5
+#: hop penalty used when the sparse distance matrix has no entry
+DEFAULT_DISTANCE_PENALTY = 32
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """The two objective weights of the paper's experiments.
+
+    Fig. 10 samples ``communication`` in [0..25] and ``fragmentation``
+    in [0..1000]; (0, 0) disables the cost function entirely (the
+    "None" configuration, reducing mapping to first-fit in platform
+    search order).
+    """
+
+    communication: float = 1.0
+    fragmentation: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.communication < 0 or self.fragmentation < 0:
+            raise ValueError("cost weights must be non-negative")
+
+    @property
+    def disabled(self) -> bool:
+        return self.communication == 0 and self.fragmentation == 0
+
+
+#: The four named configurations of Figs. 8 and 9.
+NONE = CostWeights(0.0, 0.0)
+COMMUNICATION = CostWeights(1.0, 0.0)
+FRAGMENTATION = CostWeights(0.0, 1.0)
+BOTH = CostWeights(1.0, 1.0)
+
+NAMED_WEIGHTS: dict[str, CostWeights] = {
+    "None": NONE,
+    "Communication": COMMUNICATION,
+    "Fragmentation": FRAGMENTATION,
+    "Both": BOTH,
+}
+
+
+class MappingCost:
+    """Evaluates the cost of placing a task onto a candidate element.
+
+    The cost depends on the *committed* placement (anchors and earlier
+    layers) and the global allocation state, but not on the tentative
+    assignments inside the current GAP layer — so one evaluation per
+    (task, element) pair per layer suffices (see the complexity remark
+    below paper Fig. 5).
+    """
+
+    def __init__(
+        self,
+        weights: CostWeights = BOTH,
+        distance_penalty: int = DEFAULT_DISTANCE_PENALTY,
+    ) -> None:
+        self.weights = weights
+        self.distance_penalty = distance_penalty
+        self._max_connectivity: dict[int, int] = {}
+
+    def __call__(
+        self,
+        app: Application,
+        app_id: str,
+        task: str,
+        element: ProcessingElement,
+        state: AllocationState,
+        placement: dict[str, str],
+        distances: SparseDistanceMatrix,
+    ) -> float:
+        """Cost of mapping ``task`` onto ``element``; lower is better.
+
+        ``placement`` maps already-mapped task names of this
+        application to element names; ``distances`` is the sparse
+        matrix accumulated by the platform search.
+        """
+        if self.weights.disabled:
+            return 0.0
+        cost = 0.0
+        if self.weights.communication:
+            cost += self.weights.communication * self.communication_term(
+                app, task, element, placement, distances
+            )
+        if self.weights.fragmentation:
+            cost -= self.weights.fragmentation * self.fragmentation_bonus(
+                app, app_id, task, element, state, placement
+            )
+        return cost
+
+    # -- objective terms ---------------------------------------------------
+
+    def communication_term(
+        self,
+        app: Application,
+        task: str,
+        element: ProcessingElement,
+        placement: dict[str, str],
+        distances: SparseDistanceMatrix,
+    ) -> float:
+        """Total estimated route length to already-mapped peers.
+
+        Each channel between ``task`` and a mapped peer contributes the
+        sparse-matrix distance between ``element`` and the peer's
+        element, or :attr:`distance_penalty` when the lookup fails
+        (the search never reached one from the other — "we assume a
+        large communication distance").  Channels to unmapped tasks
+        are left out.
+        """
+        total = 0.0
+        for channel in app.incident_channels(task):
+            peer = channel.target if channel.source == task else channel.source
+            peer_element = placement.get(peer)
+            if peer_element is None:
+                continue
+            distance = distances.get(element.name, peer_element)
+            if distance is None:
+                distance = self.distance_penalty
+            total += distance
+        return total
+
+    def fragmentation_bonus(
+        self,
+        app: Application,
+        app_id: str,
+        task: str,
+        element: ProcessingElement,
+        state: AllocationState,
+        placement: dict[str, str],
+    ) -> float:
+        """Graded neighbourhood bonuses plus the border bonus.
+
+        A neighbour element contributes the *highest* single bonus it
+        qualifies for (peer > same app > other app); an element whose
+        neighbourhood is already busy is attractive because using it
+        does not strand fresh resources.  The border term favours
+        low-connectivity elements: filling the chip from its edges
+        inward keeps the contiguous free area compact.
+        """
+        peers = set(app.neighbors(task))
+        peer_elements = {placement[p] for p in peers if p in placement}
+        bonus = 0.0
+        for neighbor in state.platform.element_neighbors(element):
+            if neighbor.name in peer_elements:
+                bonus += BONUS_PEER
+                continue
+            occupants = state.occupants(neighbor)
+            if not occupants:
+                continue
+            if any(o.app_id == app_id for o in occupants):
+                bonus += BONUS_SAME_APP
+            else:
+                bonus += BONUS_OTHER_APP
+        platform_key = id(state.platform)
+        max_connectivity = self._max_connectivity.get(platform_key)
+        if max_connectivity is None:
+            max_connectivity = max(
+                (
+                    state.platform.element_connectivity(e)
+                    for e in state.platform.elements
+                ),
+                default=0,
+            )
+            self._max_connectivity[platform_key] = max_connectivity
+        connectivity = state.platform.element_connectivity(element)
+        bonus += BONUS_BORDER * (max_connectivity - connectivity)
+        return bonus

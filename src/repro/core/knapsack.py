@@ -1,0 +1,201 @@
+"""Knapsack solvers: the inner subroutine of the GAP approximation.
+
+The GAP algorithm of Cohen, Katzir & Raz [15] delegates all actual
+optimization to a knapsack oracle: its approximation guarantee is
+(1 + alpha) where alpha is the knapsack's ratio, and its running time
+is O(E * k(T) + E * T) where k(T) is the knapsack's cost.  The paper
+states "our knapsack implementation has a time complexity O(T^2)"
+(Section III-C); :func:`solve_greedy` reproduces that: a density-greedy
+pass followed by a quadratic pairwise-improvement pass.
+
+Capacities and requirements are multi-dimensional
+(:class:`~repro.arch.resources.ResourceVector`), since elements offer
+several resource kinds at once.  Exact solvers (:func:`solve_dp`,
+:func:`solve_exhaustive`) are provided as test oracles and for the
+ablation benchmark A2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.resources import ResourceVector, vector_sum
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """One candidate (task) for a bin (element)."""
+
+    key: str
+    profit: float
+    requirement: ResourceVector
+
+    def __post_init__(self) -> None:
+        if self.profit < 0:
+            raise ValueError(
+                f"knapsack items must have non-negative profit ({self.key})"
+            )
+
+
+@dataclass(frozen=True)
+class KnapsackSolution:
+    chosen: tuple[str, ...]
+    profit: float
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.chosen
+
+
+def _fits(items: list[KnapsackItem], capacity: ResourceVector) -> bool:
+    return vector_sum(i.requirement for i in items).fits_in(capacity)
+
+
+def _density(item: KnapsackItem, capacity: ResourceVector) -> float:
+    """Profit per unit of the bottleneck resource fraction consumed."""
+    load = item.requirement.bottleneck(capacity)
+    if load == 0:
+        return float("inf")
+    return item.profit / load
+
+
+def solve_greedy(
+    items: list[KnapsackItem], capacity: ResourceVector
+) -> KnapsackSolution:
+    """Density-greedy with an O(T^2) single-swap improvement pass.
+
+    1. Sort by profit density (profit / bottleneck utilization) and
+       take items that still fit.
+    2. For every excluded item, check whether evicting one chosen item
+       admits it at a net profit gain; apply the best such swap until
+       none improves.
+    3. Return the better of the greedy solution and the single most
+       profitable item — the classic guard that makes density greedy a
+       1/2-approximation (one fat high-profit item can otherwise be
+       blocked by several lean ones that no single swap can evict).
+
+    Total cost stays O(T^2), matching the paper's statement about its
+    knapsack implementation.
+    """
+    viable = [i for i in items if i.profit > 0 and i.requirement.fits_in(capacity)]
+    if not viable:
+        return KnapsackSolution((), 0.0)
+    order = sorted(
+        viable, key=lambda i: (-_density(i, capacity), -i.profit, i.key)
+    )
+    chosen: list[KnapsackItem] = []
+    remaining = capacity
+    excluded: list[KnapsackItem] = []
+    for item in order:
+        if item.requirement.fits_in(remaining):
+            chosen.append(item)
+            remaining = remaining - item.requirement
+        else:
+            excluded.append(item)
+
+    improved = True
+    while improved and excluded:
+        improved = False
+        best_swap: tuple[float, int, int] | None = None  # (gain, out_idx, in_idx)
+        for in_index, candidate in enumerate(excluded):
+            for out_index, resident in enumerate(chosen):
+                gain = candidate.profit - resident.profit
+                if gain <= 0:
+                    continue
+                freed = remaining + resident.requirement
+                if not candidate.requirement.fits_in(freed):
+                    continue
+                if best_swap is None or gain > best_swap[0]:
+                    best_swap = (gain, out_index, in_index)
+        if best_swap is not None:
+            _gain, out_index, in_index = best_swap
+            resident = chosen[out_index]
+            candidate = excluded[in_index]
+            remaining = remaining + resident.requirement - candidate.requirement
+            chosen[out_index] = candidate
+            excluded[in_index] = resident
+            # the evicted resident may fit again after future swaps;
+            # also try to re-add any excluded item that now fits
+            still_excluded = []
+            for item in excluded:
+                if item.requirement.fits_in(remaining) and item.profit > 0:
+                    chosen.append(item)
+                    remaining = remaining - item.requirement
+                else:
+                    still_excluded.append(item)
+            excluded = still_excluded
+            improved = True
+
+    profit = sum(i.profit for i in chosen)
+    best_single = max(viable, key=lambda i: (i.profit, i.key))
+    if best_single.profit > profit:
+        return KnapsackSolution((best_single.key,), best_single.profit)
+    return KnapsackSolution(tuple(sorted(i.key for i in chosen)), profit)
+
+
+def solve_dp(
+    items: list[KnapsackItem],
+    capacity: ResourceVector,
+    scale: int = 1,
+) -> KnapsackSolution:
+    """Exact 0/1 knapsack by dynamic programming over one dimension.
+
+    Only valid when capacity and all requirements use a *single*
+    resource kind with integral quantities (after multiplying by
+    ``scale``).  Raises ``ValueError`` otherwise.  Used as a test
+    oracle and in the knapsack ablation.
+    """
+    kinds = set(capacity.kinds())
+    for item in items:
+        kinds |= set(item.requirement.kinds())
+    if len(kinds) > 1:
+        raise ValueError(f"solve_dp is one-dimensional; got kinds {sorted(kinds)}")
+    kind = next(iter(kinds)) if kinds else None
+    if kind is None:
+        # all requirements empty: take every positive-profit item
+        chosen = tuple(sorted(i.key for i in items if i.profit > 0))
+        return KnapsackSolution(chosen, sum(i.profit for i in items if i.profit > 0))
+
+    budget = int(capacity[kind] * scale)
+    weights = []
+    for item in items:
+        weight = item.requirement[kind] * scale
+        if weight != int(weight):
+            raise ValueError(
+                f"item {item.key} weight {weight} not integral at scale {scale}"
+            )
+        weights.append(int(weight))
+
+    viable = [
+        (item, weight)
+        for item, weight in zip(items, weights)
+        if item.profit > 0 and weight <= budget
+    ]
+    # table[w] = (profit, chosen frozenset)
+    best = [0.0] * (budget + 1)
+    pick: list[set[str]] = [set() for _ in range(budget + 1)]
+    for item, weight in viable:
+        for w in range(budget, weight - 1, -1):
+            candidate = best[w - weight] + item.profit
+            if candidate > best[w]:
+                best[w] = candidate
+                pick[w] = pick[w - weight] | {item.key}
+    w_best = max(range(budget + 1), key=lambda w: best[w])
+    return KnapsackSolution(tuple(sorted(pick[w_best])), best[w_best])
+
+
+def solve_exhaustive(
+    items: list[KnapsackItem], capacity: ResourceVector
+) -> KnapsackSolution:
+    """Exact multi-dimensional solver by subset enumeration (<= 20 items)."""
+    if len(items) > 20:
+        raise ValueError("exhaustive solver limited to 20 items")
+    best_profit = 0.0
+    best_chosen: tuple[str, ...] = ()
+    n = len(items)
+    for mask in range(1 << n):
+        subset = [items[i] for i in range(n) if mask >> i & 1]
+        profit = sum(i.profit for i in subset)
+        if profit > best_profit and _fits(subset, capacity):
+            best_profit = profit
+            best_chosen = tuple(sorted(i.key for i in subset))
+    return KnapsackSolution(best_chosen, best_profit)

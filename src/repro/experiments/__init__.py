@@ -1,0 +1,89 @@
+"""Experiment harness: one module per paper table/figure.
+
+==========  ==========================================================
+module      regenerates
+==========  ==========================================================
+table1      Table I — failure distribution per phase
+fig7        Fig. 7 — per-phase runtime vs application size
+fig89       Figs. 8/9 — hops & fragmentation vs sequence position
+fig10       Fig. 10 — beamforming admission map + case-study timing
+==========  ==========================================================
+"""
+
+from repro.experiments.fig7 import Fig7Result, format_fig7, run_fig7
+from repro.experiments.fig10 import (
+    PAPER_CASE_STUDY_MS,
+    Fig10Result,
+    case_study_timing,
+    format_fig10,
+    run_fig10,
+)
+from repro.experiments.fig89 import (
+    Fig89Result,
+    ObjectiveSeries,
+    format_fig8,
+    format_fig9,
+    run_fig89,
+)
+from repro.experiments.harness import (
+    PAPER_APPS,
+    PAPER_POSITIONS,
+    PAPER_SEQUENCES,
+    SMOKE,
+    HarnessScale,
+    PreparedDataset,
+    default_platform,
+    prepare_all_datasets,
+    prepare_dataset,
+    run_dataset_sequences,
+    run_sequence,
+)
+from repro.experiments.workload import (
+    WorkloadConfig,
+    WorkloadStats,
+    run_workload,
+    saturation_point,
+)
+from repro.experiments.table1 import (
+    PAPER_TABLE1,
+    Table1Result,
+    Table1Row,
+    format_table1,
+    run_table1,
+)
+
+__all__ = [
+    "Fig10Result",
+    "Fig7Result",
+    "Fig89Result",
+    "HarnessScale",
+    "ObjectiveSeries",
+    "PAPER_APPS",
+    "PAPER_CASE_STUDY_MS",
+    "PAPER_POSITIONS",
+    "PAPER_SEQUENCES",
+    "PAPER_TABLE1",
+    "PreparedDataset",
+    "SMOKE",
+    "Table1Result",
+    "Table1Row",
+    "WorkloadConfig",
+    "WorkloadStats",
+    "case_study_timing",
+    "default_platform",
+    "format_fig10",
+    "format_fig7",
+    "format_fig8",
+    "format_fig9",
+    "format_table1",
+    "prepare_all_datasets",
+    "prepare_dataset",
+    "run_dataset_sequences",
+    "run_fig10",
+    "run_fig7",
+    "run_fig89",
+    "run_sequence",
+    "run_table1",
+    "run_workload",
+    "saturation_point",
+]

@@ -1,0 +1,101 @@
+"""Experiment E2 — Fig. 7: Kairos runtime per phase vs application size.
+
+"For successful resource allocation attempts, the average execution
+time of each phase in the resource manager is plotted in Fig. 7.
+This approach scales quite well for realistic application sizes,
+except for the validation phase."
+
+We reproduce the measurement protocol: run the sequence benchmark with
+validation in *report* mode (so its time is measured but never causes
+rejection), keep only successful attempts, and average the per-phase
+wall-clock milliseconds bucketed by the application's task count
+(3..16).  Absolute numbers are host-Python, not 200 MHz-ARM; the
+claims under test are the *shapes*: binding/mapping/routing grow
+gently, validation grows fastest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.datasets import ALL_SPECS
+from repro.arch.topology import Platform
+from repro.core.cost import BOTH, CostWeights
+from repro.experiments.harness import (
+    HarnessScale,
+    default_platform,
+    prepare_dataset,
+    run_dataset_sequences,
+)
+from repro.experiments.reporting import ascii_table
+from repro.manager.layout import Phase
+from repro.manager.metrics import timings_by_task_count
+
+#: Fig. 7's x-axis
+TASK_RANGE = range(3, 17)
+
+
+@dataclass
+class Fig7Result:
+    #: task count -> phase name -> mean milliseconds
+    series: dict[int, dict[str, float]]
+    scale: HarnessScale
+
+    def phase_series(self, phase: Phase) -> list[tuple[int, float]]:
+        return [
+            (tasks, values[phase.value])
+            for tasks, values in sorted(self.series.items())
+        ]
+
+    def slowest_phase_at(self, tasks: int) -> str:
+        values = self.series[tasks]
+        return max(values, key=values.get)
+
+
+def run_fig7(
+    scale: HarnessScale = HarnessScale(),
+    seed: int = 0,
+    platform: Platform | None = None,
+    weights: CostWeights = BOTH,
+) -> Fig7Result:
+    """Measure per-phase runtimes across all six datasets."""
+    platform = platform or default_platform()
+    recorders = []
+    for spec in ALL_SPECS:
+        prepared = prepare_dataset(
+            spec, applications=scale.applications, seed=seed,
+            platform=platform, weights=weights,
+        )
+        recorders.extend(
+            run_dataset_sequences(
+                prepared, weights, sequences=scale.sequences, seed=seed,
+                platform=platform, validation_mode="report",
+            )
+        )
+    series = timings_by_task_count(recorders)
+    return Fig7Result(series=series, scale=scale)
+
+
+def format_fig7(result: Fig7Result) -> str:
+    headers = ["#tasks"] + [phase.value for phase in Phase] + ["total"]
+    rows = []
+    for tasks in sorted(result.series):
+        values = result.series[tasks]
+        per_phase = [values[phase.value] for phase in Phase]
+        rows.append([tasks] + per_phase + [sum(per_phase)])
+    return ascii_table(
+        headers, rows,
+        title=(
+            "Fig. 7 (measured): mean per-phase runtime in ms by "
+            "application size (successful attempts)"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    scale = HarnessScale.from_environment()
+    print(format_fig7(run_fig7(scale)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,174 @@
+"""Experiments E3/E4 — Figs. 8 and 9: sequence-position series per
+mapping objective.
+
+Fig. 8: "the allocated number of hops per communication channel"
+against the position in the application sequence, for the four cost
+configurations None / Communication / Fragmentation / Both, with the
+mapping success rate overlaid.
+
+Fig. 9: "the external resource fragmentation of the elements in the
+platform, in relation to the progression of the application
+sequence", same four configurations, "averaged over all datasets".
+
+Both figures share one measurement run (they are two projections of
+the same records), so this module computes them together; the
+``fig8``/``fig9`` wrappers expose the individual views the benchmark
+suite regenerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.datasets import ALL_SPECS
+from repro.arch.topology import Platform
+from repro.core.cost import NAMED_WEIGHTS
+from repro.experiments.harness import (
+    HarnessScale,
+    default_platform,
+    prepare_dataset,
+    run_dataset_sequences,
+)
+from repro.experiments.reporting import series_block
+from repro.manager.metrics import PositionSummary, summarize_positions
+
+
+@dataclass
+class ObjectiveSeries:
+    """Per-position aggregates for one cost configuration."""
+
+    objective: str
+    summaries: list[PositionSummary] = field(default_factory=list)
+
+    def positions(self) -> list[int]:
+        return [s.position for s in self.summaries]
+
+    def success_rate(self) -> list[float]:
+        return [s.success_rate for s in self.summaries]
+
+    def hops(self) -> list[float | None]:
+        return [s.mean_hops for s in self.summaries]
+
+    def fragmentation(self) -> list[float]:
+        return [s.mean_fragmentation for s in self.summaries]
+
+    def final_fragmentation(self) -> float:
+        return self.summaries[-1].mean_fragmentation if self.summaries else 0.0
+
+    def final_success_rate(self) -> float:
+        return self.summaries[-1].success_rate if self.summaries else 0.0
+
+
+@dataclass
+class Fig89Result:
+    series: dict[str, ObjectiveSeries]
+    scale: HarnessScale
+
+    def objective(self, name: str) -> ObjectiveSeries:
+        return self.series[name]
+
+
+def run_fig89(
+    scale: HarnessScale = HarnessScale(),
+    seed: int = 0,
+    platform: Platform | None = None,
+    objectives: dict | None = None,
+) -> Fig89Result:
+    """Run the shared Figs. 8/9 measurement over all datasets.
+
+    For every objective, the full 30-sequence protocol is run on every
+    dataset; positions are aggregated across datasets and sequences,
+    matching "averaged over all datasets".
+    """
+    platform = platform or default_platform()
+    objectives = objectives or NAMED_WEIGHTS
+    result = Fig89Result(series={}, scale=scale)
+    prepared = [
+        prepare_dataset(
+            spec, applications=scale.applications, seed=seed,
+            platform=platform,
+        )
+        for spec in ALL_SPECS
+    ]
+    for name, weights in objectives.items():
+        recorders = []
+        for dataset in prepared:
+            recorders.extend(
+                run_dataset_sequences(
+                    dataset, weights, sequences=scale.sequences, seed=seed,
+                    platform=platform, validation_mode="skip",
+                    positions=scale.positions,
+                )
+            )
+        result.series[name] = ObjectiveSeries(
+            objective=name,
+            summaries=summarize_positions(recorders, scale.positions),
+        )
+    return result
+
+
+def format_fig8(result: Fig89Result) -> str:
+    """Fig. 8 view: hops per channel + success rate per objective."""
+    blocks = [
+        "Fig. 8 (measured): average communication resources allocated "
+        "per channel"
+    ]
+    for name, series in result.series.items():
+        blocks.append(
+            series_block(
+                f"{name}: hops/channel",
+                series.positions(),
+                series.hops(),
+                x_label="position",
+                y_label="hops",
+            )
+        )
+        blocks.append(
+            series_block(
+                f"{name}: success rate %",
+                series.positions(),
+                series.success_rate(),
+                x_label="position",
+                y_label="rate",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def format_fig9(result: Fig89Result) -> str:
+    """Fig. 9 view: external fragmentation + success rate per objective."""
+    blocks = [
+        "Fig. 9 (measured): external fragmentation of platform resources"
+    ]
+    for name, series in result.series.items():
+        blocks.append(
+            series_block(
+                f"{name}: fragmentation %",
+                series.positions(),
+                series.fragmentation(),
+                x_label="position",
+                y_label="frag",
+            )
+        )
+        blocks.append(
+            series_block(
+                f"{name}: success rate %",
+                series.positions(),
+                series.success_rate(),
+                x_label="position",
+                y_label="rate",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    scale = HarnessScale.from_environment()
+    result = run_fig89(scale)
+    print(format_fig8(result))
+    print()
+    print(format_fig9(result))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,186 @@
+"""The sequence-benchmark harness of the paper's evaluation protocol.
+
+Section IV: each dataset initially contains 100 applications; those
+that "cannot be mapped to an empty platform" are filtered out.  "For
+each dataset, we generate 30 random sequences of the remaining
+applications.  We benchmark the platform with each dataset, by
+sequentially adding the applications to the platform.  Between
+sequences the platform is emptied."
+
+The harness is deterministic: dataset content, filtering, and the 30
+shuffles all derive from explicit seeds.  Scale knobs (applications
+per dataset, number of sequences) default to paper values but can be
+reduced for quick runs; the benchmark suite honours the environment
+variables ``REPRO_APPS``, ``REPRO_SEQUENCES`` and ``REPRO_POSITIONS``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+
+from repro.apps.datasets import ALL_SPECS, DatasetSpec, make_dataset
+from repro.apps.taskgraph import Application
+from repro.arch.builders import crisp
+from repro.arch.topology import Platform
+from repro.core.cost import BOTH, CostWeights
+from repro.manager.kairos import Kairos
+from repro.manager.layout import AllocationFailure
+from repro.manager.metrics import SequenceRecorder
+
+#: paper-scale defaults
+PAPER_APPS = 100
+PAPER_SEQUENCES = 30
+PAPER_POSITIONS = 29  # Figs. 8/9 plot positions 1..29
+
+
+@dataclass(frozen=True)
+class HarnessScale:
+    """How big to run: paper scale by default, smaller for smoke runs."""
+
+    applications: int = PAPER_APPS
+    sequences: int = PAPER_SEQUENCES
+    positions: int = PAPER_POSITIONS
+
+    @classmethod
+    def from_environment(cls, default: "HarnessScale | None" = None) -> "HarnessScale":
+        base = default or cls()
+        return cls(
+            applications=int(os.environ.get("REPRO_APPS", base.applications)),
+            sequences=int(os.environ.get("REPRO_SEQUENCES", base.sequences)),
+            positions=int(os.environ.get("REPRO_POSITIONS", base.positions)),
+        )
+
+
+#: a fast scale for unit tests and default benchmark runs
+SMOKE = HarnessScale(applications=30, sequences=5, positions=20)
+
+
+@dataclass
+class PreparedDataset:
+    """A dataset after the empty-platform filter."""
+
+    spec: DatasetSpec
+    generated: int
+    applications: list[Application] = field(default_factory=list)
+
+    @property
+    def surviving(self) -> int:
+        return len(self.applications)
+
+
+#: element—router links are provisioned 4x wider than NoC links (a
+#: network interface is not the bottleneck); see EXPERIMENTS.md for the
+#: calibration rationale.
+EXPERIMENT_ENDPOINT_BANDWIDTH = 400.0
+
+
+def default_platform() -> Platform:
+    """The platform of record for all experiments: CRISP."""
+    return crisp(endpoint_bandwidth=EXPERIMENT_ENDPOINT_BANDWIDTH)
+
+
+def prepare_dataset(
+    spec: DatasetSpec,
+    applications: int = PAPER_APPS,
+    seed: int = 0,
+    platform: Platform | None = None,
+    weights: CostWeights = BOTH,
+) -> PreparedDataset:
+    """Generate and filter one dataset (the Table I ``#App`` column).
+
+    An application survives when a full allocation attempt (binding,
+    mapping, routing; validation in report mode) succeeds on an empty
+    platform with the given cost weights.
+    """
+    platform = platform or default_platform()
+    generated = make_dataset(spec, count=applications, seed=seed)
+    survivors = []
+    manager = Kairos(platform, weights=weights, validation_mode="skip")
+    for app in generated:
+        try:
+            layout = manager.allocate(app)
+        except AllocationFailure:
+            continue
+        manager.release(layout.app_id)
+        survivors.append(app)
+    return PreparedDataset(spec=spec, generated=len(generated),
+                           applications=survivors)
+
+
+def prepare_all_datasets(
+    applications: int = PAPER_APPS,
+    seed: int = 0,
+    platform: Platform | None = None,
+) -> dict[str, PreparedDataset]:
+    platform = platform or default_platform()
+    return {
+        spec.name: prepare_dataset(spec, applications, seed, platform)
+        for spec in ALL_SPECS
+    }
+
+
+def run_sequence(
+    applications: list[Application],
+    weights: CostWeights,
+    platform: Platform | None = None,
+    validation_mode: str = "skip",
+    positions: int | None = None,
+) -> SequenceRecorder:
+    """Admit ``applications`` in order onto an empty platform.
+
+    Applications are *not* released — "relatively early in the
+    sequence, most platform resources are allocated, resulting in
+    rejection of the remaining applications."  Returns the attempt
+    records (admission, failing phase, hops, fragmentation, timings).
+    """
+    platform = platform or default_platform()
+    manager = Kairos(platform, weights=weights, validation_mode=validation_mode)
+    recorder = SequenceRecorder()
+    limit = positions if positions is not None else len(applications)
+    for position, app in enumerate(applications[:limit], start=1):
+        try:
+            layout = manager.allocate(app, f"pos{position}")
+        except AllocationFailure as failure:
+            recorder.record_failure(
+                position=position,
+                app_name=app.name,
+                phase=failure.phase,
+                fragmentation=manager.external_fragmentation(),
+                tasks=len(app),
+            )
+        else:
+            recorder.record_success(
+                position=position,
+                layout=layout,
+                fragmentation=manager.external_fragmentation(),
+                tasks=len(app),
+            )
+    return recorder
+
+
+def run_dataset_sequences(
+    prepared: PreparedDataset,
+    weights: CostWeights,
+    sequences: int = PAPER_SEQUENCES,
+    seed: int = 0,
+    platform: Platform | None = None,
+    validation_mode: str = "skip",
+    positions: int | None = None,
+) -> list[SequenceRecorder]:
+    """The paper's 30-random-sequence protocol for one dataset.
+
+    Shuffle orders derive from ``seed`` and the sequence index only,
+    so runs are reproducible and independent of dataset size.
+    """
+    platform = platform or default_platform()
+    recorders = []
+    for index in range(sequences):
+        rng = random.Random((seed * 1_000_003 + index) & 0x7FFFFFFF)
+        order = list(prepared.applications)
+        rng.shuffle(order)
+        recorders.append(
+            run_sequence(order, weights, platform, validation_mode, positions)
+        )
+    return recorders

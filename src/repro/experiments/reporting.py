@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment outputs.
+
+Every experiment prints the same rows/series the paper's tables and
+figures report, as aligned ASCII — suitable for terminals, CI logs and
+EXPERIMENTS.md diffs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned, pipe-separated table."""
+    rendered = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def series_block(
+    name: str,
+    xs: Sequence,
+    ys: Sequence,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one figure series as two aligned rows."""
+    cells_x = [format_cell(x) for x in xs]
+    cells_y = [format_cell(y) for y in ys]
+    widths = [max(len(a), len(b)) for a, b in zip(cells_x, cells_y)]
+    line_x = "  ".join(c.rjust(w) for c, w in zip(cells_x, widths))
+    line_y = "  ".join(c.rjust(w) for c, w in zip(cells_y, widths))
+    label_width = max(len(x_label), len(y_label))
+    return (
+        f"[{name}]\n"
+        f"{x_label.ljust(label_width)}  {line_x}\n"
+        f"{y_label.ljust(label_width)}  {line_y}"
+    )
+
+
+def admission_matrix(
+    comm_weights: Sequence[float],
+    frag_weights: Sequence[float],
+    admitted: dict[tuple[float, float], bool],
+    mark: str = "#",
+    miss: str = ".",
+) -> str:
+    """Render the Fig. 10 admission map (frag weight rows, descending)."""
+    lines = ["fragmentation weight rows (top = max), communication weight cols"]
+    for frag in sorted(frag_weights, reverse=True):
+        cells = "".join(
+            mark if admitted.get((comm, frag)) else miss
+            for comm in comm_weights
+        )
+        lines.append(f"{frag:>7g} | {cells}")
+    footer_marks = " ".join(f"{c:g}" for c in comm_weights)
+    lines.append(f"{'':>7} +-{'-' * len(comm_weights)}")
+    lines.append(f"{'':>9}comm: {footer_marks}")
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Experiment E1 — Table I: dataset characteristics and failure
+distribution per phase.
+
+"Tab. I shows the six datasets, each initially containing 100
+applications ... Tab. I shows per phase the percentage of rejected
+applications as a function of all failing applications in a dataset."
+
+The paper's expectation (its central Table I observation): "a lack of
+communication resources generally causes the rejection of a
+communication oriented application.  Computation intensive
+applications are mostly rejected in the binding phase.  In the dataset
+with large, computation intensive applications, the communication
+resource requirements also become significant, resulting in more
+failures in the routing phase."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.datasets import ALL_SPECS, DatasetSpec
+from repro.arch.topology import Platform
+from repro.core.cost import BOTH, CostWeights
+from repro.experiments.harness import (
+    HarnessScale,
+    default_platform,
+    prepare_dataset,
+    run_dataset_sequences,
+)
+from repro.experiments.reporting import ascii_table
+from repro.manager.layout import Phase
+from repro.manager.metrics import failure_distribution
+
+#: the paper's Table I, for side-by-side reporting in EXPERIMENTS.md
+PAPER_TABLE1 = {
+    "communication_small": {"apps": 97, "binding": 0.65, "mapping": 0.40, "routing": 98.95},
+    "communication_medium": {"apps": 57, "binding": 13.50, "mapping": 1.82, "routing": 84.68},
+    "communication_large": {"apps": 22, "binding": 3.45, "mapping": 0.00, "routing": 96.55},
+    "computation_small": {"apps": 99, "binding": 95.34, "mapping": 0.02, "routing": 4.66},
+    "computation_medium": {"apps": 94, "binding": 87.26, "mapping": 0.02, "routing": 12.72},
+    "computation_large": {"apps": 96, "binding": 61.64, "mapping": 0.31, "routing": 38.05},
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    dataset: str
+    label: str
+    surviving_apps: int
+    binding_pct: float
+    mapping_pct: float
+    routing_pct: float
+
+    def dominant_phase(self) -> str:
+        values = {
+            "binding": self.binding_pct,
+            "mapping": self.mapping_pct,
+            "routing": self.routing_pct,
+        }
+        return max(values, key=values.get)
+
+
+@dataclass
+class Table1Result:
+    rows: list[Table1Row]
+    scale: HarnessScale
+
+    def row(self, dataset: str) -> Table1Row:
+        for row in self.rows:
+            if row.dataset == dataset:
+                return row
+        raise KeyError(dataset)
+
+
+def run_table1(
+    scale: HarnessScale = HarnessScale(),
+    seed: int = 0,
+    platform: Platform | None = None,
+    weights: CostWeights = BOTH,
+) -> Table1Result:
+    """Run the Table I protocol on all six datasets."""
+    platform = platform or default_platform()
+    rows = []
+    for spec in ALL_SPECS:
+        rows.append(
+            _run_one(spec, scale, seed, platform, weights)
+        )
+    return Table1Result(rows=rows, scale=scale)
+
+
+def _run_one(
+    spec: DatasetSpec,
+    scale: HarnessScale,
+    seed: int,
+    platform: Platform,
+    weights: CostWeights,
+) -> Table1Row:
+    prepared = prepare_dataset(
+        spec, applications=scale.applications, seed=seed, platform=platform,
+        weights=weights,
+    )
+    recorders = run_dataset_sequences(
+        prepared, weights, sequences=scale.sequences, seed=seed,
+        platform=platform, validation_mode="skip",
+    )
+    distribution = failure_distribution(recorders)
+    return Table1Row(
+        dataset=spec.name,
+        label=spec.label,
+        surviving_apps=prepared.surviving,
+        binding_pct=distribution[Phase.BINDING],
+        mapping_pct=distribution[Phase.MAPPING],
+        routing_pct=distribution[Phase.ROUTING],
+    )
+
+
+def format_table1(result: Table1Result, include_paper: bool = True) -> str:
+    """Render measured (and optionally paper) Table I rows."""
+    headers = ["Dataset", "#App", "Binding %", "Mapping %", "Routing %"]
+    rows = [
+        (
+            row.label,
+            row.surviving_apps,
+            row.binding_pct,
+            row.mapping_pct,
+            row.routing_pct,
+        )
+        for row in result.rows
+    ]
+    text = ascii_table(
+        headers, rows,
+        title="Table I (measured): failure distribution per phase",
+    )
+    if include_paper:
+        paper_rows = [
+            (
+                spec.label,
+                PAPER_TABLE1[spec.name]["apps"],
+                PAPER_TABLE1[spec.name]["binding"],
+                PAPER_TABLE1[spec.name]["mapping"],
+                PAPER_TABLE1[spec.name]["routing"],
+            )
+            for spec in ALL_SPECS
+        ]
+        text += "\n\n" + ascii_table(
+            headers, paper_rows,
+            title="Table I (paper, for reference)",
+        )
+    return text
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    scale = HarnessScale.from_environment()
+    result = run_table1(scale)
+    print(format_table1(result))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,23 @@
+"""Serialization: the Kairos binary application format."""
+
+from repro.io.binfmt import (
+    MAGIC,
+    VERSION,
+    BinaryFormatError,
+    load_application,
+    pack_application,
+    save_application,
+    sniff,
+    unpack_application,
+)
+
+__all__ = [
+    "BinaryFormatError",
+    "MAGIC",
+    "VERSION",
+    "load_application",
+    "pack_application",
+    "save_application",
+    "sniff",
+    "unpack_application",
+]

@@ -1,0 +1,317 @@
+"""Binary application format (paper Section III-E).
+
+"We specified a binary format for applications, that allows
+integration of the task graph, specification, and task
+implementations.  As Linux supports multiple binary formats for
+executables, a new binary handler can distinguish MPSoC applications
+from operating system tools."
+
+This module reproduces that workflow as a versioned, self-contained
+serialization of an :class:`~repro.apps.taskgraph.Application`:
+magic + version header, a deduplicating string table, then tasks (with
+all their implementations), channels and performance constraints.
+``unpack_application(pack_application(app))`` round-trips exactly; the
+format is stable across interpreter runs (no pickling).
+
+Layout (all integers little-endian):
+
+======  =====================================================
+offset  content
+======  =====================================================
+0       magic ``b"KAIR"``
+4       u16 version (currently 1)
+6       u16 flags (reserved, 0)
+8       string table: u32 count, then per string u16 length + UTF-8
+...     application body (indices into the string table)
+======  =====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.apps.constraints import (
+    LatencyConstraint,
+    PerformanceConstraint,
+    ThroughputConstraint,
+)
+from repro.apps.implementations import Implementation
+from repro.apps.taskgraph import Application, Channel, Task
+from repro.arch.elements import ElementType
+from repro.arch.resources import ResourceVector
+
+MAGIC = b"KAIR"
+VERSION = 1
+#: sentinel string index meaning "absent"
+NO_STRING = 0xFFFFFFFF
+
+
+class BinaryFormatError(ValueError):
+    """Raised on malformed, truncated or unsupported binaries."""
+
+
+# ---------------------------------------------------------------------------
+# low-level cursor
+# ---------------------------------------------------------------------------
+
+class _Writer:
+    def __init__(self) -> None:
+        self.chunks: list[bytes] = []
+        self.strings: list[str] = []
+        self._string_index: dict[str, int] = {}
+
+    def intern(self, text: str) -> int:
+        index = self._string_index.get(text)
+        if index is None:
+            index = len(self.strings)
+            self.strings.append(text)
+            self._string_index[text] = index
+        return index
+
+    def pack(self, fmt: str, *values) -> None:
+        self.chunks.append(struct.pack("<" + fmt, *values))
+
+    def body(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+class _Reader:
+    def __init__(self, data: bytes, offset: int = 0):
+        self.data = data
+        self.offset = offset
+        self.strings: list[str] = []
+
+    def unpack(self, fmt: str):
+        fmt = "<" + fmt
+        size = struct.calcsize(fmt)
+        if self.offset + size > len(self.data):
+            raise BinaryFormatError(
+                f"truncated binary: need {size} bytes at offset {self.offset}"
+            )
+        values = struct.unpack_from(fmt, self.data, self.offset)
+        self.offset += size
+        return values if len(values) > 1 else values[0]
+
+    def read_bytes(self, size: int) -> bytes:
+        if self.offset + size > len(self.data):
+            raise BinaryFormatError(
+                f"truncated binary: need {size} bytes at offset {self.offset}"
+            )
+        chunk = self.data[self.offset:self.offset + size]
+        self.offset += size
+        return chunk
+
+    def string(self, index: int) -> str:
+        if index == NO_STRING:
+            raise BinaryFormatError("unexpected absent-string sentinel")
+        try:
+            return self.strings[index]
+        except IndexError:
+            raise BinaryFormatError(
+                f"string index {index} out of range ({len(self.strings)})"
+            ) from None
+
+
+# ---------------------------------------------------------------------------
+# packing
+# ---------------------------------------------------------------------------
+
+def pack_application(app: Application) -> bytes:
+    """Serialize an application specification to bytes."""
+    writer = _Writer()
+    writer.pack("I", writer.intern(app.name))
+
+    writer.pack("I", len(app.tasks))
+    for task_name in sorted(app.tasks):
+        task = app.tasks[task_name]
+        writer.pack("I", writer.intern(task.name))
+        writer.pack("I", writer.intern(task.role))
+        writer.pack("H", len(task.implementations))
+        for impl in task.implementations:
+            _pack_implementation(writer, impl)
+
+    writer.pack("I", len(app.channels))
+    for channel_name in sorted(app.channels):
+        channel = app.channels[channel_name]
+        writer.pack("I", writer.intern(channel.name))
+        writer.pack("I", writer.intern(channel.source))
+        writer.pack("I", writer.intern(channel.target))
+        writer.pack("d", channel.bandwidth)
+        writer.pack("I", channel.tokens_per_firing)
+        writer.pack("I", channel.initial_tokens)
+
+    writer.pack("I", len(app.constraints))
+    for constraint in app.constraints:
+        _pack_constraint(writer, constraint)
+
+    # assemble: header, string table, body
+    parts = [MAGIC, struct.pack("<HH", VERSION, 0)]
+    parts.append(struct.pack("<I", len(writer.strings)))
+    for text in writer.strings:
+        encoded = text.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise BinaryFormatError(f"string too long: {text[:40]!r}...")
+        parts.append(struct.pack("<H", len(encoded)))
+        parts.append(encoded)
+    parts.append(writer.body())
+    return b"".join(parts)
+
+
+def _pack_implementation(writer: _Writer, impl: Implementation) -> None:
+    writer.pack("I", writer.intern(impl.name))
+    writer.pack("d", impl.execution_time)
+    writer.pack("d", impl.cost)
+    if impl.target_element is not None:
+        writer.pack("B", 1)
+        writer.pack("I", writer.intern(impl.target_element))
+    else:
+        writer.pack("B", 0)
+        writer.pack("I", writer.intern(impl.target_kind.value))
+    writer.pack("H", len(impl.requirement))
+    for kind in sorted(impl.requirement):
+        writer.pack("I", writer.intern(kind))
+        writer.pack("d", float(impl.requirement[kind]))
+
+
+def _pack_constraint(writer: _Writer, constraint: PerformanceConstraint) -> None:
+    if isinstance(constraint, ThroughputConstraint):
+        writer.pack("B", 0)
+        writer.pack("d", constraint.min_throughput)
+        if constraint.reference_task is None:
+            writer.pack("I", NO_STRING)
+        else:
+            writer.pack("I", writer.intern(constraint.reference_task))
+    elif isinstance(constraint, LatencyConstraint):
+        writer.pack("B", 1)
+        writer.pack("d", constraint.max_latency)
+        writer.pack("H", len(constraint.path))
+        for task in constraint.path:
+            writer.pack("I", writer.intern(task))
+    else:  # pragma: no cover - closed union
+        raise BinaryFormatError(f"unknown constraint type {constraint!r}")
+
+
+# ---------------------------------------------------------------------------
+# unpacking
+# ---------------------------------------------------------------------------
+
+def unpack_application(data: bytes) -> Application:
+    """Deserialize bytes produced by :func:`pack_application`.
+
+    Raises :class:`BinaryFormatError` on bad magic, unsupported
+    version, truncation or dangling references.
+    """
+    if len(data) < 8:
+        raise BinaryFormatError("binary shorter than the fixed header")
+    if data[:4] != MAGIC:
+        raise BinaryFormatError(
+            f"bad magic {data[:4]!r}; not a Kairos application binary"
+        )
+    version, _flags = struct.unpack_from("<HH", data, 4)
+    if version != VERSION:
+        raise BinaryFormatError(
+            f"unsupported format version {version} (expected {VERSION})"
+        )
+    reader = _Reader(data, offset=8)
+
+    string_count = reader.unpack("I")
+    for _ in range(string_count):
+        length = reader.unpack("H")
+        chunk = reader.read_bytes(length)
+        try:
+            reader.strings.append(chunk.decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise BinaryFormatError(f"invalid UTF-8 in string table: {exc}") from exc
+
+    app = Application(reader.string(reader.unpack("I")))
+
+    task_count = reader.unpack("I")
+    for _ in range(task_count):
+        name = reader.string(reader.unpack("I"))
+        role = reader.string(reader.unpack("I"))
+        impl_count = reader.unpack("H")
+        implementations = tuple(
+            _unpack_implementation(reader) for _ in range(impl_count)
+        )
+        app.add_task(Task(name, implementations, role=role))
+
+    channel_count = reader.unpack("I")
+    for _ in range(channel_count):
+        name = reader.string(reader.unpack("I"))
+        source = reader.string(reader.unpack("I"))
+        target = reader.string(reader.unpack("I"))
+        bandwidth = reader.unpack("d")
+        tokens = reader.unpack("I")
+        initial = reader.unpack("I")
+        app.add_channel(
+            Channel(name, source, target, bandwidth, tokens, initial)
+        )
+
+    constraint_count = reader.unpack("I")
+    for _ in range(constraint_count):
+        app.add_constraint(_unpack_constraint(reader))
+
+    return app
+
+
+def _unpack_implementation(reader: _Reader) -> Implementation:
+    name = reader.string(reader.unpack("I"))
+    execution_time = reader.unpack("d")
+    cost = reader.unpack("d")
+    pinned = reader.unpack("B")
+    target = reader.string(reader.unpack("I"))
+    kinds = reader.unpack("H")
+    requirement: dict[str, float] = {}
+    for _ in range(kinds):
+        kind = reader.string(reader.unpack("I"))
+        value = reader.unpack("d")
+        requirement[kind] = int(value) if value == int(value) else value
+    common = dict(
+        name=name,
+        requirement=ResourceVector(requirement),
+        execution_time=execution_time,
+        cost=cost,
+    )
+    if pinned == 1:
+        return Implementation(target_element=target, **common)
+    if pinned == 0:
+        try:
+            kind = ElementType(target)
+        except ValueError as exc:
+            raise BinaryFormatError(f"unknown element type {target!r}") from exc
+        return Implementation(target_kind=kind, **common)
+    raise BinaryFormatError(f"bad implementation target mode {pinned}")
+
+
+def _unpack_constraint(reader: _Reader) -> PerformanceConstraint:
+    mode = reader.unpack("B")
+    if mode == 0:
+        minimum = reader.unpack("d")
+        index = reader.unpack("I")
+        reference = None if index == NO_STRING else reader.string(index)
+        return ThroughputConstraint(minimum, reference)
+    if mode == 1:
+        maximum = reader.unpack("d")
+        length = reader.unpack("H")
+        path = tuple(reader.string(reader.unpack("I")) for _ in range(length))
+        return LatencyConstraint(maximum, path)
+    raise BinaryFormatError(f"bad constraint type tag {mode}")
+
+
+# ---------------------------------------------------------------------------
+# file helpers (the "binary handler" façade)
+# ---------------------------------------------------------------------------
+
+def save_application(app: Application, path) -> None:
+    with open(path, "wb") as handle:
+        handle.write(pack_application(app))
+
+
+def load_application(path) -> Application:
+    with open(path, "rb") as handle:
+        return unpack_application(handle.read())
+
+
+def sniff(data: bytes) -> bool:
+    """The binary handler's dispatch test: is this a Kairos binary?"""
+    return len(data) >= 4 and data[:4] == MAGIC

@@ -1,0 +1,276 @@
+"""Kairos: the run-time resource manager (paper Section III-E).
+
+"A prototype resource manager named 'Kairos' has been developed,
+containing the work-flow of Fig. 1."  An allocation attempt runs the
+four phases in order — binding, mapping, routing, validation — each
+timed separately (Fig. 7 plots exactly these per-phase times), and is
+atomic: any phase failure rolls the allocation state back and raises
+:class:`AllocationFailure` tagged with the failing phase (Table I's
+unit of account).
+
+The manager also provides release (applications leaving the system)
+and fault recovery (re-allocating applications stranded by element or
+link failures), the run-time capabilities motivating the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.apps.taskgraph import Application, TaskGraphError
+from repro.arch.state import AllocationState
+from repro.arch.topology import Platform
+from repro.binding.binder import BindingError, bind
+from repro.core.cost import BOTH, CostWeights, MappingCost
+from repro.core.mapping import MappingError, MappingOptions, map_application
+from repro.manager.layout import (
+    AllocationFailure,
+    ExecutionLayout,
+    Phase,
+    PhaseTimings,
+)
+from repro.routing.router import BaseRouter, BfsRouter, RoutingError
+from repro.validation.builder import SdfModelOptions
+from repro.validation.validator import validate_layout
+
+#: validation policy names (see module docstring of validator)
+VALIDATION_MODES = ("enforce", "report", "skip")
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of a fault-recovery pass."""
+
+    stranded: tuple[str, ...] = ()
+    recovered: dict[str, ExecutionLayout] = field(default_factory=dict)
+    lost: dict[str, str] = field(default_factory=dict)  #: app_id -> reason
+
+
+class Kairos:
+    """Four-phase run-time spatial resource manager.
+
+    Parameters
+    ----------
+    platform:
+        The frozen platform to manage.
+    weights:
+        Mapping cost weights, a ready :class:`MappingCost`, or any
+        custom cost callable with the same signature (e.g. a
+        :class:`~repro.core.objectives.CompositeCost`) — "any cost
+        function that can be defined for a platform" (Section II).
+    mapping_options, router, sdf_options:
+        Phase tunables; defaults follow the paper (BFS routing, one
+        extra search ring, time-sharing SDF model).
+    validation_mode:
+        ``"enforce"`` rejects constraint violations, ``"report"``
+        computes throughput but never rejects (the Table I protocol),
+        ``"skip"`` omits the phase entirely.
+    validation_method:
+        ``"simulation"`` (exact state-space exploration, the paper's
+        approach) or ``"analytical"`` (maximum cycle ratio — the
+        future-work scheme of Section V, much faster).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        weights: CostWeights | MappingCost = BOTH,
+        mapping_options: MappingOptions = MappingOptions(),
+        router: BaseRouter | None = None,
+        sdf_options: SdfModelOptions = SdfModelOptions(),
+        validation_mode: str = "report",
+        validation_max_firings: int | None = None,
+        validation_method: str = "simulation",
+    ) -> None:
+        if validation_mode not in VALIDATION_MODES:
+            raise ValueError(
+                f"validation_mode must be one of {VALIDATION_MODES}, "
+                f"got {validation_mode!r}"
+            )
+        self.platform = platform
+        self.state = AllocationState(platform)
+        if isinstance(weights, CostWeights):
+            self.cost = MappingCost(weights)
+        elif callable(weights):
+            self.cost = weights  # MappingCost, CompositeCost, or custom
+        else:
+            raise TypeError(
+                f"weights must be CostWeights or a cost callable, "
+                f"got {type(weights).__name__}"
+            )
+        self.mapping_options = mapping_options
+        self.router = router or BfsRouter()
+        self.sdf_options = sdf_options
+        self.validation_mode = validation_mode
+        self.validation_max_firings = validation_max_firings
+        self.validation_method = validation_method
+        self.admitted: dict[str, ExecutionLayout] = {}
+        self._counter = itertools.count()
+
+    # -- allocation --------------------------------------------------------
+
+    def allocate(
+        self, app: Application, app_id: str | None = None
+    ) -> ExecutionLayout:
+        """Run one atomic allocation attempt; returns the layout.
+
+        Raises :class:`AllocationFailure` with the failing phase; the
+        allocation state is untouched in that case.
+        """
+        app_id = app_id or f"{app.name}#{next(self._counter)}"
+        if app_id in self.admitted:
+            raise ValueError(f"app_id {app_id!r} already admitted")
+        try:
+            app.validate()
+        except TaskGraphError as exc:
+            raise AllocationFailure(Phase.BINDING, app_id, str(exc)) from exc
+
+        snapshot = self.state.snapshot()
+        timings = PhaseTimings()
+        try:
+            # 1. binding
+            started = time.perf_counter()
+            try:
+                binding = bind(app, self.state)
+            except BindingError as exc:
+                raise AllocationFailure(Phase.BINDING, app_id, str(exc)) from exc
+            finally:
+                timings.record(Phase.BINDING, time.perf_counter() - started)
+
+            # 2. mapping
+            started = time.perf_counter()
+            try:
+                mapping = map_application(
+                    app, binding.choice, self.state,
+                    cost=self.cost, options=self.mapping_options,
+                    app_id=app_id,
+                )
+            except MappingError as exc:
+                raise AllocationFailure(Phase.MAPPING, app_id, str(exc)) from exc
+            finally:
+                timings.record(Phase.MAPPING, time.perf_counter() - started)
+
+            # 3. routing
+            started = time.perf_counter()
+            try:
+                routing = self.router.route_application(
+                    app, mapping.placement, self.state, app_id=app_id
+                )
+            except RoutingError as exc:
+                raise AllocationFailure(Phase.ROUTING, app_id, str(exc)) from exc
+            finally:
+                timings.record(Phase.ROUTING, time.perf_counter() - started)
+
+            # 4. validation
+            report = None
+            if self.validation_mode != "skip":
+                started = time.perf_counter()
+                try:
+                    report = validate_layout(
+                        app, binding.choice, mapping.placement,
+                        routing.routes, self.state,
+                        options=self.sdf_options,
+                        max_firings=self.validation_max_firings,
+                        method=self.validation_method,
+                    )
+                finally:
+                    timings.record(
+                        Phase.VALIDATION, time.perf_counter() - started
+                    )
+                if self.validation_mode == "enforce" and not report.satisfied:
+                    reasons = "; ".join(
+                        f"{c.constraint.describe()} (achieved {c.achieved:g})"
+                        for c in report.violations()
+                    ) or "deadlocked dataflow graph"
+                    raise AllocationFailure(Phase.VALIDATION, app_id, reasons)
+        except AllocationFailure:
+            self.state.restore(snapshot)
+            raise
+
+        layout = ExecutionLayout(
+            app_id=app_id,
+            app_name=app.name,
+            binding=binding.choice,
+            placement=mapping.placement,
+            routes=routing.routes,
+            local_channels=routing.local_channels,
+            mapping=mapping,
+            validation=report,
+            timings=timings,
+        )
+        self.admitted[app_id] = layout
+        return layout
+
+    # -- release -----------------------------------------------------------
+
+    def release(self, app_id: str) -> None:
+        """Free every resource of an admitted application."""
+        if app_id not in self.admitted:
+            raise KeyError(f"unknown app_id {app_id!r}")
+        self.state.release_application(app_id)
+        del self.admitted[app_id]
+
+    def release_all(self) -> None:
+        for app_id in list(self.admitted):
+            self.release(app_id)
+
+    # -- fault recovery -------------------------------------------------------
+
+    def stranded_by_faults(self) -> tuple[str, ...]:
+        """Admitted applications touching failed elements or links."""
+        stranded = set()
+        failed_elements = self.state.failed_elements
+        failed_links = self.state.failed_links
+        for app_id, layout in self.admitted.items():
+            if layout.elements_used & failed_elements:
+                stranded.add(app_id)
+                continue
+            for route in layout.routes.values():
+                touches_fault = any(
+                    node in failed_elements for node in route.path
+                ) or any(
+                    frozenset((a, b)) in failed_links
+                    for a, b in zip(route.path, route.path[1:])
+                )
+                if touches_fault:
+                    stranded.add(app_id)
+                    break
+        return tuple(sorted(stranded))
+
+    def recover(self, applications: dict[str, Application]) -> RecoveryReport:
+        """Re-allocate every stranded application on the degraded platform.
+
+        ``applications`` supplies the original specifications by
+        ``app_id`` (layouts do not retain the full task graph).  Each
+        stranded application is released and re-allocated from
+        scratch; irrecoverable ones are reported in ``lost``.
+        """
+        report = RecoveryReport(stranded=self.stranded_by_faults())
+        for app_id in report.stranded:
+            if app_id not in applications:
+                report.lost[app_id] = "no application specification supplied"
+                self.release(app_id)
+                continue
+            app = applications[app_id]
+            self.release(app_id)
+            try:
+                report.recovered[app_id] = self.allocate(app, app_id)
+            except AllocationFailure as exc:
+                report.lost[app_id] = f"{exc.phase.value}: {exc.reason}"
+        return report
+
+    # -- metrics ----------------------------------------------------------------
+
+    def external_fragmentation(self) -> float:
+        return self.state.external_fragmentation()
+
+    def utilization(self) -> float:
+        return self.state.utilization()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Kairos on {self.platform.name}: {len(self.admitted)} admitted, "
+            f"frag {self.external_fragmentation():.1f}%>"
+        )

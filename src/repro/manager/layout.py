@@ -1,0 +1,115 @@
+"""Execution layouts and the allocation failure taxonomy.
+
+"As a result of these phases, an execution layout defines what
+specific resources are allocated to each task and communication
+channel in the application" (paper Section I).  The layout is the
+contract between the resource manager and the bootstrapping phase.
+
+Failures are classified by phase — the unit of account of Table I
+("failure distribution per phase").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.apps.implementations import Implementation
+from repro.arch.state import ChannelReservation
+from repro.core.mapping import MappingResult
+from repro.validation.validator import ValidationReport
+
+
+class Phase(enum.Enum):
+    """The four run-time phases of Fig. 1 (plus bootstrapping)."""
+
+    BINDING = "binding"
+    MAPPING = "mapping"
+    ROUTING = "routing"
+    VALIDATION = "validation"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class AllocationFailure(RuntimeError):
+    """An allocation attempt was rejected in ``phase``.
+
+    The allocation state has already been rolled back when this is
+    raised by the manager.
+    """
+
+    def __init__(self, phase: Phase, app_id: str, reason: str):
+        super().__init__(f"[{phase.value}] {app_id}: {reason}")
+        self.phase = phase
+        self.app_id = app_id
+        self.reason = reason
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds spent per phase (Fig. 7's quantity)."""
+
+    binding: float = 0.0
+    mapping: float = 0.0
+    routing: float = 0.0
+    validation: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.binding + self.mapping + self.routing + self.validation
+
+    def of(self, phase: Phase) -> float:
+        return getattr(self, phase.value)
+
+    def record(self, phase: Phase, seconds: float) -> None:
+        setattr(self, phase.value, seconds)
+
+    def as_milliseconds(self) -> dict[str, float]:
+        return {
+            phase.value: getattr(self, phase.value) * 1000.0
+            for phase in Phase
+        }
+
+
+@dataclass
+class ExecutionLayout:
+    """Everything the bootstrapper needs to configure the hardware."""
+
+    app_id: str
+    app_name: str
+    binding: dict[str, Implementation]
+    placement: dict[str, str]                   #: task -> element name
+    routes: dict[str, ChannelReservation]       #: channel -> reservation
+    local_channels: tuple[str, ...] = ()
+    mapping: MappingResult | None = None
+    validation: ValidationReport | None = None
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+    @property
+    def elements_used(self) -> frozenset[str]:
+        return frozenset(self.placement.values())
+
+    def hops_per_channel(self) -> float:
+        """Average links allocated per channel (Fig. 8's metric);
+        element-local channels count as zero-hop allocations."""
+        count = len(self.routes) + len(self.local_channels)
+        if count == 0:
+            return 0.0
+        return sum(r.hops for r in self.routes.values()) / count
+
+    def total_hops(self) -> int:
+        return sum(r.hops for r in self.routes.values())
+
+    def describe(self) -> str:
+        lines = [f"execution layout for {self.app_name} ({self.app_id})"]
+        for task in sorted(self.placement):
+            impl = self.binding[task]
+            lines.append(f"  task {task} -> {self.placement[task]} [{impl.name}]")
+        for name, route in sorted(self.routes.items()):
+            lines.append(
+                f"  channel {name}: {' > '.join(route.path)} ({route.hops} hops)"
+            )
+        for name in self.local_channels:
+            lines.append(f"  channel {name}: element-local")
+        return "\n".join(lines)

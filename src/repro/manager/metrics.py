@@ -1,0 +1,173 @@
+"""Metrics of the paper's evaluation: success rate, hops, fragmentation.
+
+Figures 8 and 9 plot, against the *position in the application
+sequence*, the mapping success rate, the average communication
+resources (hops) allocated per channel, and the external resource
+fragmentation of the platform.  :class:`SequenceRecorder` accumulates
+exactly those series over repeated admission sequences, and
+:func:`summarize_positions` aggregates over the 30 random sequences of
+the paper's protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.manager.layout import ExecutionLayout, Phase
+
+
+@dataclass
+class AttemptRecord:
+    """Outcome of one allocation attempt at one sequence position."""
+
+    position: int            #: 1-based position in the sequence
+    app_name: str
+    admitted: bool
+    failed_phase: Phase | None = None
+    hops_per_channel: float | None = None
+    fragmentation_after: float = 0.0
+    timings_ms: dict[str, float] = field(default_factory=dict)
+    tasks: int = 0
+
+
+@dataclass
+class SequenceRecorder:
+    """Collects attempt records for one admission sequence."""
+
+    records: list[AttemptRecord] = field(default_factory=list)
+
+    def record_success(
+        self,
+        position: int,
+        layout: ExecutionLayout,
+        fragmentation: float,
+        tasks: int,
+    ) -> None:
+        self.records.append(
+            AttemptRecord(
+                position=position,
+                app_name=layout.app_name,
+                admitted=True,
+                hops_per_channel=layout.hops_per_channel(),
+                fragmentation_after=fragmentation,
+                timings_ms=layout.timings.as_milliseconds(),
+                tasks=tasks,
+            )
+        )
+
+    def record_failure(
+        self,
+        position: int,
+        app_name: str,
+        phase: Phase,
+        fragmentation: float,
+        tasks: int,
+    ) -> None:
+        self.records.append(
+            AttemptRecord(
+                position=position,
+                app_name=app_name,
+                admitted=False,
+                failed_phase=phase,
+                fragmentation_after=fragmentation,
+                tasks=tasks,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class PositionSummary:
+    """Aggregates of all attempts at one sequence position."""
+
+    position: int
+    attempts: int
+    successes: int
+    mean_hops: float | None
+    mean_fragmentation: float
+
+    @property
+    def success_rate(self) -> float:
+        """Percentage of sequences whose attempt at this position succeeded."""
+        if self.attempts == 0:
+            return 0.0
+        return 100.0 * self.successes / self.attempts
+
+
+def summarize_positions(
+    recorders: list[SequenceRecorder], positions: int
+) -> list[PositionSummary]:
+    """Aggregate many sequences into the per-position series of Figs. 8-9."""
+    summaries = []
+    for position in range(1, positions + 1):
+        at_position = [
+            record
+            for recorder in recorders
+            for record in recorder.records
+            if record.position == position
+        ]
+        successes = [r for r in at_position if r.admitted]
+        hops = [
+            r.hops_per_channel for r in successes
+            if r.hops_per_channel is not None
+        ]
+        fragmentation = [r.fragmentation_after for r in at_position]
+        summaries.append(
+            PositionSummary(
+                position=position,
+                attempts=len(at_position),
+                successes=len(successes),
+                mean_hops=sum(hops) / len(hops) if hops else None,
+                mean_fragmentation=(
+                    sum(fragmentation) / len(fragmentation)
+                    if fragmentation else 0.0
+                ),
+            )
+        )
+    return summaries
+
+
+def failure_distribution(
+    recorders: list[SequenceRecorder],
+) -> dict[Phase, float]:
+    """Percentage of failures per phase over all failing attempts.
+
+    Table I's right-hand columns: "the percentage of rejected
+    applications as a function of all failing applications".
+    """
+    failures = [
+        record.failed_phase
+        for recorder in recorders
+        for record in recorder.records
+        if not record.admitted and record.failed_phase is not None
+    ]
+    total = len(failures)
+    if total == 0:
+        return {phase: 0.0 for phase in Phase}
+    return {
+        phase: 100.0 * sum(1 for f in failures if f is phase) / total
+        for phase in Phase
+    }
+
+
+def timings_by_task_count(
+    recorders: list[SequenceRecorder],
+) -> dict[int, dict[str, float]]:
+    """Mean per-phase milliseconds, bucketed by application size.
+
+    Fig. 7's quantity: "for successful resource allocation attempts,
+    the average execution time of each phase".
+    """
+    buckets: dict[int, list[dict[str, float]]] = {}
+    for recorder in recorders:
+        for record in recorder.records:
+            if record.admitted and record.timings_ms:
+                buckets.setdefault(record.tasks, []).append(record.timings_ms)
+    result: dict[int, dict[str, float]] = {}
+    for tasks, samples in sorted(buckets.items()):
+        result[tasks] = {
+            phase.value: (
+                sum(s.get(phase.value, 0.0) for s in samples) / len(samples)
+            )
+            for phase in Phase
+        }
+    return result

@@ -1,0 +1,29 @@
+"""Design-time partitioning: operation graphs -> annotated task graphs."""
+
+from repro.partition.cluster import (
+    Ceiling,
+    Partition,
+    PartitionError,
+    partition_operations,
+    partition_to_application,
+)
+from repro.partition.opgraph import (
+    DataEdge,
+    Operation,
+    OperationGraph,
+    OpGraphError,
+    random_operation_graph,
+)
+
+__all__ = [
+    "Ceiling",
+    "DataEdge",
+    "Operation",
+    "OperationGraph",
+    "OpGraphError",
+    "Partition",
+    "PartitionError",
+    "partition_operations",
+    "partition_to_application",
+    "random_operation_graph",
+]

@@ -1,0 +1,320 @@
+"""Design-time partitioning: operations -> tasks (paper Fig. 1, step 0).
+
+The partitioner turns an :class:`OperationGraph` into the annotated
+task graph the run-time phases consume.  The optimisation problem is
+the classic one behind [4]: group operations into clusters such that
+
+* every cluster fits a per-task resource ceiling (so the binding phase
+  can find an element for it), and
+* the *cut traffic* — data crossing cluster boundaries, which becomes
+  NoC channels at run time — is minimal.
+
+Algorithm: greedy heavy-edge agglomeration followed by a
+Kernighan–Lin-style refinement sweep:
+
+1. start with singleton clusters;
+2. repeatedly merge the pair of clusters joined by the heaviest
+   inter-cluster traffic whose union still fits the ceiling;
+3. refine: repeatedly move a single operation to a neighbouring
+   cluster when that strictly reduces the cut and respects the
+   ceiling, until a sweep makes no move (the KL/FM move step without
+   the tentative-negative-gain phase — monotone, hence terminating).
+
+The result converts to an :class:`~repro.apps.taskgraph.Application`
+whose channels aggregate the surviving inter-cluster edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.implementations import Implementation
+from repro.apps.taskgraph import Application, Channel, Task
+from repro.arch.elements import ElementType, default_capacity
+from repro.arch.resources import ResourceVector
+from repro.partition.opgraph import OperationGraph
+
+
+class PartitionError(ValueError):
+    """Raised when no feasible partition exists."""
+
+
+@dataclass(frozen=True)
+class Ceiling:
+    """Per-task resource budget (defaults: one DSP tile)."""
+
+    cycles: int = 100
+    memory: int = 32
+
+    def fits(self, cycles: int, memory: int) -> bool:
+        return cycles <= self.cycles and memory <= self.memory
+
+
+@dataclass
+class Partition:
+    """Clusters of operation names plus derived statistics."""
+
+    graph: OperationGraph
+    clusters: list[set[str]] = field(default_factory=list)
+
+    def cluster_of(self, operation: str) -> int:
+        for index, cluster in enumerate(self.clusters):
+            if operation in cluster:
+                return index
+        raise PartitionError(f"operation {operation!r} not in any cluster")
+
+    def cluster_cycles(self, index: int) -> int:
+        return sum(
+            self.graph.operations[op].cycles for op in self.clusters[index]
+        )
+
+    def cluster_memory(self, index: int) -> int:
+        return sum(
+            self.graph.operations[op].memory for op in self.clusters[index]
+        )
+
+    def cut_traffic(self) -> float:
+        """Total traffic on edges whose endpoints live in different
+        clusters — the run-time NoC demand this partition induces."""
+        assignment = {}
+        for index, cluster in enumerate(self.clusters):
+            for op in cluster:
+                assignment[op] = index
+        return sum(
+            edge.traffic
+            for edge in self.graph.edges
+            if assignment[edge.source] != assignment[edge.target]
+        )
+
+    def validate(self, ceiling: Ceiling) -> None:
+        seen: set[str] = set()
+        for index, cluster in enumerate(self.clusters):
+            if not cluster:
+                raise PartitionError(f"cluster {index} is empty")
+            overlap = seen & cluster
+            if overlap:
+                raise PartitionError(f"operations {overlap} in two clusters")
+            seen |= cluster
+            if not ceiling.fits(self.cluster_cycles(index),
+                                self.cluster_memory(index)):
+                raise PartitionError(f"cluster {index} exceeds the ceiling")
+        missing = set(self.graph.operations) - seen
+        if missing:
+            raise PartitionError(f"operations {missing} unassigned")
+
+
+def partition_operations(
+    graph: OperationGraph,
+    ceiling: Ceiling = Ceiling(),
+) -> Partition:
+    """Partition ``graph`` under ``ceiling``; see module docstring.
+
+    Raises :class:`PartitionError` when some single operation exceeds
+    the ceiling (no partition can fix that).
+    """
+    graph.validate()
+    for op in graph.operations.values():
+        if not ceiling.fits(op.cycles, op.memory):
+            raise PartitionError(
+                f"operation {op.name!r} alone exceeds the ceiling "
+                f"({op.cycles} cycles / {op.memory} memory)"
+            )
+
+    # union-find over operations
+    parent: dict[str, str] = {name: name for name in graph.operations}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    cycles = {name: op.cycles for name, op in graph.operations.items()}
+    memory = {name: op.memory for name, op in graph.operations.items()}
+
+    # 1+2. heavy-edge agglomeration
+    ordered = sorted(
+        graph.edges, key=lambda e: (-e.traffic, e.source, e.target)
+    )
+    for edge in ordered:
+        root_a, root_b = find(edge.source), find(edge.target)
+        if root_a == root_b:
+            continue
+        merged_cycles = cycles[root_a] + cycles[root_b]
+        merged_memory = memory[root_a] + memory[root_b]
+        if not ceiling.fits(merged_cycles, merged_memory):
+            continue
+        parent[root_b] = root_a
+        cycles[root_a] = merged_cycles
+        memory[root_a] = merged_memory
+
+    clusters_by_root: dict[str, set[str]] = {}
+    for name in graph.operations:
+        clusters_by_root.setdefault(find(name), set()).add(name)
+    clusters = [clusters_by_root[root] for root in sorted(clusters_by_root)]
+    partition = Partition(graph=graph, clusters=clusters)
+
+    # 3. single-move refinement (monotone cut reduction)
+    _refine(partition, ceiling)
+    partition.validate(ceiling)
+    return partition
+
+
+def _refine(partition: Partition, ceiling: Ceiling) -> None:
+    graph = partition.graph
+    assignment = {}
+    for index, cluster in enumerate(partition.clusters):
+        for op in cluster:
+            assignment[op] = index
+
+    # per-operation traffic towards each cluster
+    def traffic_to(op: str) -> dict[int, float]:
+        totals: dict[int, float] = {}
+        for edge in graph.edges:
+            if edge.source == op:
+                other = assignment[edge.target]
+            elif edge.target == op:
+                other = assignment[edge.source]
+            else:
+                continue
+            totals[other] = totals.get(other, 0.0) + edge.traffic
+        return totals
+
+    improved = True
+    sweeps = 0
+    while improved and sweeps < 2 * len(graph.operations):
+        improved = False
+        sweeps += 1
+        for op in sorted(graph.operations):
+            home = assignment[op]
+            if len(partition.clusters[home]) == 1:
+                continue  # moving the last op just renames the cluster
+            towards = traffic_to(op)
+            internal = towards.get(home, 0.0)
+            op_cycles = graph.operations[op].cycles
+            op_memory = graph.operations[op].memory
+            best_gain = 0.0
+            best_target: int | None = None
+            for target, external in sorted(towards.items()):
+                if target == home:
+                    continue
+                gain = external - internal
+                if gain <= best_gain:
+                    continue
+                if not ceiling.fits(
+                    partition.cluster_cycles(target) + op_cycles,
+                    partition.cluster_memory(target) + op_memory,
+                ):
+                    continue
+                best_gain = gain
+                best_target = target
+            if best_target is not None:
+                partition.clusters[home].discard(op)
+                partition.clusters[best_target].add(op)
+                assignment[op] = best_target
+                improved = True
+        # drop emptied clusters (possible if a singleton guard raced a
+        # previous move in the same sweep)
+        partition.clusters = [c for c in partition.clusters if c]
+        assignment = {}
+        for index, cluster in enumerate(partition.clusters):
+            for op in cluster:
+                assignment[op] = index
+
+
+def partition_to_application(
+    partition: Partition,
+    name: str | None = None,
+    target_kind: ElementType = ElementType.DSP,
+    execution_time_per_cycle: float = 0.02,
+) -> Application:
+    """Convert a partition into an annotated task graph.
+
+    One task per cluster; its implementation requires the cluster's
+    summed cycles/memory on ``target_kind`` and its execution time is
+    proportional to the cluster's cycle count.  Inter-cluster edges
+    aggregate into one channel per (source, target) cluster pair with
+    the summed traffic as bandwidth.
+    """
+    graph = partition.graph
+    app = Application(name or f"{graph.name}_tasks")
+    cluster_names = [f"task{i}" for i in range(len(partition.clusters))]
+    capacity = default_capacity(target_kind)
+
+    for index, task_name in enumerate(cluster_names):
+        cycles = partition.cluster_cycles(index)
+        memory = partition.cluster_memory(index)
+        requirement = {"cycles": cycles}
+        if memory:
+            requirement["memory"] = memory
+        implementation = Implementation(
+            name=f"{task_name}_impl",
+            requirement=ResourceVector(requirement),
+            execution_time=max(execution_time_per_cycle * cycles, 1e-6),
+            cost=1.0,
+            target_kind=target_kind,
+        )
+        if not implementation.requirement.fits_in(capacity):
+            raise PartitionError(
+                f"cluster {index} does not fit a {target_kind.value} tile; "
+                "lower the ceiling"
+            )
+        app.add_task(Task(task_name, (implementation,)))
+
+    assignment = {}
+    for index, cluster in enumerate(partition.clusters):
+        for op in cluster:
+            assignment[op] = index
+    aggregated: dict[tuple[int, int], float] = {}
+    for edge in graph.edges:
+        source = assignment[edge.source]
+        target = assignment[edge.target]
+        if source == target:
+            continue
+        key = (source, target)
+        aggregated[key] = aggregated.get(key, 0.0) + edge.traffic
+
+    # Clustering a DAG can create cluster-level cycles.  Order clusters
+    # by the earliest topological position of their operations: in any
+    # cluster cycle at least one channel then runs against the order,
+    # and that feedback channel carries an initial token so the cycle
+    # can start firing (without it the SDF model deadlocks).
+    topological = _topological_index(graph)
+    rank = {
+        index: min(topological[op] for op in cluster)
+        for index, cluster in enumerate(partition.clusters)
+    }
+    for (source, target), bandwidth in sorted(aggregated.items()):
+        feedback = (rank[source], source) > (rank[target], target)
+        app.add_channel(Channel(
+            name=f"c{source}_{target}",
+            source=cluster_names[source],
+            target=cluster_names[target],
+            bandwidth=bandwidth,
+            initial_tokens=1 if feedback else 0,
+        ))
+    return app
+
+
+def _topological_index(graph: OperationGraph) -> dict[str, int]:
+    """Kahn topological positions of the (acyclic) operation graph."""
+    in_degree = {name: 0 for name in graph.operations}
+    for edge in graph.edges:
+        in_degree[edge.target] += 1
+    ready = sorted(name for name, degree in in_degree.items() if degree == 0)
+    index: dict[str, int] = {}
+    position = 0
+    while ready:
+        current = ready.pop(0)
+        index[current] = position
+        position += 1
+        for edge in graph.edges:
+            if edge.source == current:
+                in_degree[edge.target] -= 1
+                if in_degree[edge.target] == 0:
+                    ready.append(edge.target)
+        ready.sort()
+    # cyclic operation graphs are rejected upstream, but stay safe:
+    for name in graph.operations:
+        index.setdefault(name, position)
+    return index

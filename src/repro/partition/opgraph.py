@@ -1,0 +1,162 @@
+"""Operation graphs: the input of the design-time partitioning phase.
+
+Fig. 1 of the paper starts with *partitioning*: "An application is
+partitioned in multiple tasks [4], resulting in an application
+specification, which contains an annotated task graph."  The input of
+that step is a finer-grained description of the computation — here an
+**operation graph**: small operations (filter taps, butterflies,
+accumulations...) annotated with cycle and memory footprints, connected
+by data edges annotated with the traffic they carry.
+
+The partitioner (:mod:`repro.partition.cluster`) groups operations
+into tasks subject to a per-task resource ceiling, minimising the
+traffic that crosses task boundaries — cut traffic becomes NoC
+channels at run time, so the design-time cut is exactly the run-time
+communication demand.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+class OpGraphError(ValueError):
+    """Raised for malformed operation graphs."""
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One fine-grained unit of computation."""
+
+    name: str
+    cycles: int
+    memory: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise OpGraphError("operation needs a non-empty name")
+        if self.cycles <= 0:
+            raise OpGraphError(f"operation {self.name!r} needs positive cycles")
+        if self.memory < 0:
+            raise OpGraphError(f"operation {self.name!r} has negative memory")
+
+
+@dataclass(frozen=True)
+class DataEdge:
+    """Directed data dependency with a traffic annotation."""
+
+    source: str
+    target: str
+    traffic: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise OpGraphError("self-dependencies are not allowed")
+        if self.traffic <= 0:
+            raise OpGraphError("traffic must be positive")
+
+
+@dataclass
+class OperationGraph:
+    """A DAG of operations with traffic-weighted edges."""
+
+    name: str
+    operations: dict[str, Operation] = field(default_factory=dict)
+    edges: list[DataEdge] = field(default_factory=list)
+
+    def add_operation(self, operation: Operation) -> Operation:
+        if operation.name in self.operations:
+            raise OpGraphError(f"duplicate operation {operation.name!r}")
+        self.operations[operation.name] = operation
+        return operation
+
+    def add_edge(self, source: str, target: str, traffic: float = 1.0) -> DataEdge:
+        for endpoint in (source, target):
+            if endpoint not in self.operations:
+                raise OpGraphError(f"unknown operation {endpoint!r}")
+        edge = DataEdge(source, target, traffic)
+        self.edges.append(edge)
+        return edge
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def neighbors(self, operation: str) -> set[str]:
+        found = set()
+        for edge in self.edges:
+            if edge.source == operation:
+                found.add(edge.target)
+            elif edge.target == operation:
+                found.add(edge.source)
+        return found
+
+    def total_cycles(self) -> int:
+        return sum(op.cycles for op in self.operations.values())
+
+    def total_traffic(self) -> float:
+        return sum(edge.traffic for edge in self.edges)
+
+    def is_connected(self) -> bool:
+        if not self.operations:
+            return True
+        start = next(iter(self.operations))
+        seen = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for neighbor in self.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return len(seen) == len(self.operations)
+
+    def validate(self) -> None:
+        if not self.operations:
+            raise OpGraphError(f"operation graph {self.name!r} is empty")
+        if not self.is_connected():
+            raise OpGraphError(f"operation graph {self.name!r} is disconnected")
+
+
+def random_operation_graph(
+    operations: int,
+    seed: int = 0,
+    cycles_range: tuple[int, int] = (2, 20),
+    memory_range: tuple[int, int] = (0, 8),
+    traffic_range: tuple[float, float] = (1.0, 10.0),
+    extra_edge_probability: float = 0.15,
+    name: str | None = None,
+) -> OperationGraph:
+    """A random connected DAG of operations (deterministic per seed).
+
+    Structure: a random spanning arborescence (every operation after
+    the first receives an edge from a random earlier one) plus optional
+    density edges, which is the same recipe the task-graph generator
+    uses one level up.
+    """
+    if operations < 1:
+        raise OpGraphError("need at least one operation")
+    rng = random.Random(seed)
+    graph = OperationGraph(name or f"ops_{operations}_s{seed}")
+    names = [f"op{i}" for i in range(operations)]
+    for op_name in names:
+        graph.add_operation(Operation(
+            op_name,
+            cycles=rng.randint(*cycles_range),
+            memory=rng.randint(*memory_range),
+        ))
+    for position in range(1, operations):
+        source = names[rng.randrange(position)]
+        graph.add_edge(source, names[position],
+                       traffic=rng.uniform(*traffic_range))
+    for i in range(operations):
+        for j in range(i + 1, operations):
+            if rng.random() < extra_edge_probability:
+                existing = any(
+                    e.source == names[i] and e.target == names[j]
+                    for e in graph.edges
+                )
+                if not existing:
+                    graph.add_edge(names[i], names[j],
+                                   traffic=rng.uniform(*traffic_range))
+    return graph

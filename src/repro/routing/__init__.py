@@ -1,0 +1,19 @@
+"""Routing phase: BFS (default) and Dijkstra (comparator) routers."""
+
+from repro.routing.router import (
+    BaseRouter,
+    BfsRouter,
+    DijkstraRouter,
+    RoutingError,
+    RoutingResult,
+    release_routes,
+)
+
+__all__ = [
+    "BaseRouter",
+    "BfsRouter",
+    "DijkstraRouter",
+    "RoutingError",
+    "RoutingResult",
+    "release_routes",
+]

@@ -1,0 +1,126 @@
+"""Static SDF analysis: consistency, repetition vectors, deadlock hints.
+
+An SDF graph only admits a periodic schedule when the balance
+equations ``production(e) * q[source(e)] = consumption(e) * q[target(e)]``
+have a positive integer solution ``q`` (the *repetition vector*); a
+graph violating this is *inconsistent* and would accumulate or starve
+tokens without bound.  Throughput analysis (state-space exploration)
+presupposes consistency, so the validation phase checks it first.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd, lcm
+
+from repro.validation.sdf import SdfError, SdfGraph
+
+
+class InconsistentGraphError(SdfError):
+    """The balance equations admit no positive solution."""
+
+
+def repetition_vector(graph: SdfGraph) -> dict[str, int]:
+    """Smallest positive integer solution of the balance equations.
+
+    Raises :class:`InconsistentGraphError` when rates conflict on some
+    undirected cycle.  Actors of disconnected components are solved
+    independently (each component is normalised separately).
+    """
+    if not graph.actors:
+        return {}
+    ratio: dict[str, Fraction] = {}
+    adjacency: dict[str, list[tuple[str, Fraction]]] = {
+        name: [] for name in graph.actors
+    }
+    for edge in graph.edges.values():
+        # q[target] = q[source] * production / consumption
+        factor = Fraction(edge.production, edge.consumption)
+        adjacency[edge.source].append((edge.target, factor))
+        adjacency[edge.target].append((edge.source, 1 / factor))
+
+    for start in graph.actors:
+        if start in ratio:
+            continue
+        ratio[start] = Fraction(1)
+        stack = [start]
+        component = [start]
+        while stack:
+            current = stack.pop()
+            for neighbor, factor in adjacency[current]:
+                expected = ratio[current] * factor
+                if neighbor in ratio:
+                    if ratio[neighbor] != expected:
+                        raise InconsistentGraphError(
+                            f"rate conflict at actor {neighbor!r}: "
+                            f"{ratio[neighbor]} vs {expected}"
+                        )
+                else:
+                    ratio[neighbor] = expected
+                    component.append(neighbor)
+                    stack.append(neighbor)
+        # normalise this component to the smallest integer vector
+        denominator = lcm(*(ratio[a].denominator for a in component))
+        scaled = {a: ratio[a] * denominator for a in component}
+        divisor = 0
+        for a in component:
+            divisor = gcd(divisor, int(scaled[a]))
+        for a in component:
+            ratio[a] = Fraction(int(scaled[a]) // divisor)
+
+    return {name: int(value) for name, value in ratio.items()}
+
+
+def is_consistent(graph: SdfGraph) -> bool:
+    try:
+        repetition_vector(graph)
+    except InconsistentGraphError:
+        return False
+    return True
+
+
+def iteration_duration_bound(graph: SdfGraph) -> float:
+    """A trivial lower bound on one iteration: the critical actor load.
+
+    ``max_a duration(a) * q(a)`` bounds the period from below on any
+    single-resource-per-actor platform; used as a sanity check on the
+    simulated throughput.
+    """
+    repetitions = repetition_vector(graph)
+    if not repetitions:
+        return 0.0
+    return max(
+        graph.actor(name).duration * count
+        for name, count in repetitions.items()
+    )
+
+
+def dead_actors(graph: SdfGraph) -> tuple[str, ...]:
+    """Actors that can never fire even once from the initial marking.
+
+    A conservative reachability check: repeatedly fire any actor whose
+    input edges hold enough tokens (bounded by the repetition vector),
+    and report the actors that never became enabled.  For consistent,
+    deadlock-free graphs this returns the empty tuple.
+    """
+    repetitions = repetition_vector(graph)
+    tokens = graph.initial_marking()
+    remaining = dict(repetitions)
+    fired_once: set[str] = set()
+    progress = True
+    while progress:
+        progress = False
+        for name in graph.actors:
+            if remaining.get(name, 0) <= 0:
+                continue
+            if all(
+                tokens[e.name] >= e.consumption for e in graph.in_edges(name)
+            ):
+                for e in graph.in_edges(name):
+                    tokens[e.name] -= e.consumption
+                for e in graph.out_edges(name):
+                    tokens[e.name] += e.production
+                remaining[name] -= 1
+                fired_once.add(name)
+                progress = True
+    return tuple(sorted(set(graph.actors) - fired_once))

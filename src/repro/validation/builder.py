@@ -1,0 +1,116 @@
+"""Build the validation SDF graph from an execution layout.
+
+"We model the influence of the platform and the application
+specification as an SDF graph" (Section II).  The translation:
+
+* every task becomes an actor whose firing duration is its bound
+  implementation's execution time, *scaled by the number of tasks
+  resident on the same element* — processing elements are time-shared,
+  so two co-resident tasks each run at half speed (a round-robin
+  arbitration model);
+* every routed channel becomes a communication actor whose duration is
+  ``hops * hop_latency`` (the virtual-channel reservation guarantees
+  the bandwidth share, so latency is proportional to route length);
+  channels between co-resident tasks communicate through local memory
+  and cost ``local_latency``;
+* every channel carries a *back edge* holding ``buffer_tokens``
+  initial tokens, modelling bounded FIFO buffers with blocking writes
+  (the standard SDF encoding of finite buffer capacity).
+
+The result is an HSDF graph (all rates 1): the paper's applications
+fire once per graph iteration.  ``tokens_per_firing`` of a channel
+scales its communication duration (more data per firing takes
+proportionally longer on the same virtual channel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.implementations import Implementation
+from repro.apps.taskgraph import Application
+from repro.arch.state import AllocationState, ChannelReservation
+from repro.validation.sdf import Actor, SdfGraph
+
+#: default latency of one NoC hop, in the same time unit as execution times
+DEFAULT_HOP_LATENCY = 0.1
+#: latency of element-local communication (shared memory hand-off)
+DEFAULT_LOCAL_LATENCY = 0.05
+#: default FIFO depth per channel, in tokens
+DEFAULT_BUFFER_TOKENS = 2
+
+
+@dataclass(frozen=True)
+class SdfModelOptions:
+    """Tunables of the layout-to-SDF translation."""
+
+    hop_latency: float = DEFAULT_HOP_LATENCY
+    local_latency: float = DEFAULT_LOCAL_LATENCY
+    buffer_tokens: int = DEFAULT_BUFFER_TOKENS
+    #: scale task durations by element co-residency (time-sharing)
+    model_time_sharing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.hop_latency < 0 or self.local_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.buffer_tokens < 1:
+            raise ValueError("buffers need at least one token of capacity")
+
+
+def comm_actor_name(channel: str) -> str:
+    return f"ch:{channel}"
+
+
+def layout_to_sdf(
+    app: Application,
+    binding: dict[str, Implementation],
+    placement: dict[str, str],
+    routes: dict[str, ChannelReservation],
+    state: AllocationState,
+    options: SdfModelOptions = SdfModelOptions(),
+) -> SdfGraph:
+    """Translate one application's execution layout into an HSDF graph.
+
+    ``routes`` maps channel names to their reservations; channels
+    absent from ``routes`` are element-local.  ``state`` supplies
+    co-residency counts for the time-sharing model (it should be the
+    state *after* this application's placements were committed).
+    """
+    graph = SdfGraph(f"sdf:{app.name}")
+
+    for task_name in app.tasks:
+        implementation = binding[task_name]
+        duration = implementation.execution_time
+        if options.model_time_sharing:
+            element = placement[task_name]
+            sharers = max(1, len(state.occupants(element)))
+            duration *= sharers
+        graph.add_actor(Actor(task_name, duration))
+
+    for channel in app.channels.values():
+        reservation = routes.get(channel.name)
+        if reservation is not None:
+            latency = reservation.hops * options.hop_latency
+        else:
+            latency = options.local_latency
+        latency *= channel.tokens_per_firing
+        comm = comm_actor_name(channel.name)
+        graph.add_actor(Actor(comm, latency))
+        # feedback channels of cyclic applications carry their initial
+        # tokens on the data edge (data present at start-up)
+        graph.connect(
+            channel.source, comm,
+            initial_tokens=channel.initial_tokens,
+            name=f"{channel.name}/data",
+        )
+        graph.connect(comm, channel.target, name=f"{channel.name}/deliver")
+        # bounded buffer: the producer may run at most buffer_tokens
+        # firings ahead of the consumer
+        graph.connect(
+            channel.target,
+            channel.source,
+            initial_tokens=options.buffer_tokens,
+            name=f"{channel.name}/space",
+        )
+
+    return graph

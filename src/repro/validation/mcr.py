@@ -1,0 +1,137 @@
+"""Analytical throughput via maximum cycle ratio (the paper's future work).
+
+Section V: "Using the work of [18], the complexity of the throughput
+analysis may be moved to design-time, making the validation approach a
+lot faster.  The validation phase as a post-processing step can then
+be turned into a set of linear expressions."
+
+For a strongly connected HSDF graph executed self-timed, the
+steady-state period equals the **maximum cycle ratio**
+
+    lambda* = max over cycles C of  (sum of durations on C)
+                                    / (sum of initial tokens on C)
+
+and the throughput of every actor is ``1 / lambda*`` [18].  The
+no-auto-concurrency rule is itself a cycle constraint: a virtual
+self-loop with one token per actor, contributing the ratio
+``duration(a) / 1``.
+
+We compute lambda* by the classic parametric (Lawler) method: binary
+search over lambda, testing for a *positive* cycle of the edge weights
+``duration(source) - lambda * tokens(edge)`` with Bellman-Ford.  A
+positive cycle at arbitrarily large lambda means some cycle carries no
+tokens at all — a deadlock (throughput 0).
+
+The validator exposes this as the ``analytical`` method; ablation A5
+benchmarks it against the state-space simulation on the beamformer
+layout and the tests check the two engines agree to numerical
+precision on every graph the library produces.
+"""
+
+from __future__ import annotations
+
+from repro.validation.sdf import SdfError, SdfGraph
+
+#: relative precision of the binary search on lambda*
+DEFAULT_TOLERANCE = 1e-9
+
+
+class McrError(SdfError):
+    """Raised for graphs outside the analytical method's domain."""
+
+
+def _build_event_graph(graph: SdfGraph):
+    """HSDF -> weighted event graph (nodes, edges with cost/tokens).
+
+    Edge cost is the *source* actor's duration: traversing a cycle
+    counts every actor on it exactly once.  Self-loops encode the
+    no-auto-concurrency rule.
+    """
+    if not graph.is_hsdf():
+        raise McrError(
+            f"{graph.name!r}: maximum-cycle-ratio analysis requires an "
+            "HSDF graph (all rates 1); use the simulation engine instead"
+        )
+    nodes = sorted(graph.actors)
+    index = {name: i for i, name in enumerate(nodes)}
+    edges: list[tuple[int, int, float, int]] = []  # (u, v, cost, tokens)
+    for edge in graph.edges.values():
+        edges.append((
+            index[edge.source],
+            index[edge.target],
+            graph.actor(edge.source).duration,
+            edge.initial_tokens,
+        ))
+    for name in nodes:
+        i = index[name]
+        edges.append((i, i, graph.actor(name).duration, 1))
+    return nodes, edges
+
+
+def _has_positive_cycle(n: int, edges, lam: float) -> bool:
+    """Bellman-Ford longest-path: does any cycle have positive weight
+    under ``w(e) = cost - lam * tokens``?"""
+    distance = [0.0] * n  # all nodes as sources (virtual super-source)
+    for _iteration in range(n):
+        changed = False
+        for u, v, cost, tokens in edges:
+            weight = cost - lam * tokens
+            candidate = distance[u] + weight
+            if candidate > distance[v] + 1e-15:
+                distance[v] = candidate
+                changed = True
+        if not changed:
+            return False
+    return True  # still relaxing after n passes -> positive cycle
+
+
+def maximum_cycle_ratio(
+    graph: SdfGraph,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> float:
+    """lambda* of the HSDF graph; ``inf`` when a token-free cycle
+    deadlocks the graph, 0.0 for graphs with no actors."""
+    if not graph.actors:
+        return 0.0
+    nodes, edges = _build_event_graph(graph)
+    n = len(nodes)
+
+    total_duration = sum(graph.actor(a).duration for a in graph.actors)
+    upper = max(total_duration, 1.0)
+    # deadlock probe: a positive cycle beyond any achievable ratio can
+    # only come from a zero-token cycle with positive cost
+    if _has_positive_cycle(n, edges, upper * 4 + 1.0):
+        return float("inf")
+
+    low, high = 0.0, upper * 4 + 1.0
+    # lambda* is the smallest lambda with no positive cycle
+    while high - low > max(tolerance, tolerance * high):
+        mid = (low + high) / 2
+        if _has_positive_cycle(n, edges, mid):
+            low = mid
+        else:
+            high = mid
+    return high
+
+
+def analytical_throughput(
+    graph: SdfGraph,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> dict[str, float]:
+    """Steady-state firings/s per actor: ``1 / lambda*`` for every
+    actor of a strongly connected HSDF graph.
+
+    Raises :class:`McrError` for non-HSDF graphs.  On graphs that are
+    *not* strongly connected the result is an upper bound for actors
+    outside the binding cycle (the simulation engine remains exact);
+    every graph built by :func:`repro.validation.builder.layout_to_sdf`
+    is strongly connected because each channel carries a buffer back
+    edge.
+    """
+    ratio = maximum_cycle_ratio(graph, tolerance)
+    if ratio == float("inf"):
+        return {name: 0.0 for name in graph.actors}
+    if ratio == 0.0:
+        return {}
+    rate = 1.0 / ratio
+    return {name: rate for name in graph.actors}

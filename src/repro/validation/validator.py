@@ -1,0 +1,136 @@
+"""Validation phase: check performance constraints on a layout.
+
+"The performance constraints given in the application specification
+are validated against the performance provided by the execution layout
+derived from the previous phases" (Section I).  Latency constraints
+are first converted to throughput constraints [12]
+(:mod:`repro.apps.constraints`), the layout is translated into an
+HSDF graph, and its throughput is computed by self-timed state-space
+exploration [5][13].
+
+Matching the paper's experimental protocol, the resource manager can
+run validation in three modes: ``enforce`` (reject on violation),
+``report`` (compute, record, never reject — used for Table I, since
+"it is difficult to generate reasonable performance constraints
+automatically, we do not reject applications in the validation
+phase"), and ``skip``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.constraints import ThroughputConstraint, normalize
+from repro.apps.implementations import Implementation
+from repro.apps.taskgraph import Application
+from repro.arch.state import AllocationState, ChannelReservation
+from repro.validation.builder import SdfModelOptions, layout_to_sdf
+from repro.validation.mcr import analytical_throughput, maximum_cycle_ratio
+from repro.validation.throughput import (
+    ThroughputResult,
+    analyze_throughput,
+)
+
+#: throughput engines: exact state-space simulation [5][13], or the
+#: maximum-cycle-ratio analysis the paper proposes as future work [18]
+VALIDATION_METHODS = ("simulation", "analytical")
+
+
+class ValidationError(RuntimeError):
+    """The layout violates at least one performance constraint."""
+
+
+@dataclass(frozen=True)
+class ConstraintCheck:
+    constraint: ThroughputConstraint
+    achieved: float
+    satisfied: bool
+
+
+@dataclass
+class ValidationReport:
+    """Throughput analysis outcome plus per-constraint verdicts."""
+
+    throughput: ThroughputResult | None
+    checks: list[ConstraintCheck] = field(default_factory=list)
+    deadlocked: bool = False
+
+    @property
+    def satisfied(self) -> bool:
+        return not self.deadlocked and all(c.satisfied for c in self.checks)
+
+    def violations(self) -> tuple[ConstraintCheck, ...]:
+        return tuple(c for c in self.checks if not c.satisfied)
+
+
+def default_reference_task(app: Application) -> str:
+    """The task throughput is measured at when a constraint names none.
+
+    Preference order: first declared ``output``-role task, else the
+    first sink (no outgoing channels), else the alphabetically first
+    task.  Deterministic by construction.
+    """
+    outputs = app.roles("output")
+    if outputs:
+        return min(t.name for t in outputs)
+    sinks = [t.name for t in app.tasks.values() if not app.successors(t.name)]
+    if sinks:
+        return min(sinks)
+    return min(app.tasks)
+
+
+def validate_layout(
+    app: Application,
+    binding: dict[str, Implementation],
+    placement: dict[str, str],
+    routes: dict[str, ChannelReservation],
+    state: AllocationState,
+    options: SdfModelOptions = SdfModelOptions(),
+    max_firings: int | None = None,
+    method: str = "simulation",
+) -> ValidationReport:
+    """Compute the layout's throughput and evaluate every constraint.
+
+    Never raises on violation — it *reports*; enforcement policy is
+    the manager's job.  Applications without constraints still get a
+    throughput analysis (the result feeds Fig. 7's validation-phase
+    timing).
+
+    ``method`` selects the throughput engine: ``"simulation"`` (exact
+    state-space exploration, the paper's approach) or ``"analytical"``
+    (maximum cycle ratio — the faster scheme the paper proposes as
+    future work; exact for the strongly connected HSDF graphs the
+    layout translation produces).
+    """
+    if method not in VALIDATION_METHODS:
+        raise ValueError(
+            f"method must be one of {VALIDATION_METHODS}, got {method!r}"
+        )
+    graph = layout_to_sdf(app, binding, placement, routes, state, options)
+    if method == "analytical":
+        rates = analytical_throughput(graph)
+        deadlocked = bool(rates) and all(r == 0.0 for r in rates.values())
+        ratio = maximum_cycle_ratio(graph)
+        result = ThroughputResult(
+            throughput=rates,
+            period=0.0 if ratio == float("inf") else ratio,
+            iterations_per_period=1,
+            transient=0.0,
+            deadlocked=deadlocked,
+        )
+    else:
+        kwargs = {} if max_firings is None else {"max_firings": max_firings}
+        result = analyze_throughput(graph, **kwargs)
+    report = ValidationReport(throughput=result, deadlocked=result.deadlocked)
+
+    for constraint in normalize(app.constraints):
+        reference = constraint.reference_task or default_reference_task(app)
+        achieved = 0.0 if result.deadlocked else result.of(reference)
+        report.checks.append(
+            ConstraintCheck(
+                constraint=constraint,
+                achieved=achieved,
+                satisfied=constraint.satisfied_by(achieved),
+            )
+        )
+    return report

@@ -1,0 +1,110 @@
+"""Shared fixtures: platforms, applications, and allocation states."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    Application,
+    GeneratorConfig,
+    Implementation,
+    Task,
+    beamforming_application,
+    generate,
+)
+from repro.arch import (
+    AllocationState,
+    ElementType,
+    ResourceVector,
+    crisp,
+    mesh,
+)
+
+
+@pytest.fixture
+def mesh3x3():
+    """A 3x3 homogeneous DSP mesh."""
+    return mesh(3, 3)
+
+
+@pytest.fixture
+def mesh4x4():
+    return mesh(4, 4)
+
+
+@pytest.fixture
+def crisp_platform():
+    return crisp()
+
+
+@pytest.fixture
+def state3x3(mesh3x3):
+    return AllocationState(mesh3x3)
+
+
+@pytest.fixture
+def crisp_state(crisp_platform):
+    return AllocationState(crisp_platform)
+
+
+def simple_dsp_task(name: str, cycles: int = 40, memory: int = 8) -> Task:
+    """A task with one DSP implementation (test helper)."""
+    return Task(
+        name,
+        (
+            Implementation(
+                name=f"{name}_impl",
+                requirement=ResourceVector(cycles=cycles, memory=memory),
+                execution_time=1.0,
+                cost=1.0,
+                target_kind=ElementType.DSP,
+            ),
+        ),
+    )
+
+
+def chain_app(length: int = 4, cycles: int = 40) -> Application:
+    """t0 -> t1 -> ... -> t{n-1}, all DSP tasks."""
+    app = Application(f"chain{length}")
+    previous = None
+    for index in range(length):
+        task = app.add_task(simple_dsp_task(f"t{index}", cycles=cycles))
+        if previous is not None:
+            app.connect(previous, task, bandwidth=5.0)
+        previous = task
+    return app
+
+
+def diamond_app(cycles: int = 40) -> Application:
+    """a -> (b, c) -> d."""
+    app = Application("diamond")
+    for name in "abcd":
+        app.add_task(simple_dsp_task(name, cycles=cycles))
+    app.connect("a", "b", bandwidth=5.0)
+    app.connect("a", "c", bandwidth=5.0)
+    app.connect("b", "d", bandwidth=5.0)
+    app.connect("c", "d", bandwidth=5.0)
+    return app
+
+
+@pytest.fixture
+def chain4():
+    return chain_app(4)
+
+
+@pytest.fixture
+def diamond():
+    return diamond_app()
+
+
+@pytest.fixture
+def beamformer():
+    return beamforming_application()
+
+
+@pytest.fixture
+def small_generated():
+    """A deterministic small generated application."""
+    return generate(
+        GeneratorConfig(inputs=1, internals=3, outputs=1), seed=11
+    )

@@ -1,0 +1,160 @@
+"""Tests for the baseline mappers and the optimality comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import AllocationState, mesh
+from repro.baselines import (
+    InstanceTooLargeError,
+    communication_distance,
+    first_fit_map,
+    optimal_map,
+    random_map,
+)
+from repro.binding import bind
+from repro.core import BOTH, MappingCost, MappingError, map_application
+from tests.conftest import chain_app, diamond_app
+
+
+class TestFirstFit:
+    def test_places_all_tasks(self, state3x3):
+        app = diamond_app()
+        binding = bind(app, state3x3)
+        result = first_fit_map(app, binding.choice, state3x3)
+        assert set(result.placement) == set(app.tasks)
+
+    def test_respects_capacity(self, state3x3):
+        app = chain_app(5, cycles=60)
+        binding = bind(app, state3x3)
+        first_fit_map(app, binding.choice, state3x3)
+        for element in state3x3.platform.elements:
+            assert state3x3.free(element)["cycles"] >= 0
+
+    def test_fails_when_full(self):
+        state = AllocationState(mesh(1, 1))
+        app = chain_app(2, cycles=60)
+        binding = {t: app.task(t).implementations[0] for t in app.tasks}
+        with pytest.raises(MappingError):
+            first_fit_map(app, binding, state)
+
+    def test_scan_order_packs_first_elements(self, state3x3):
+        app = chain_app(2, cycles=30)
+        binding = bind(app, state3x3)
+        result = first_fit_map(app, binding.choice, state3x3)
+        # both fit on the first declared element
+        assert set(result.placement.values()) == {"dsp_0_0"}
+
+
+class TestRandomMap:
+    def test_places_all_tasks(self, state3x3):
+        app = diamond_app()
+        binding = bind(app, state3x3)
+        result = random_map(app, binding.choice, state3x3, seed=1)
+        assert set(result.placement) == set(app.tasks)
+
+    def test_deterministic_per_seed(self):
+        app = diamond_app()
+        placements = []
+        for _ in range(2):
+            state = AllocationState(mesh(3, 3))
+            binding = bind(app, state)
+            placements.append(
+                random_map(app, binding.choice, state, seed=7).placement
+            )
+        assert placements[0] == placements[1]
+
+    def test_seeds_differ(self):
+        app = diamond_app()
+        results = []
+        for seed in (1, 2, 3, 4):
+            state = AllocationState(mesh(3, 3))
+            binding = bind(app, state)
+            results.append(
+                tuple(sorted(
+                    random_map(app, binding.choice, state, seed=seed)
+                    .placement.items()
+                ))
+            )
+        assert len(set(results)) > 1
+
+
+class TestOptimal:
+    def test_chain_on_line_is_contiguous(self):
+        from repro.arch import mesh as make_mesh
+        platform = make_mesh(1, 4)
+        state = AllocationState(platform)
+        app = chain_app(4, cycles=60)
+        binding = bind(app, state)
+        result = optimal_map(app, binding.choice, state)
+        # optimal total distance for a 4-chain on a line: 3 channels x 3
+        # hops (element-router-router-element between adjacent tiles)
+        assert result.cost == 3 * 3
+
+    def test_matches_brute_force_objective(self, state3x3):
+        app = diamond_app()
+        binding = bind(app, state3x3)
+        result = optimal_map(app, binding.choice, state3x3)
+        check = communication_distance(app, result.placement, state3x3)
+        assert check == pytest.approx(result.cost)
+
+    def test_does_not_mutate_state(self, state3x3):
+        app = diamond_app()
+        binding = bind(app, state3x3)
+        before = state3x3.snapshot()
+        optimal_map(app, binding.choice, state3x3)
+        assert state3x3.snapshot() == before
+
+    def test_instance_budget(self, state3x3):
+        app = chain_app(9, cycles=10)
+        binding = bind(app, state3x3)
+        with pytest.raises(InstanceTooLargeError):
+            optimal_map(app, binding.choice, state3x3, max_combinations=10)
+
+    def test_infeasible_instance_rejected(self):
+        state = AllocationState(mesh(1, 1))
+        app = chain_app(2, cycles=60)
+        binding = {t: app.task(t).implementations[0] for t in app.tasks}
+        with pytest.raises(ValueError):
+            optimal_map(app, binding, state)
+
+
+class TestHeuristicQuality:
+    def test_heuristic_close_to_optimal_on_small_instances(self):
+        """The incremental mapper's communication distance should be
+        within 2x of optimal on small instances (it typically matches)."""
+        gaps = []
+        for app_factory in (lambda: chain_app(4, cycles=60), diamond_app):
+            app = app_factory()
+            state = AllocationState(mesh(3, 3))
+            binding = bind(app, state)
+            optimal = optimal_map(app, binding.choice, state)
+            state_h = AllocationState(mesh(3, 3))
+            result = map_application(
+                app, binding.choice, state_h, cost=MappingCost(BOTH)
+            )
+            achieved = communication_distance(app, result.placement, state_h)
+            gaps.append((achieved, optimal.cost))
+        for achieved, best in gaps:
+            assert achieved <= 2 * best
+
+    def test_heuristic_beats_random_on_average(self):
+        """Locality awareness must beat random placement on total
+        communication distance (averaged over seeds)."""
+        app = chain_app(5, cycles=60)
+        heuristic_state = AllocationState(mesh(4, 4))
+        binding = bind(app, heuristic_state)
+        result = map_application(app, binding.choice, heuristic_state,
+                                 cost=MappingCost(BOTH))
+        heuristic_cost = communication_distance(
+            app, result.placement, heuristic_state
+        )
+        random_costs = []
+        for seed in range(8):
+            state = AllocationState(mesh(4, 4))
+            placement = random_map(app, binding.choice, state,
+                                   seed=seed).placement
+            random_costs.append(
+                communication_distance(app, placement, state)
+            )
+        assert heuristic_cost < sum(random_costs) / len(random_costs)

@@ -1,0 +1,155 @@
+"""Tests for the regret-ordered binding phase."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import Application, Implementation, Task
+from repro.arch import (
+    AllocationState,
+    ElementType,
+    ResourceVector,
+    mesh,
+)
+from repro.binding import SINGLE_OPTION_REGRET, BindingError, bind
+from tests.conftest import chain_app, simple_dsp_task
+
+
+def impl(name, cost, cycles=20, kind=ElementType.DSP):
+    return Implementation(
+        name=name,
+        requirement=ResourceVector(cycles=cycles),
+        execution_time=1.0,
+        cost=cost,
+        target_kind=kind,
+    )
+
+
+class TestChoice:
+    def test_cheapest_implementation_chosen(self, state3x3):
+        app = Application("choice")
+        app.add_task(Task("t", (impl("pricy", 9.0), impl("cheap", 1.0))))
+        result = bind(app, state3x3)
+        assert result["t"].name == "cheap"
+
+    def test_infeasible_implementation_skipped(self, state3x3):
+        app = Application("skip")
+        app.add_task(Task("t", (
+            impl("cheap_but_huge", 1.0, cycles=1000),
+            impl("fits", 5.0),
+        )))
+        result = bind(app, state3x3)
+        assert result["t"].name == "fits"
+
+    def test_no_feasible_implementation_fails(self, state3x3):
+        app = Application("doomed")
+        app.add_task(Task("t", (impl("huge", 1.0, cycles=1000),)))
+        with pytest.raises(BindingError) as info:
+            bind(app, state3x3)
+        assert "t" in str(info.value)
+
+    def test_all_tasks_bound(self, state3x3, chain4):
+        result = bind(chain4, state3x3)
+        assert set(result.choice) == set(chain4.tasks)
+
+    def test_quality_weight_trades_cost_for_speed(self, state3x3):
+        app = Application("speedy")
+        fast = Implementation(
+            name="fast", requirement=ResourceVector(cycles=20),
+            execution_time=1.0, cost=3.0, target_kind=ElementType.DSP,
+        )
+        slow = Implementation(
+            name="slow", requirement=ResourceVector(cycles=20),
+            execution_time=10.0, cost=1.0, target_kind=ElementType.DSP,
+        )
+        app.add_task(Task("t", (fast, slow)))
+        assert bind(app, state3x3)["t"].name == "slow"
+        assert bind(app, state3x3, quality_weight=1.0)["t"].name == "fast"
+
+
+class TestRegretOrder:
+    def test_single_option_tasks_bound_first(self, state3x3):
+        app = Application("regret")
+        app.add_task(Task("flexible", (impl("f1", 1.0), impl("f2", 1.1))))
+        app.add_task(Task("rigid", (impl("only", 2.0),)))
+        app.connect("flexible", "rigid")
+        result = bind(app, state3x3)
+        order = [task for task, _regret in result.order]
+        assert order[0] == "rigid"
+        assert result.order[0][1] == SINGLE_OPTION_REGRET
+
+    def test_high_regret_before_low_regret(self, state3x3):
+        app = Application("order")
+        # high regret: cheap option much better than runner-up
+        app.add_task(Task("high", (impl("h1", 1.0), impl("h2", 9.0))))
+        # low regret: nearly equal options
+        app.add_task(Task("low", (impl("l1", 1.0), impl("l2", 1.2))))
+        app.connect("high", "low")
+        result = bind(app, state3x3)
+        order = [task for task, _regret in result.order]
+        assert order.index("high") < order.index("low")
+
+    def test_regret_values_recorded(self, state3x3):
+        app = Application("values")
+        app.add_task(Task("t", (impl("a", 1.0), impl("b", 4.0))))
+        result = bind(app, state3x3)
+        assert result.order[0][1] == pytest.approx(3.0)
+
+
+class TestPoolAccounting:
+    def test_pool_prevents_overcommitment(self):
+        """Two 60-cycle tasks cannot both be provisioned on one
+        100-cycle element."""
+        state = AllocationState(mesh(1, 1))
+        app = Application("pool")
+        app.add_task(Task("a", (impl("a1", 1.0, cycles=60),)))
+        app.add_task(Task("b", (impl("b1", 1.0, cycles=60),)))
+        app.connect("a", "b")
+        with pytest.raises(BindingError):
+            bind(app, state)
+
+    def test_pool_respects_existing_occupancy(self, state3x3):
+        for element in state3x3.platform.elements:
+            state3x3.occupy(element, "old", f"t_{element.name}",
+                            ResourceVector(cycles=70))
+        app = Application("tight")
+        app.add_task(Task("t", (impl("i", 1.0, cycles=60),)))
+        with pytest.raises(BindingError):
+            bind(app, state3x3)
+
+    def test_pool_excludes_failed_elements(self):
+        state = AllocationState(mesh(1, 2))
+        state.fail_element("dsp_0_0")
+        app = Application("faulty")
+        app.add_task(Task("a", (impl("a1", 1.0, cycles=60),)))
+        app.add_task(Task("b", (impl("b1", 1.0, cycles=60),)))
+        app.connect("a", "b")
+        # only one healthy element remains; 2 x 60 > 100
+        with pytest.raises(BindingError):
+            bind(app, state)
+
+    def test_provisional_witnesses_recorded(self, state3x3, chain4):
+        result = bind(chain4, state3x3)
+        for task in chain4.tasks:
+            assert result.provisional[task] in {
+                e.name for e in state3x3.platform.elements
+            }
+
+    def test_binding_does_not_mutate_state(self, state3x3, chain4):
+        before = state3x3.snapshot()
+        bind(chain4, state3x3)
+        assert state3x3.snapshot() == before
+
+    def test_total_cost(self, state3x3):
+        app = Application("sum")
+        app.add_task(Task("a", (impl("a1", 2.0),)))
+        app.add_task(Task("b", (impl("b1", 3.0),)))
+        app.connect("a", "b")
+        assert bind(app, state3x3).total_cost() == pytest.approx(5.0)
+
+    def test_deterministic(self, state3x3, chain4):
+        first = bind(chain4, state3x3)
+        second = bind(chain4, state3x3)
+        assert {t: i.name for t, i in first.choice.items()} == {
+            t: i.name for t, i in second.choice.items()
+        }

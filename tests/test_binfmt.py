@@ -1,0 +1,136 @@
+"""Tests for the Kairos binary application format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    GeneratorConfig,
+    LatencyConstraint,
+    ThroughputConstraint,
+    beamforming_application,
+    generate,
+)
+from repro.io import (
+    MAGIC,
+    BinaryFormatError,
+    load_application,
+    pack_application,
+    save_application,
+    sniff,
+    unpack_application,
+)
+from tests.conftest import chain_app, diamond_app
+
+
+def same_application(a, b) -> None:
+    assert a.name == b.name
+    assert set(a.tasks) == set(b.tasks)
+    for name in a.tasks:
+        task_a, task_b = a.task(name), b.task(name)
+        assert task_a.role == task_b.role
+        assert len(task_a.implementations) == len(task_b.implementations)
+        for impl_a, impl_b in zip(task_a.implementations,
+                                  task_b.implementations):
+            assert impl_a == impl_b
+    assert set(a.channels) == set(b.channels)
+    for name in a.channels:
+        assert a.channel(name) == b.channel(name)
+    assert a.constraints == b.constraints
+
+
+class TestRoundTrip:
+    def test_chain(self):
+        app = chain_app(4)
+        same_application(app, unpack_application(pack_application(app)))
+
+    def test_diamond_with_constraints(self):
+        app = diamond_app()
+        app.add_constraint(ThroughputConstraint(0.5, "d"))
+        app.add_constraint(LatencyConstraint(9.0, ("a", "b", "d")))
+        same_application(app, unpack_application(pack_application(app)))
+
+    def test_beamformer(self):
+        app = beamforming_application()
+        restored = unpack_application(pack_application(app))
+        same_application(app, restored)
+        restored.validate()
+
+    def test_pinned_implementations_survive(self):
+        app = beamforming_application()
+        restored = unpack_application(pack_application(app))
+        assert restored.task("ant0").implementations[0].target_element == "fpga"
+
+    def test_file_helpers(self, tmp_path):
+        app = chain_app(3)
+        path = tmp_path / "app.kair"
+        save_application(app, path)
+        same_application(app, load_application(path))
+
+    def test_output_is_stable(self):
+        app = diamond_app()
+        assert pack_application(app) == pack_application(app)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    internals=st.integers(0, 6),
+)
+def test_roundtrip_property(seed, internals):
+    app = generate(
+        GeneratorConfig(inputs=1, internals=internals, outputs=1),
+        seed=seed,
+    )
+    same_application(app, unpack_application(pack_application(app)))
+
+
+class TestErrors:
+    def test_sniff(self):
+        assert sniff(pack_application(chain_app(2)))
+        assert not sniff(b"\x7fELF....")
+        assert not sniff(b"KA")
+
+    def test_bad_magic(self):
+        data = bytearray(pack_application(chain_app(2)))
+        data[:4] = b"ELFX"
+        with pytest.raises(BinaryFormatError, match="magic"):
+            unpack_application(bytes(data))
+
+    def test_bad_version(self):
+        data = bytearray(pack_application(chain_app(2)))
+        data[4] = 99
+        with pytest.raises(BinaryFormatError, match="version"):
+            unpack_application(bytes(data))
+
+    def test_truncation_every_prefix_fails_cleanly(self):
+        """No prefix of a valid binary may crash with anything but
+        BinaryFormatError (or produce a valid application)."""
+        data = pack_application(chain_app(3))
+        for cut in range(0, len(data) - 1, 7):
+            try:
+                unpack_application(data[:cut])
+            except BinaryFormatError:
+                continue
+            except Exception as exc:  # pragma: no cover
+                pytest.fail(f"prefix {cut}: unexpected {type(exc).__name__}")
+
+    def test_too_short(self):
+        with pytest.raises(BinaryFormatError):
+            unpack_application(b"KAIR")
+
+
+class TestInitialTokens:
+    def test_feedback_channel_roundtrip(self):
+        from repro.apps import Application, Channel
+        from tests.conftest import simple_dsp_task
+        app = Application("loop")
+        app.add_task(simple_dsp_task("a"))
+        app.add_task(simple_dsp_task("b"))
+        app.add_channel(Channel("fwd", "a", "b"))
+        app.add_channel(Channel("back", "b", "a", initial_tokens=3))
+        restored = unpack_application(pack_application(app))
+        assert restored.channel("back").initial_tokens == 3
+        assert restored.channel("fwd").initial_tokens == 0

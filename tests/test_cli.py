@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_info_prints_platform(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "crisp_5pkg" in out
+        assert "45x dsp" in out
+        assert "beamforming" in out
+
+
+class TestPackInspectAllocate:
+    def test_pack_generated_then_inspect(self, tmp_path, capsys):
+        target = tmp_path / "app.kair"
+        assert main(["pack", "--generate", "5", str(target)]) == 0
+        assert target.exists()
+        assert main(["inspect", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "generated_5" in out
+        assert "task" in out
+
+    def test_pack_beamformer(self, tmp_path, capsys):
+        target = tmp_path / "beam.kair"
+        assert main(["pack", "--beamformer", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "53 tasks" in out
+
+    def test_allocate_generated(self, tmp_path, capsys):
+        target = tmp_path / "app.kair"
+        main(["pack", "--generate", "5", str(target)])
+        code = main(["allocate", str(target), "--validation", "skip"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "execution layout" in out
+        assert "timings" in out
+
+    def test_allocate_with_plan_and_analytical(self, tmp_path, capsys):
+        target = tmp_path / "app.kair"
+        main(["pack", "--generate", "6", str(target)])
+        code = main([
+            "allocate", str(target), "--plan", "--method", "analytical",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bootstrap plan" in out
+        assert "constraints satisfied" in out
+
+    def test_allocate_missing_file(self, capsys):
+        assert main(["allocate", "/nonexistent.kair"]) == 2
+
+    def test_inspect_non_kairos_file(self, tmp_path, capsys):
+        target = tmp_path / "not.kair"
+        target.write_bytes(b"\x7fELF" + b"\x00" * 16)
+        assert main(["inspect", str(target)]) == 1
+        assert "not a Kairos" in capsys.readouterr().out
+
+
+class TestExperimentCommands:
+    def test_table1_smoke(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_APPS", "4")
+        monkeypatch.setenv("REPRO_SEQUENCES", "1")
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I (measured)" in out
+        assert "Communication Small" in out
+
+    def test_fig10_smoke(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FIG10_COMM_STEP", "25")
+        monkeypatch.setenv("REPRO_FIG10_FRAG_STEP", "1000")
+        assert main(["fig10"]) == 0
+        assert "admission" in capsys.readouterr().out
+
+
+class TestArgparse:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["transmogrify"])
+
+    def test_pack_requires_source(self):
+        with pytest.raises(SystemExit):
+            main(["pack", "out.kair"])

@@ -1,0 +1,55 @@
+"""Smoke tests: the example scripts must run cleanly end to end.
+
+The heavyweight scenarios (the Fig. 10 grid sweep inside
+``beamforming_case_study.py``) are exercised by the benchmark suite
+instead; these tests cover the examples a new user runs first.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "worked_example.py",
+    "binary_deployment.py",
+    "design_flow.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-1500:]}\n{result.stderr[-1500:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_output_contract():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert "execution layout" in result.stdout
+    assert "bootstrap plan" in result.stdout
+    assert "utilization 0.0%" in result.stdout  # released cleanly
+
+
+def test_worked_example_shows_iterations():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "worked_example.py")],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert "i = 0 (anchor):" in result.stdout
+    assert "i = 1:" in result.stdout
+    assert "final placement:" in result.stdout

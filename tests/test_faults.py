@@ -1,0 +1,140 @@
+"""Tests for fault campaigns and fault-driven re-allocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import AllocationState, mesh
+from repro.arch.faults import (
+    Fault,
+    FaultCampaign,
+    degrade_sequence,
+    random_element_campaign,
+    stranded_applications,
+)
+from repro.manager import Kairos
+from tests.conftest import chain_app
+
+
+class TestFault:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            Fault("explosion", ("x",))
+        with pytest.raises(ValueError):
+            Fault("element", ("a", "b"))
+        with pytest.raises(ValueError):
+            Fault("link", ("a",))
+
+
+class TestCampaign:
+    def test_inject_in_order(self, state3x3):
+        campaign = FaultCampaign()
+        campaign.add_element_fault("dsp_0_0").add_element_fault("dsp_1_1")
+        first = campaign.inject_next(state3x3)
+        assert first.target == ("dsp_0_0",)
+        assert state3x3.is_failed("dsp_0_0")
+        assert not state3x3.is_failed("dsp_1_1")
+        campaign.inject_next(state3x3)
+        assert state3x3.is_failed("dsp_1_1")
+        assert campaign.inject_next(state3x3) is None
+
+    def test_inject_all(self, state3x3):
+        campaign = FaultCampaign()
+        campaign.add_element_fault("dsp_0_0")
+        campaign.add_link_fault("r_0_0", "r_0_1")
+        injected = campaign.inject_all(state3x3)
+        assert len(injected) == 2
+        assert state3x3.vc_free("r_0_0", "r_0_1") == 0
+
+    def test_random_campaign_deterministic(self, state3x3):
+        a = random_element_campaign(state3x3, count=3, seed=5)
+        b = random_element_campaign(state3x3, count=3, seed=5)
+        assert a.faults == b.faults
+
+    def test_random_campaign_respects_spare(self, state3x3):
+        campaign = random_element_campaign(
+            state3x3, count=7, seed=1, spare=("dsp_0_0", "dsp_1_1")
+        )
+        targets = {fault.target[0] for fault in campaign.faults}
+        assert "dsp_0_0" not in targets
+        assert "dsp_1_1" not in targets
+
+    def test_random_campaign_budget(self, state3x3):
+        with pytest.raises(ValueError):
+            random_element_campaign(state3x3, count=10, seed=0)
+
+
+class TestStranded:
+    def test_element_fault_strands_resident_app(self, mesh3x3):
+        manager = Kairos(mesh3x3)
+        layout = manager.allocate(chain_app(2), "app")
+        element = layout.placement["t0"]
+        fault = Fault("element", (element,))
+        assert stranded_applications(manager.state, fault) == ("app",)
+
+    def test_element_fault_strands_route_transit(self, mesh4x4):
+        manager = Kairos(mesh4x4)
+        app = chain_app(2)
+        layout = manager.allocate(app, "app")
+        route = next(iter(layout.routes.values()), None)
+        if route is None:
+            pytest.skip("co-located; no transit to test")
+        # failing a router on the path is a link-level concern; test an
+        # element on the path instead (source element)
+        fault = Fault("element", (route.path[0],))
+        assert "app" in stranded_applications(manager.state, fault)
+
+    def test_link_fault_strands_crossing_app(self, mesh3x3):
+        manager = Kairos(mesh3x3)
+        layout = manager.allocate(chain_app(2), "app")
+        route = next(iter(layout.routes.values()), None)
+        if route is None:
+            pytest.skip("co-located; no route")
+        a, b = route.path[0], route.path[1]
+        fault = Fault("link", (a, b))
+        assert stranded_applications(manager.state, fault) == ("app",)
+
+    def test_unrelated_fault_strands_nobody(self, mesh3x3):
+        manager = Kairos(mesh3x3)
+        layout = manager.allocate(chain_app(2), "app")
+        used = set(layout.placement.values()) | {
+            node for r in layout.routes.values() for node in r.path
+        }
+        spare = next(
+            e.name for e in mesh3x3.elements if e.name not in used
+        )
+        fault = Fault("element", (spare,))
+        assert stranded_applications(manager.state, fault) == ()
+
+
+class TestDegradeSequence:
+    def test_trail_records_victims(self, mesh3x3):
+        manager = Kairos(mesh3x3)
+        layout = manager.allocate(chain_app(2), "app")
+        campaign = FaultCampaign()
+        campaign.add_element_fault(layout.placement["t0"])
+        trail = degrade_sequence(manager.state, campaign)
+        assert len(trail) == 1
+        fault, victims = trail[0]
+        assert victims == ("app",)
+        assert manager.state.is_failed(layout.placement["t0"])
+
+    def test_survivability_under_attrition(self):
+        """Keep failing spare elements and recovering; the app survives
+        as long as capacity remains."""
+        platform = mesh(3, 3)
+        manager = Kairos(platform, validation_mode="skip")
+        app = chain_app(2, cycles=60)
+        manager.allocate(app, "app")
+        specs = {"app": app}
+        survived = 0
+        for round_index in range(5):
+            layout = manager.admitted["app"]
+            victim = layout.placement["t0"]
+            manager.state.fail_element(victim)
+            report = manager.recover(specs)
+            if "app" in report.recovered:
+                survived += 1
+            else:
+                break
+        assert survived >= 3  # 9 elements, 2 tasks, 5 rounds of attrition

@@ -1,0 +1,236 @@
+"""Tests for the TGFF-like generator and the six paper datasets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import GeneratorConfig, generate, make_dataset
+from repro.apps.beamforming import (
+    DSP_TASKS,
+    TOTAL_TASKS,
+    beamforming_application,
+)
+from repro.apps.datasets import (
+    ALL_SPECS,
+    PROFILE_UTILIZATION,
+    SIZE_BOUNDS,
+    DatasetSpec,
+)
+from repro.apps.generator import GenerationError
+from repro.arch import ElementType
+from repro.arch.elements import default_capacity
+
+
+class TestGeneratorStructure:
+    def test_task_counts(self):
+        app = generate(GeneratorConfig(inputs=2, internals=5, outputs=2), seed=0)
+        assert len(app) == 9
+        assert len(app.roles("input")) == 2
+        assert len(app.roles("output")) == 2
+
+    def test_connected(self):
+        for seed in range(20):
+            app = generate(GeneratorConfig(inputs=2, internals=4, outputs=2),
+                           seed=seed)
+            assert app.is_connected(), f"seed {seed} disconnected"
+
+    def test_inputs_have_no_predecessors(self):
+        for seed in range(10):
+            app = generate(GeneratorConfig(inputs=2, internals=4, outputs=1),
+                           seed=seed)
+            for task in app.roles("input"):
+                assert app.predecessors(task.name) == ()
+
+    def test_outputs_have_no_successors(self):
+        for seed in range(10):
+            app = generate(GeneratorConfig(inputs=1, internals=4, outputs=2),
+                           seed=seed)
+            for task in app.roles("output"):
+                assert app.successors(task.name) == ()
+
+    def test_degree_caps_respected(self):
+        config = GeneratorConfig(
+            inputs=2, internals=8, outputs=2, max_in_degree=2, max_out_degree=2,
+            extra_edge_probability=0.9,
+        )
+        for seed in range(10):
+            app = generate(config, seed=seed)
+            for task in app.tasks:
+                in_degree = len([
+                    c for c in app.channels.values() if c.target == task
+                ])
+                # the connectivity fix-up may exceed the cap by at most
+                # the number of components it had to bridge; in practice
+                # one — tolerate a single overflow
+                assert in_degree <= config.max_in_degree + 1
+
+    def test_deterministic_per_seed(self):
+        config = GeneratorConfig(inputs=1, internals=5, outputs=1)
+        a = generate(config, seed=9)
+        b = generate(config, seed=9)
+        assert set(a.tasks) == set(b.tasks)
+        assert {
+            (c.source, c.target, round(c.bandwidth, 9))
+            for c in a.channels.values()
+        } == {
+            (c.source, c.target, round(c.bandwidth, 9))
+            for c in b.channels.values()
+        }
+
+    def test_different_seeds_differ(self):
+        config = GeneratorConfig(inputs=1, internals=6, outputs=1,
+                                 extra_edge_probability=0.5)
+        a = generate(config, seed=1)
+        b = generate(config, seed=2)
+        edges_a = {(c.source, c.target) for c in a.channels.values()}
+        edges_b = {(c.source, c.target) for c in b.channels.values()}
+        assert edges_a != edges_b
+
+    def test_validates(self):
+        for seed in range(10):
+            generate(GeneratorConfig(inputs=1, internals=3, outputs=1),
+                     seed=seed).validate()
+
+
+class TestGeneratorAnnotations:
+    def test_utilization_bounds(self):
+        config = GeneratorConfig(
+            inputs=1, internals=5, outputs=1,
+            utilization_low=0.7, utilization_high=1.0,
+            pin_io_probability=0.0,
+        )
+        app = generate(config, seed=3)
+        for task in app:
+            for impl in task.implementations:
+                capacity = default_capacity(impl.target_kind)
+                ratio = impl.requirement.bottleneck(capacity)
+                assert 0.5 <= ratio <= 1.0  # integer floor can lower it
+
+    def test_bandwidth_bounds(self):
+        config = GeneratorConfig(inputs=1, internals=4, outputs=1,
+                                 bandwidth_low=5.0, bandwidth_high=9.0)
+        app = generate(config, seed=4)
+        for channel in app.channels.values():
+            assert 5.0 <= channel.bandwidth <= 9.0
+
+    def test_pinned_io(self):
+        config = GeneratorConfig(
+            inputs=2, internals=2, outputs=2,
+            pin_io_probability=1.0, io_elements=("fpga", "arm"),
+        )
+        app = generate(config, seed=5)
+        for task in app.roles("input") + app.roles("output"):
+            assert len(task.implementations) == 1
+            assert task.implementations[0].pinned
+            assert task.implementations[0].target_element in ("fpga", "arm")
+
+    def test_pinning_requires_elements(self):
+        with pytest.raises(GenerationError):
+            GeneratorConfig(pin_io_probability=0.5, io_elements=())
+
+    def test_config_validation(self):
+        with pytest.raises(GenerationError):
+            GeneratorConfig(inputs=0)
+        with pytest.raises(GenerationError):
+            GeneratorConfig(max_in_degree=0)
+        with pytest.raises(GenerationError):
+            GeneratorConfig(utilization_low=0.9, utilization_high=0.5)
+        with pytest.raises(GenerationError):
+            GeneratorConfig(min_implementations=3, max_implementations=1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    inputs=st.integers(1, 3),
+    internals=st.integers(0, 8),
+    outputs=st.integers(0, 3),
+    seed=st.integers(0, 1000),
+)
+def test_generator_property_connected_and_sized(inputs, internals, outputs, seed):
+    app = generate(
+        GeneratorConfig(inputs=inputs, internals=internals, outputs=outputs),
+        seed=seed,
+    )
+    assert len(app) == inputs + internals + outputs
+    assert app.is_connected()
+    for task in app:
+        assert task.implementations
+
+
+class TestDatasets:
+    def test_six_specs(self):
+        assert len(ALL_SPECS) == 6
+        names = {spec.name for spec in ALL_SPECS}
+        assert "communication_small" in names
+        assert "computation_large" in names
+
+    def test_size_bounds_respected(self):
+        for spec in ALL_SPECS:
+            low, high = SIZE_BOUNDS[spec.size]
+            apps = make_dataset(spec, count=15, seed=0)
+            assert len(apps) == 15
+            for app in apps:
+                assert low <= len(app) <= high
+
+    def test_utilization_profile_respected(self):
+        spec = DatasetSpec("computation", "small")
+        low, high = PROFILE_UTILIZATION["computation"]
+        apps = make_dataset(spec, count=10, seed=0)
+        for app in apps:
+            for task in app:
+                for impl in task.implementations:
+                    if impl.pinned:
+                        continue
+                    capacity = default_capacity(impl.target_kind)
+                    ratio = impl.requirement.bottleneck(capacity)
+                    assert ratio >= low - 0.05
+
+    def test_deterministic_across_calls(self):
+        spec = DatasetSpec("communication", "medium")
+        a = make_dataset(spec, count=5, seed=42)
+        b = make_dataset(spec, count=5, seed=42)
+        for app_a, app_b in zip(a, b):
+            assert set(app_a.tasks) == set(app_b.tasks)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("quantum", "small")
+        with pytest.raises(ValueError):
+            DatasetSpec("communication", "jumbo")
+
+    def test_labels(self):
+        assert DatasetSpec("communication", "small").label == "Communication Small"
+
+
+class TestBeamformer:
+    def test_task_census(self, beamformer):
+        assert len(beamformer) == TOTAL_TASKS == 53
+
+    def test_dsp_task_count_matches_platform(self, beamformer):
+        dsp_tasks = [
+            t for t in beamformer
+            if any(
+                i.target_kind == ElementType.DSP for i in t.implementations
+            )
+        ]
+        assert len(dsp_tasks) == DSP_TASKS == 45
+
+    def test_tree_like(self, beamformer):
+        """Tree-like: connected with modest edge surplus over a tree."""
+        assert beamformer.is_connected()
+        surplus = len(beamformer.channels) - (len(beamformer) - 1)
+        assert 0 <= surplus <= 10
+
+    def test_anchored_io(self, beamformer):
+        for index in range(4):
+            impls = beamformer.task(f"ant{index}").implementations
+            assert impls[0].target_element == "fpga"
+        assert beamformer.task("output").implementations[0].target_element == "arm"
+
+    def test_has_constraints(self, beamformer):
+        assert len(beamformer.constraints) == 2
+
+    def test_validates(self, beamformer):
+        beamformer.validate()

@@ -1,0 +1,158 @@
+"""Knapsack solver tests: unit cases plus oracle comparisons."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ResourceVector
+from repro.core.knapsack import (
+    KnapsackItem,
+    solve_dp,
+    solve_exhaustive,
+    solve_greedy,
+)
+
+
+def item(key: str, profit: float, **req) -> KnapsackItem:
+    return KnapsackItem(key, profit, ResourceVector(req))
+
+
+class TestGreedy:
+    def test_takes_everything_when_it_fits(self):
+        items = [item("a", 5, cycles=10), item("b", 3, cycles=10)]
+        solution = solve_greedy(items, ResourceVector(cycles=100))
+        assert set(solution.chosen) == {"a", "b"}
+        assert solution.profit == 8
+
+    def test_respects_capacity(self):
+        items = [item("a", 5, cycles=60), item("b", 4, cycles=60)]
+        solution = solve_greedy(items, ResourceVector(cycles=100))
+        assert len(solution.chosen) == 1
+
+    def test_zero_profit_items_skipped(self):
+        items = [item("a", 0, cycles=1)]
+        assert solve_greedy(items, ResourceVector(cycles=100)).chosen == ()
+
+    def test_oversized_items_skipped(self):
+        items = [item("a", 100, cycles=200), item("b", 1, cycles=10)]
+        solution = solve_greedy(items, ResourceVector(cycles=100))
+        assert solution.chosen == ("b",)
+
+    def test_negative_profit_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            item("a", -1, cycles=1)
+
+    def test_improvement_pass_fixes_greedy_trap(self):
+        """Density greedy picks the two lean items; the fat item is
+        better.  The O(T^2) swap pass must recover it."""
+        items = [
+            item("fat", 10, cycles=100),
+            item("lean1", 3, cycles=10),
+            item("lean2", 3, cycles=10),
+        ]
+        solution = solve_greedy(items, ResourceVector(cycles=100))
+        # optimum is the fat item alone (10 > 6)
+        assert solution.profit == 10
+        assert solution.chosen == ("fat",)
+
+    def test_multidimensional(self):
+        items = [
+            item("a", 6, cycles=50, memory=30),
+            item("b", 5, cycles=50, memory=5),
+            item("c", 4, cycles=10, memory=30),
+        ]
+        capacity = ResourceVector(cycles=100, memory=32)
+        solution = solve_greedy(items, capacity)
+        total = ResourceVector()
+        for chosen in solution.chosen:
+            total = total + next(i.requirement for i in items if i.key == chosen)
+        assert total.fits_in(capacity)
+
+    def test_empty_input(self):
+        assert solve_greedy([], ResourceVector(cycles=10)).profit == 0.0
+
+    def test_deterministic_tie_break(self):
+        items = [item("b", 5, cycles=50), item("a", 5, cycles=50)]
+        first = solve_greedy(items, ResourceVector(cycles=50))
+        second = solve_greedy(list(reversed(items)), ResourceVector(cycles=50))
+        assert first.chosen == second.chosen == ("a",)
+
+
+class TestDp:
+    def test_exact_on_classic_instance(self):
+        items = [
+            item("a", 60, cycles=10),
+            item("b", 100, cycles=20),
+            item("c", 120, cycles=30),
+        ]
+        solution = solve_dp(items, ResourceVector(cycles=50))
+        assert solution.profit == 220
+        assert set(solution.chosen) == {"b", "c"}
+
+    def test_rejects_multidimensional(self):
+        items = [item("a", 1, cycles=1, memory=1)]
+        with pytest.raises(ValueError):
+            solve_dp(items, ResourceVector(cycles=10, memory=10))
+
+    def test_all_empty_requirements(self):
+        items = [item("a", 1), item("b", 2)]
+        solution = solve_dp(items, ResourceVector())
+        assert set(solution.chosen) == {"a", "b"}
+
+
+class TestExhaustive:
+    def test_matches_dp_on_1d(self):
+        items = [item(f"i{k}", (k * 7) % 13 + 1, cycles=(k * 3) % 9 + 1)
+                 for k in range(10)]
+        capacity = ResourceVector(cycles=15)
+        assert solve_exhaustive(items, capacity).profit == pytest.approx(
+            solve_dp(items, capacity).profit
+        )
+
+    def test_size_limit(self):
+        items = [item(f"i{k}", 1, cycles=1) for k in range(21)]
+        with pytest.raises(ValueError):
+            solve_exhaustive(items, ResourceVector(cycles=5))
+
+
+@st.composite
+def knapsack_instances(draw):
+    n = draw(st.integers(1, 10))
+    items = []
+    for index in range(n):
+        profit = draw(st.integers(1, 50))
+        weight = draw(st.integers(1, 20))
+        items.append(item(f"i{index}", float(profit), cycles=weight))
+    capacity = draw(st.integers(5, 40))
+    return items, ResourceVector(cycles=capacity)
+
+
+@settings(max_examples=60, deadline=None)
+@given(knapsack_instances())
+def test_greedy_feasible_and_not_catastrophic(instance):
+    """Greedy+swap stays feasible and achieves >= 1/2 of optimum.
+
+    The density greedy with a single-swap improvement is a classic
+    1/2-approximation for knapsack; the exhaustive solver provides the
+    optimum on these small instances.
+    """
+    items, capacity = instance
+    greedy = solve_greedy(items, capacity)
+    used = ResourceVector()
+    by_key = {i.key: i for i in items}
+    for key in greedy.chosen:
+        used = used + by_key[key].requirement
+    assert used.fits_in(capacity)
+    optimal = solve_exhaustive(items, capacity)
+    assert greedy.profit >= optimal.profit / 2 - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(knapsack_instances())
+def test_dp_matches_exhaustive(instance):
+    items, capacity = instance
+    assert solve_dp(items, capacity).profit == pytest.approx(
+        solve_exhaustive(items, capacity).profit
+    )

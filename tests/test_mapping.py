@@ -1,0 +1,315 @@
+"""Tests for MapApplication (paper Fig. 5) and the mapping cost function."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    Application,
+    GeneratorConfig,
+    Task,
+    generate,
+    pinned_implementation,
+)
+from repro.arch import AllocationState, ResourceVector, crisp, mesh
+from repro.binding import bind
+from repro.core import (
+    BOTH,
+    COMMUNICATION,
+    NONE,
+    CostWeights,
+    MappingCost,
+    MappingError,
+    MappingOptions,
+    available_elements,
+    map_application,
+)
+from tests.conftest import chain_app, diamond_app, simple_dsp_task
+
+
+def bind_and_map(app, state, weights=BOTH, options=MappingOptions()):
+    binding = bind(app, state)
+    return map_application(
+        app, binding.choice, state, cost=MappingCost(weights), options=options
+    )
+
+
+class TestBasicMapping:
+    def test_all_tasks_placed(self, state3x3, chain4):
+        result = bind_and_map(chain4, state3x3)
+        assert set(result.placement) == set(chain4.tasks)
+
+    def test_capacities_respected(self, state3x3, chain4):
+        bind_and_map(chain4, state3x3)
+        for element in state3x3.platform.elements:
+            for kind, quantity in state3x3.free(element).items():
+                assert quantity >= 0
+
+    def test_occupancy_recorded_in_state(self, state3x3, diamond):
+        result = bind_and_map(diamond, state3x3)
+        for task, element in result.placement.items():
+            assert state3x3.element_of(diamond.name, task) == element
+
+    def test_chain_mapped_contiguously(self, state3x3):
+        """With the communication objective, consecutive chain tasks
+        land on nearby elements."""
+        app = chain_app(4, cycles=60)
+        result = bind_and_map(app, state3x3, weights=COMMUNICATION)
+        platform = state3x3.platform
+        for first, second in zip("0123", "123"):
+            distance = platform.hop_distance(
+                result.placement[f"t{first}"], result.placement[f"t{second}"]
+            )
+            assert distance <= 4  # neighbours in the element graph
+
+    def test_missing_binding_rejected(self, state3x3, chain4):
+        with pytest.raises(MappingError):
+            map_application(chain4, {}, state3x3)
+
+    def test_deterministic(self, chain4):
+        placements = []
+        for _ in range(2):
+            state = AllocationState(mesh(3, 3))
+            placements.append(bind_and_map(chain4, state).placement)
+        assert placements[0] == placements[1]
+
+
+class TestAnchors:
+    def test_pinned_tasks_become_anchors(self, crisp_state):
+        app = Application("anchored")
+        app.add_task(Task("io", (pinned_implementation(
+            "io_impl", "fpga", ResourceVector(io=1)),)))
+        app.add_task(simple_dsp_task("worker"))
+        app.connect("io", "worker", bandwidth=2.0)
+        result = bind_and_map(app, crisp_state)
+        assert result.anchors["io"] == "fpga"
+        assert result.placement["io"] == "fpga"
+
+    def test_min_degree_start_when_no_anchor(self, state3x3):
+        app = chain_app(3)
+        result = bind_and_map(app, state3x3)
+        # chain endpoints have degree 1 = delta(T); the tie-break picks t0
+        assert set(result.anchors) == {"t0"}
+
+    def test_anchor_capacity_failure(self, crisp_state):
+        app = Application("too_much_io")
+        # fpga offers io=32; demand 3 x 20 > 32 on pinned element
+        for index in range(3):
+            app.add_task(Task(f"io{index}", (pinned_implementation(
+                f"impl{index}", "fpga", ResourceVector(io=20)),)))
+        app.add_task(simple_dsp_task("hub"))
+        for index in range(3):
+            app.connect(f"io{index}", "hub")
+        # binding checks the pool; the pinned element cannot host all
+        # three, so binding itself must fail (or mapping if it slips by)
+        # — either way the attempt fails cleanly.
+        from repro.binding import BindingError
+        with pytest.raises((BindingError, MappingError)):
+            binding = bind(app, crisp_state)
+            map_application(app, binding.choice, crisp_state)
+
+    def test_unmappable_start_task(self, state3x3):
+        app = Application("monster")
+        app.add_task(simple_dsp_task("big", cycles=1000))
+        binding = {"big": app.task("big").implementations[0]}
+        with pytest.raises(MappingError):
+            map_application(app, binding, state3x3)
+
+
+class TestLayerTraversal:
+    def test_layers_recorded(self, state3x3):
+        app = chain_app(4)
+        result = bind_and_map(app, state3x3)
+        assert len(result.layers) == 3  # t1, t2, t3 layers from t0
+        assert result.layers[0].tasks == ("t1",)
+
+    def test_origins_are_previous_layer_elements(self, state3x3):
+        app = chain_app(3)
+        result = bind_and_map(app, state3x3)
+        first_layer = result.layers[0]
+        assert first_layer.origins == (result.anchors["t0"],)
+
+    def test_rings_and_gap_stats_populated(self, state3x3, diamond):
+        result = bind_and_map(diamond, state3x3)
+        for layer in result.layers:
+            assert layer.rings_searched >= 1
+            assert layer.gap_invocations >= 1
+
+
+class TestMappingFailure:
+    def test_platform_too_small(self):
+        state = AllocationState(mesh(1, 2))
+        app = chain_app(4, cycles=60)  # 4 tasks x 60 > 2 x 100
+        binding = bind_result = None
+        from repro.binding import BindingError
+        with pytest.raises((BindingError, MappingError)):
+            bind_and_map(app, state)
+
+    def test_max_rings_limits_search(self, state3x3):
+        app = chain_app(9, cycles=60)
+        options = MappingOptions(max_rings=1)
+        with pytest.raises(MappingError):
+            bind_and_map(app, state3x3, options=options)
+
+    def test_failure_leaves_partial_state_for_caller_rollback(self, state3x3):
+        """map_application mutates state on failure; the manager rolls
+        back via snapshot — verify the documented contract."""
+        snapshot = state3x3.snapshot()
+        app = chain_app(9, cycles=95)  # 9 near-full tasks on 9 elements is
+        # feasible; squeeze harder: pre-occupy some elements
+        state3x3.occupy("dsp_0_0", "blocker", "b0", ResourceVector(cycles=90))
+        state3x3.occupy("dsp_1_1", "blocker", "b1", ResourceVector(cycles=90))
+        try:
+            bind_and_map(app, state3x3)
+        except Exception:
+            pass
+        state3x3.restore(snapshot)
+        assert state3x3.placements_of(app.name) == {}
+
+
+class TestAvailableElements:
+    def test_counts_free_capacity(self, state3x3):
+        task = simple_dsp_task("t", cycles=60)
+        impl = task.implementations[0]
+        assert len(available_elements("t", impl, state3x3)) == 9
+        state3x3.occupy("dsp_0_0", "x", "t0", ResourceVector(cycles=50))
+        assert len(available_elements("t", impl, state3x3)) == 8
+
+
+class TestCostFunction:
+    def test_none_weights_zero_cost(self, state3x3, diamond):
+        cost = MappingCost(NONE)
+        from repro.core.search import SparseDistanceMatrix
+        value = cost(diamond, "app", "a",
+                     state3x3.platform.element("dsp_0_0"),
+                     state3x3, {}, SparseDistanceMatrix())
+        assert value == 0.0
+
+    def test_communication_prefers_nearby(self, state3x3, diamond):
+        from repro.core.search import SparseDistanceMatrix
+        cost = MappingCost(COMMUNICATION)
+        distances = SparseDistanceMatrix()
+        distances.record("dsp_0_1", "dsp_0_0", 2)
+        distances.record("dsp_2_2", "dsp_0_0", 8)
+        placement = {"a": "dsp_0_0"}
+        near = cost(diamond, "app", "b",
+                    state3x3.platform.element("dsp_0_1"),
+                    state3x3, placement, distances)
+        far = cost(diamond, "app", "b",
+                   state3x3.platform.element("dsp_2_2"),
+                   state3x3, placement, distances)
+        assert near < far
+
+    def test_missing_distance_penalised(self, state3x3, diamond):
+        from repro.core.cost import DEFAULT_DISTANCE_PENALTY
+        from repro.core.search import SparseDistanceMatrix
+        cost = MappingCost(COMMUNICATION)
+        distances = SparseDistanceMatrix()  # empty: all lookups fail
+        placement = {"a": "dsp_0_0"}
+        value = cost.communication_term(
+            diamond, "b", state3x3.platform.element("dsp_2_2"),
+            placement, distances,
+        )
+        assert value == DEFAULT_DISTANCE_PENALTY
+
+    def test_unmapped_peers_ignored(self, state3x3, diamond):
+        from repro.core.search import SparseDistanceMatrix
+        cost = MappingCost(COMMUNICATION)
+        value = cost.communication_term(
+            diamond, "b", state3x3.platform.element("dsp_0_0"),
+            {}, SparseDistanceMatrix(),
+        )
+        assert value == 0.0
+
+    def test_fragmentation_bonus_grades(self, state3x3, diamond):
+        """peer neighbour > same-app neighbour > other-app neighbour."""
+        cost = MappingCost(CostWeights(0, 1))
+        element = state3x3.platform.element("dsp_1_0")
+
+        def bonus(placement, occupier_app):
+            state = AllocationState(state3x3.platform)
+            if placement:
+                state.occupy("dsp_0_0", occupier_app, "peer_task",
+                             ResourceVector(cycles=10))
+            mapping = {"a": "dsp_0_0"} if occupier_app == "app" and placement else {}
+            return cost.fragmentation_bonus(
+                diamond, "app", "b", element, state, mapping
+            )
+
+        empty = bonus(False, "app")
+        other_app = bonus(True, "someone_else")
+        same_app = bonus(True, "app")
+        assert empty < other_app < same_app
+
+    def test_border_elements_favoured(self, state3x3, diamond):
+        cost = MappingCost(CostWeights(0, 1))
+        corner = cost.fragmentation_bonus(
+            diamond, "app", "a", state3x3.platform.element("dsp_0_0"),
+            state3x3, {},
+        )
+        center = cost.fragmentation_bonus(
+            diamond, "app", "a", state3x3.platform.element("dsp_1_1"),
+            state3x3, {},
+        )
+        assert corner > center
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            CostWeights(-1, 0)
+
+
+class TestMappingOnCrisp:
+    def test_beamformer_uses_all_dsps(self, crisp_state, beamformer):
+        result = bind_and_map(beamformer, crisp_state, weights=BOTH)
+        from repro.arch import ElementType
+        dsp_elements = {
+            e for t, e in result.placement.items()
+            if crisp_state.platform.element(e).kind == ElementType.DSP
+        }
+        assert len(dsp_elements) == 45  # one DSP task per DSP
+
+    def test_generated_apps_map(self, crisp_state):
+        for seed in range(5):
+            app = generate(
+                GeneratorConfig(inputs=1, internals=4, outputs=1,
+                                pin_io_probability=1.0,
+                                io_elements=("fpga", "arm")),
+                seed=seed,
+            )
+            snapshot = crisp_state.snapshot()
+            result = bind_and_map(app, crisp_state)
+            assert set(result.placement) == set(app.tasks)
+            crisp_state.restore(snapshot)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    internals=st.integers(1, 6),
+    comm=st.floats(0, 5),
+    frag=st.floats(0, 5),
+)
+def test_mapping_property_complete_and_feasible(seed, internals, comm, frag):
+    """Whatever the weights, a successful mapping is complete and
+    never over-commits any element."""
+    app = generate(
+        GeneratorConfig(inputs=1, internals=internals, outputs=1,
+                        utilization_low=0.2, utilization_high=0.6),
+        seed=seed,
+    )
+    state = AllocationState(mesh(4, 4))
+    try:
+        binding = bind(app, state)
+        result = map_application(
+            app, binding.choice, state,
+            cost=MappingCost(CostWeights(comm, frag)),
+        )
+    except Exception:
+        return  # infeasible instances are allowed to fail
+    assert set(result.placement) == set(app.tasks)
+    for element in state.platform.elements:
+        free = state.free(element)
+        for kind in free:
+            assert free[kind] >= 0

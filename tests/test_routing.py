@@ -1,0 +1,169 @@
+"""Tests for the BFS and Dijkstra routers and VC reservation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import AllocationState, ResourceVector, mesh
+from repro.routing import BfsRouter, DijkstraRouter, RoutingError, release_routes
+from tests.conftest import chain_app, diamond_app
+
+
+def place(app, state, assignment):
+    for task, element in assignment.items():
+        state.occupy(element, app.name, task, ResourceVector(cycles=10))
+    return assignment
+
+
+class TestBfsRouter:
+    def test_path_is_shortest(self, state3x3):
+        router = BfsRouter()
+        path = router.find_path(state3x3, "dsp_0_0", "dsp_2_2", 1.0)
+        assert path is not None
+        assert path[0] == "dsp_0_0" and path[-1] == "dsp_2_2"
+        assert len(path) - 1 == state3x3.platform.hop_distance("dsp_0_0", "dsp_2_2")
+
+    def test_path_respects_capacity(self, state3x3):
+        # block the direct corridor: saturate r_0_0 -> r_0_1 (VCs)
+        for index in range(4):
+            state3x3.reserve_route("x", f"c{index}", ["r_0_0", "r_0_1"], 1.0)
+        router = BfsRouter()
+        path = router.find_path(state3x3, "dsp_0_0", "dsp_0_1", 1.0)
+        assert path is not None
+        assert ("r_0_0", "r_0_1") not in list(zip(path, path[1:]))
+
+    def test_no_path_returns_none(self, state3x3):
+        # wall off dsp_0_0 entirely (its single endpoint link, both
+        # directions; endpoint links carry 16 virtual channels)
+        for index in range(16):
+            state3x3.reserve_route("x", f"a{index}", ["dsp_0_0", "r_0_0"], 1.0)
+        router = BfsRouter()
+        assert router.find_path(state3x3, "dsp_0_0", "dsp_2_2", 1.0) is None
+
+    def test_bandwidth_constraint(self, state3x3):
+        state3x3.reserve_route("x", "fat", ["dsp_0_0", "r_0_0"], 95.0)
+        router = BfsRouter()
+        assert router.find_path(state3x3, "dsp_0_0", "dsp_0_1", 10.0) is None
+        assert router.find_path(state3x3, "dsp_0_0", "dsp_0_1", 5.0) is not None
+
+
+class TestRouteApplication:
+    def test_routes_all_channels(self, state3x3):
+        app = diamond_app()
+        placement = place(app, state3x3, {
+            "a": "dsp_0_0", "b": "dsp_0_1", "c": "dsp_1_0", "d": "dsp_1_1",
+        })
+        result = BfsRouter().route_application(app, placement, state3x3)
+        assert set(result.routes) == set(app.channels)
+        assert result.total_hops > 0
+
+    def test_local_channels_need_no_route(self, state3x3):
+        app = chain_app(2)
+        placement = place(app, state3x3, {"t0": "dsp_0_0", "t1": "dsp_0_0"})
+        result = BfsRouter().route_application(app, placement, state3x3)
+        assert result.routes == {}
+        assert result.local_channels == ("t0->t1",)
+        assert result.hops_per_channel() == 0.0
+
+    def test_reservations_recorded_in_state(self, state3x3):
+        app = chain_app(2)
+        placement = place(app, state3x3, {"t0": "dsp_0_0", "t1": "dsp_0_1"})
+        result = BfsRouter().route_application(app, placement, state3x3)
+        assert state3x3.reservation(app.name, "t0->t1") is not None
+
+    def test_unmapped_endpoint_rejected(self, state3x3):
+        app = chain_app(2)
+        with pytest.raises(RoutingError):
+            BfsRouter().route_application(app, {"t0": "dsp_0_0"}, state3x3)
+
+    def test_failure_names_channel(self, state3x3):
+        app = chain_app(2)
+        placement = place(app, state3x3, {"t0": "dsp_0_0", "t1": "dsp_2_2"})
+        for index in range(16):
+            state3x3.reserve_route("x", f"w{index}", ["dsp_0_0", "r_0_0"], 1.0)
+        with pytest.raises(RoutingError) as info:
+            BfsRouter().route_application(app, placement, state3x3)
+        assert "t0->t1" in str(info.value)
+
+    def test_fattest_channel_first(self, state3x3):
+        app = diamond_app()
+        # unequal bandwidths: verify ordering is by descending bandwidth
+        channels = sorted(app.channels.values(), key=lambda c: c.name)
+        ordered = sorted(app.channels.values(),
+                         key=lambda c: (-c.bandwidth, c.name))
+        assert ordered[0].bandwidth >= ordered[-1].bandwidth
+
+    def test_release_routes(self, state3x3):
+        app = chain_app(3)
+        placement = place(app, state3x3, {
+            "t0": "dsp_0_0", "t1": "dsp_0_1", "t2": "dsp_0_2",
+        })
+        result = BfsRouter().route_application(app, placement, state3x3)
+        release_routes(state3x3, app.name, result)
+        assert result.routes == {}
+        assert state3x3.reservations_of(app.name) == ()
+
+
+class TestDijkstraRouter:
+    def test_matches_bfs_length_on_empty_platform(self, state3x3):
+        bfs = BfsRouter()
+        dijkstra = DijkstraRouter(congestion_weight=0.0)
+        for target in ("dsp_0_1", "dsp_1_1", "dsp_2_2"):
+            a = bfs.find_path(state3x3, "dsp_0_0", target, 1.0)
+            b = dijkstra.find_path(state3x3, "dsp_0_0", target, 1.0)
+            assert len(a) == len(b)
+
+    def test_congestion_aware_detour(self):
+        platform = mesh(1, 4)
+        state = AllocationState(platform)
+        # load the middle link heavily but not fully
+        state.reserve_route("x", "load", ["r_0_1", "r_0_2"], 80.0)
+        dijkstra = DijkstraRouter(congestion_weight=10.0)
+        path = dijkstra.find_path(state, "dsp_0_1", "dsp_0_2", 5.0)
+        # on a line there is no detour: it must still use the link
+        assert ("r_0_1", "r_0_2") in list(zip(path, path[1:]))
+        # on a mesh there is: verify it goes around
+        state2 = AllocationState(mesh(2, 2))
+        state2.reserve_route("x", "load", ["r_0_0", "r_0_1"], 80.0)
+        detour = DijkstraRouter(congestion_weight=10.0).find_path(
+            state2, "dsp_0_0", "dsp_0_1", 5.0
+        )
+        assert ("r_0_0", "r_0_1") not in list(zip(detour, detour[1:]))
+
+    def test_negative_congestion_weight_rejected(self):
+        with pytest.raises(ValueError):
+            DijkstraRouter(congestion_weight=-1)
+
+    def test_routes_application_like_bfs(self, state3x3):
+        app = diamond_app()
+        placement = place(app, state3x3, {
+            "a": "dsp_0_0", "b": "dsp_0_1", "c": "dsp_1_0", "d": "dsp_1_1",
+        })
+        result = DijkstraRouter().route_application(app, placement, state3x3)
+        assert set(result.routes) == set(app.channels)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    source=st.integers(0, 8),
+    target=st.integers(0, 8),
+    bandwidth=st.floats(min_value=0.1, max_value=50.0),
+)
+def test_property_paths_valid_and_minimal(source, target, bandwidth):
+    """On an empty mesh, both routers return hop-minimal, link-valid
+    paths between any element pair."""
+    platform = mesh(3, 3)
+    state = AllocationState(platform)
+    names = [e.name for e in platform.elements]
+    src, dst = names[source], names[target]
+    if src == dst:
+        return
+    expected = platform.hop_distance(src, dst)
+    for router in (BfsRouter(), DijkstraRouter(congestion_weight=0.0)):
+        path = router.find_path(state, src, dst, bandwidth)
+        assert path is not None
+        assert len(path) - 1 == expected
+        for a, b in zip(path, path[1:]):
+            platform.link_between(a, b)  # raises if not a real link

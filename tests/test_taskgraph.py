@@ -1,0 +1,145 @@
+"""Unit tests for the task graph model and its graph operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    Application,
+    Channel,
+    Implementation,
+    Task,
+    TaskGraphError,
+)
+from repro.arch import ElementType, ResourceVector
+from tests.conftest import chain_app, diamond_app, simple_dsp_task
+
+
+class TestConstruction:
+    def test_duplicate_task_rejected(self):
+        app = Application("a")
+        app.add_task(simple_dsp_task("t"))
+        with pytest.raises(TaskGraphError):
+            app.add_task(simple_dsp_task("t"))
+
+    def test_channel_to_unknown_task_rejected(self):
+        app = Application("a")
+        app.add_task(simple_dsp_task("t"))
+        with pytest.raises(TaskGraphError):
+            app.add_channel(Channel("c", "t", "ghost"))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TaskGraphError):
+            Channel("c", "t", "t")
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(TaskGraphError):
+            Channel("c", "a", "b", bandwidth=0)
+
+    def test_duplicate_implementation_name_rejected(self):
+        impl = Implementation(
+            name="x",
+            requirement=ResourceVector(cycles=1),
+            target_kind=ElementType.DSP,
+        )
+        with pytest.raises(TaskGraphError):
+            Task("t", (impl, impl))
+
+    def test_connect_generates_names(self):
+        app = chain_app(3)
+        assert "t0->t1" in app.channels
+
+    def test_duplicate_channel_name_rejected(self):
+        app = chain_app(2)
+        with pytest.raises(TaskGraphError):
+            app.connect("t0", "t1")  # same generated name
+
+
+class TestGraphOps:
+    def test_successors_predecessors(self):
+        app = diamond_app()
+        assert set(app.successors("a")) == {"b", "c"}
+        assert set(app.predecessors("d")) == {"b", "c"}
+        assert app.predecessors("a") == ()
+
+    def test_neighbors_undirected_and_deduplicated(self):
+        app = Application("multi")
+        app.add_task(simple_dsp_task("x"))
+        app.add_task(simple_dsp_task("y"))
+        app.connect("x", "y", name="c1")
+        app.connect("x", "y", name="c2")  # parallel channel
+        assert app.neighbors("x") == ("y",)
+        assert app.degree("x") == 2  # but degree counts channels
+
+    def test_min_degree(self):
+        app = diamond_app()
+        assert app.min_degree() == 2
+        assert set(app.min_degree_tasks()) == {"a", "b", "c", "d"}
+
+    def test_chain_min_degree_is_endpoints(self):
+        app = chain_app(4)
+        assert set(app.min_degree_tasks()) == {"t0", "t3"}
+
+    def test_channels_between(self):
+        app = diamond_app()
+        assert len(app.channels_between("a", "b")) == 1
+        assert len(app.channels_between("a", "d")) == 0
+
+    def test_incident_channels(self):
+        app = diamond_app()
+        assert len(app.incident_channels("a")) == 2
+        assert len(app.incident_channels("d")) == 2
+
+
+class TestDistanceLayers:
+    def test_chain_layers(self):
+        app = chain_app(4)
+        layers = app.distance_layers(["t0"])
+        assert layers == [{"t0"}, {"t1"}, {"t2"}, {"t3"}]
+
+    def test_diamond_layers(self):
+        app = diamond_app()
+        layers = app.distance_layers(["a"])
+        assert layers == [{"a"}, {"b", "c"}, {"d"}]
+
+    def test_multiple_origins(self):
+        app = chain_app(5)
+        layers = app.distance_layers(["t0", "t4"])
+        assert layers[0] == {"t0", "t4"}
+        assert layers[1] == {"t1", "t3"}
+        assert layers[2] == {"t2"}
+
+    def test_empty_origins_rejected(self):
+        with pytest.raises(TaskGraphError):
+            chain_app(2).distance_layers([])
+
+
+class TestValidate:
+    def test_valid_app_passes(self):
+        chain_app(3).validate()
+
+    def test_empty_app_rejected(self):
+        with pytest.raises(TaskGraphError):
+            Application("empty").validate()
+
+    def test_task_without_implementations_rejected(self):
+        app = Application("a")
+        app.add_task(Task("bare"))
+        with pytest.raises(TaskGraphError):
+            app.validate()
+
+    def test_disconnected_app_rejected(self):
+        app = Application("two_islands")
+        app.add_task(simple_dsp_task("x"))
+        app.add_task(simple_dsp_task("y"))
+        with pytest.raises(TaskGraphError):
+            app.validate()
+
+    def test_is_connected_on_empty_app(self):
+        assert Application("e").is_connected()
+
+    def test_roles(self):
+        app = Application("r")
+        app.add_task(Task("i", (simple_dsp_task("x").implementations[0],), role="input"))
+        assert len(app.roles("input")) == 1
+        assert len(app.roles("output")) == 0

@@ -1,0 +1,232 @@
+"""Unit and property tests for the platform topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch import (
+    ElementType,
+    ProcessingElement,
+    ResourceVector,
+    Router,
+    TopologyError,
+    crisp,
+    heterogeneous_mesh,
+    irregular,
+    line,
+    mesh,
+    torus,
+)
+from repro.arch.builders import CRISP_DSP_COUNT
+from repro.arch.topology import Platform
+
+
+def element(name: str) -> ProcessingElement:
+    return ProcessingElement(name, ElementType.DSP, ResourceVector(cycles=10))
+
+
+class TestConstruction:
+    def test_duplicate_node_name_rejected(self):
+        platform = Platform()
+        platform.add_element(element("a"))
+        with pytest.raises(TopologyError):
+            platform.add_router(Router("a"))
+
+    def test_self_link_rejected(self):
+        platform = Platform()
+        a = platform.add_element(element("a"))
+        with pytest.raises(TopologyError):
+            platform.add_link(a, a)
+
+    def test_duplicate_link_rejected(self):
+        platform = Platform()
+        a = platform.add_element(element("a"))
+        b = platform.add_element(element("b"))
+        platform.add_link(a, b)
+        with pytest.raises(TopologyError):
+            platform.add_link(b, a)
+
+    def test_link_to_unknown_node_rejected(self):
+        platform = Platform()
+        platform.add_element(element("a"))
+        with pytest.raises(TopologyError):
+            platform.add_link("a", "ghost")
+
+    def test_frozen_platform_rejects_modification(self):
+        platform = Platform()
+        platform.add_element(element("a"))
+        platform.freeze()
+        with pytest.raises(TopologyError):
+            platform.add_element(element("b"))
+
+    def test_element_lookup_type_checked(self, mesh3x3):
+        with pytest.raises(TopologyError):
+            mesh3x3.element("r_0_0")  # a router, not an element
+
+    def test_link_capacity_validation(self):
+        platform = Platform()
+        a = platform.add_element(element("a"))
+        b = platform.add_element(element("b"))
+        with pytest.raises(TopologyError):
+            platform.add_link(a, b, virtual_channels=0)
+        with pytest.raises(TopologyError):
+            platform.add_link(a, b, bandwidth=0)
+
+
+class TestDistances:
+    def test_mesh_is_connected(self, mesh4x4):
+        assert mesh4x4.is_connected()
+
+    def test_hop_distance_same_node_is_zero(self, mesh3x3):
+        assert mesh3x3.hop_distance("dsp_0_0", "dsp_0_0") == 0
+
+    def test_hop_distance_matches_networkx(self, mesh4x4):
+        graph = nx.Graph()
+        for link in mesh4x4.links:
+            graph.add_edge(link.a.name, link.b.name)
+        for source in ("dsp_0_0", "r_1_2", "dsp_3_3"):
+            lengths = nx.single_source_shortest_path_length(graph, source)
+            for node in mesh4x4.nodes:
+                assert mesh4x4.hop_distance(source, node.name) == lengths[node.name]
+
+    def test_disconnected_distance_is_minus_one(self):
+        platform = Platform()
+        platform.add_element(element("a"))
+        platform.add_element(element("b"))
+        platform.freeze()
+        assert platform.hop_distance("a", "b") == -1
+        assert not platform.is_connected()
+
+    def test_neighborhood_rings(self, mesh3x3):
+        center = mesh3x3.node("r_1_1")
+        ring0 = mesh3x3.neighborhood([center], 0)
+        assert ring0 == {center}
+        ring1 = mesh3x3.neighborhood([center], 1)
+        names = {n.name for n in ring1}
+        assert names == {"dsp_1_1", "r_0_1", "r_2_1", "r_1_0", "r_1_2"}
+
+    def test_bfs_distances_with_limit(self, mesh4x4):
+        distances = mesh4x4.bfs_distances([mesh4x4.node("r_0_0")], limit=2)
+        assert max(distances.values()) == 2
+
+
+class TestElementAdjacency:
+    def test_mesh_element_neighbors(self, mesh3x3):
+        # corner element: adjacent to the two elements one router away
+        neighbors = {e.name for e in mesh3x3.element_neighbors("dsp_0_0")}
+        assert neighbors == {"dsp_0_1", "dsp_1_0"}
+
+    def test_center_element_has_four_neighbors(self, mesh3x3):
+        assert mesh3x3.element_connectivity("dsp_1_1") == 4
+
+    def test_element_pairs_count_matches_mesh_edges(self, mesh4x4):
+        # element adjacency of a mesh mirrors the router mesh: 2*4*3 edges
+        assert len(mesh4x4.element_pairs) == 24
+
+    def test_pairs_are_sorted_and_unique(self, mesh3x3):
+        seen = set()
+        for a, b in mesh3x3.element_pairs:
+            assert a.name < b.name
+            key = (a.name, b.name)
+            assert key not in seen
+            seen.add(key)
+
+    def test_adjacency_requires_frozen(self):
+        platform = Platform()
+        platform.add_element(element("a"))
+        with pytest.raises(TopologyError):
+            platform.element_neighbors("a")
+
+
+class TestBuilders:
+    def test_mesh_counts(self):
+        platform = mesh(2, 5)
+        assert len(platform.elements) == 10
+        assert len(platform.routers) == 10
+        # links: 10 endpoint + horizontal 2*4 + vertical 1*5
+        assert len(platform.links) == 10 + 8 + 5
+
+    def test_torus_has_wraparound(self):
+        platform = torus(3, 3)
+        assert platform.hop_distance("r_0_0", "r_0_2") == 1
+
+    def test_line_is_mesh_1xn(self):
+        platform = line(5)
+        assert len(platform.elements) == 5
+        assert platform.hop_distance("dsp_0_0", "dsp_0_4") == 6
+
+    def test_irregular_stays_connected(self):
+        for seed in range(5):
+            platform = irregular(4, 4, drop_fraction=0.3, seed=seed)
+            assert platform.is_connected()
+
+    def test_irregular_deterministic(self):
+        a = irregular(4, 4, seed=3)
+        b = irregular(4, 4, seed=3)
+        assert {l.key() for l in a.links} == {l.key() for l in b.links}
+
+    def test_irregular_drops_links(self):
+        full = mesh(4, 4)
+        dropped = irregular(4, 4, drop_fraction=0.3, seed=1)
+        assert len(dropped.links) < len(full.links)
+
+    def test_heterogeneous_mesh_pattern(self):
+        platform = heterogeneous_mesh(
+            2, 2, pattern=(ElementType.DSP, ElementType.MEMORY)
+        )
+        kinds = sorted(e.kind.value for e in platform.elements)
+        assert kinds == ["dsp", "dsp", "memory", "memory"]
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            mesh(0, 3)
+        with pytest.raises(ValueError):
+            torus(2, 3)
+        with pytest.raises(ValueError):
+            irregular(3, 3, drop_fraction=1.0)
+
+
+class TestCrisp:
+    def test_element_census(self, crisp_platform):
+        by_kind = {}
+        for e in crisp_platform.elements:
+            by_kind[e.kind] = by_kind.get(e.kind, 0) + 1
+        assert by_kind[ElementType.DSP] == CRISP_DSP_COUNT == 45
+        assert by_kind[ElementType.MEMORY] == 10
+        assert by_kind[ElementType.TEST] == 5
+        assert by_kind[ElementType.GPP] == 1
+        assert by_kind[ElementType.FPGA] == 1
+
+    def test_connected(self, crisp_platform):
+        assert crisp_platform.is_connected()
+
+    def test_fpga_and_arm_at_opposite_ends(self, crisp_platform):
+        distance = crisp_platform.hop_distance("fpga", "arm")
+        # the chip chain is long: fpga -> 5 packages -> arm
+        assert distance >= 20
+
+    def test_less_connected_than_mesh(self, crisp_platform):
+        """The paper: 'Compared to a fully meshed platform, the CRISP
+        architecture is less connected.'"""
+        crisp_links = len(crisp_platform.links)
+        same_size_mesh = mesh(4, 16)  # 64 tiles, comparable scale
+        assert crisp_links < len(same_size_mesh.links)
+
+    def test_package_scaling(self):
+        two = crisp(packages=2)
+        assert sum(1 for e in two.elements if e.kind == ElementType.DSP) == 18
+
+    def test_deterministic_construction(self):
+        a = crisp()
+        b = crisp()
+        assert [n.name for n in a.nodes] == [n.name for n in b.nodes]
+
+
+@given(rows=st.integers(1, 4), cols=st.integers(1, 4))
+def test_mesh_property_connected_and_sized(rows, cols):
+    platform = mesh(rows, cols)
+    assert platform.is_connected()
+    assert len(platform.elements) == rows * cols

@@ -1,0 +1,332 @@
+"""Tests for the SDF model, analysis, throughput engine and validator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import LatencyConstraint, ThroughputConstraint
+from repro.arch import AllocationState, ResourceVector, mesh
+from repro.binding import bind
+from repro.core import map_application
+from repro.routing import BfsRouter
+from repro.validation import (
+    Actor,
+    Edge,
+    InconsistentGraphError,
+    SdfError,
+    SdfGraph,
+    SdfModelOptions,
+    analyze_throughput,
+    dead_actors,
+    default_reference_task,
+    is_consistent,
+    iteration_duration_bound,
+    layout_to_sdf,
+    repetition_vector,
+    validate_layout,
+)
+from tests.conftest import chain_app, diamond_app
+
+
+def ring(durations, tokens=1):
+    graph = SdfGraph("ring")
+    names = [f"a{i}" for i in range(len(durations))]
+    for name, duration in zip(names, durations):
+        graph.add_actor(Actor(name, duration))
+    for i, name in enumerate(names):
+        nxt = names[(i + 1) % len(names)]
+        graph.connect(name, nxt,
+                      initial_tokens=tokens if i == len(names) - 1 else 0)
+    return graph
+
+
+class TestSdfGraph:
+    def test_duplicate_actor_rejected(self):
+        graph = SdfGraph("g")
+        graph.add_actor(Actor("a", 1.0))
+        with pytest.raises(SdfError):
+            graph.add_actor(Actor("a", 2.0))
+
+    def test_edge_to_unknown_actor_rejected(self):
+        graph = SdfGraph("g")
+        graph.add_actor(Actor("a", 1.0))
+        with pytest.raises(SdfError):
+            graph.add_edge(Edge("e", "a", "ghost"))
+
+    def test_rate_validation(self):
+        with pytest.raises(SdfError):
+            Edge("e", "a", "b", production=0)
+        with pytest.raises(SdfError):
+            Edge("e", "a", "b", initial_tokens=-1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SdfError):
+            Actor("a", -1.0)
+
+    def test_is_hsdf(self):
+        graph = ring([1.0, 1.0])
+        assert graph.is_hsdf()
+        graph.connect("a0", "a1", production=2, name="multi")
+        assert not graph.is_hsdf()
+
+
+class TestRepetitionVector:
+    def test_hsdf_all_ones(self):
+        assert repetition_vector(ring([1.0, 1.0, 1.0])) == {
+            "a0": 1, "a1": 1, "a2": 1,
+        }
+
+    def test_multirate(self):
+        graph = SdfGraph("mr")
+        graph.add_actor(Actor("a", 1.0))
+        graph.add_actor(Actor("b", 1.0))
+        graph.connect("a", "b", production=3, consumption=2)
+        assert repetition_vector(graph) == {"a": 2, "b": 3}
+
+    def test_inconsistent_detected(self):
+        graph = SdfGraph("bad")
+        for name in "abc":
+            graph.add_actor(Actor(name, 1.0))
+        graph.connect("a", "b", production=2, consumption=1)
+        graph.connect("b", "c", production=1, consumption=1)
+        graph.connect("c", "a", production=1, consumption=1)
+        with pytest.raises(InconsistentGraphError):
+            repetition_vector(graph)
+        assert not is_consistent(graph)
+
+    def test_disconnected_components_independent(self):
+        graph = SdfGraph("two")
+        for name in "abcd":
+            graph.add_actor(Actor(name, 1.0))
+        graph.connect("a", "b", production=2, consumption=1)
+        graph.connect("c", "d")
+        vector = repetition_vector(graph)
+        assert vector["a"] == 1 and vector["b"] == 2
+        assert vector["c"] == vector["d"] == 1
+
+    def test_empty_graph(self):
+        assert repetition_vector(SdfGraph("empty")) == {}
+
+    def test_iteration_bound(self):
+        graph = ring([2.0, 3.0])
+        assert iteration_duration_bound(graph) == 3.0
+
+
+class TestDeadActors:
+    def test_live_graph_has_none(self):
+        assert dead_actors(ring([1.0, 1.0])) == ()
+
+    def test_tokenless_cycle_is_dead(self):
+        graph = ring([1.0, 1.0], tokens=0)
+        assert set(dead_actors(graph)) == {"a0", "a1"}
+
+
+class TestThroughput:
+    def test_single_actor_selfloop(self):
+        graph = SdfGraph("solo")
+        graph.add_actor(Actor("a", 2.0))
+        graph.connect("a", "a", initial_tokens=1)
+        result = analyze_throughput(graph)
+        assert result.of("a") == pytest.approx(0.5)
+
+    def test_ring_throughput_is_tokens_over_cycle_time(self):
+        # classic HSDF bound: throughput = tokens / sum(durations)
+        graph = ring([1.0, 2.0, 3.0], tokens=1)
+        assert analyze_throughput(graph).of("a0") == pytest.approx(1 / 6)
+        graph2 = ring([1.0, 2.0, 3.0], tokens=2)
+        assert analyze_throughput(graph2).of("a0") == pytest.approx(2 / 6)
+
+    def test_pipeline_limited_by_slowest_stage(self):
+        graph = SdfGraph("pipe")
+        for name, duration in (("a", 1.0), ("b", 4.0), ("c", 2.0)):
+            graph.add_actor(Actor(name, duration))
+        graph.connect("a", "b")
+        graph.connect("b", "c")
+        # generous buffers: back edges with 3 tokens
+        graph.connect("b", "a", initial_tokens=3)
+        graph.connect("c", "b", initial_tokens=3)
+        assert analyze_throughput(graph).of("c") == pytest.approx(1 / 4)
+
+    def test_deadlock_reported(self):
+        graph = ring([1.0, 1.0], tokens=0)
+        result = analyze_throughput(graph)
+        assert result.deadlocked
+        assert result.of("a0") == 0.0
+
+    def test_transient_phase_detected(self):
+        # unbalanced pipeline has a fill phase before the periodic one
+        graph = SdfGraph("fill")
+        graph.add_actor(Actor("fast", 1.0))
+        graph.add_actor(Actor("slow", 5.0))
+        graph.connect("fast", "slow")
+        graph.connect("slow", "fast", initial_tokens=4)
+        result = analyze_throughput(graph)
+        assert result.of("slow") == pytest.approx(1 / 5)
+
+    def test_multirate_throughput_scales_with_repetitions(self):
+        graph = SdfGraph("mr")
+        graph.add_actor(Actor("a", 1.0))
+        graph.add_actor(Actor("b", 1.0))
+        graph.connect("a", "b", production=2, consumption=1)
+        graph.connect("b", "a", production=1, consumption=2, initial_tokens=4)
+        result = analyze_throughput(graph)
+        assert result.of("b") == pytest.approx(2 * result.of("a"))
+
+    def test_max_firings_cap(self):
+        graph = ring([1.0, 1.0, 1.0])
+        from repro.validation import ThroughputError
+        with pytest.raises(ThroughputError):
+            analyze_throughput(graph, max_firings=2)
+
+    def test_empty_graph(self):
+        result = analyze_throughput(SdfGraph("void"))
+        assert result.throughput == {}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    durations=st.lists(st.floats(min_value=0.1, max_value=5.0),
+                       min_size=2, max_size=5),
+    tokens=st.integers(1, 3),
+)
+def test_ring_property_matches_closed_form(durations, tokens):
+    """HSDF ring throughput is min(tokens / cycle time, 1 / max
+    duration): the cycle-time theorem, capped by the no-auto-
+    concurrency rule (an actor cannot overlap its own firings)."""
+    graph = ring(durations, tokens=tokens)
+    result = analyze_throughput(graph)
+    expected = min(tokens / sum(durations), 1 / max(durations))
+    assert result.of("a0") == pytest.approx(expected, rel=1e-6)
+
+
+class TestLayoutToSdf:
+    def build_layout(self, app, state):
+        binding = bind(app, state)
+        mapping = map_application(app, binding.choice, state)
+        routing = BfsRouter().route_application(app, mapping.placement, state)
+        return binding, mapping, routing
+
+    def test_actor_per_task_and_channel(self, state3x3):
+        app = chain_app(3)
+        binding, mapping, routing = self.build_layout(app, state3x3)
+        graph = layout_to_sdf(app, binding.choice, mapping.placement,
+                              routing.routes, state3x3)
+        assert len(graph.actors) == 3 + 2  # tasks + comm actors
+        # 2 channels x 3 edges (data, deliver, space)
+        assert len(graph.edges) == 6
+
+    def test_route_length_sets_comm_latency(self, state3x3):
+        app = chain_app(2)
+        binding = bind(app, state3x3)
+        placement = {"t0": "dsp_0_0", "t1": "dsp_2_2"}
+        for task, element in placement.items():
+            state3x3.occupy(element, app.name, task,
+                            binding.choice[task].requirement)
+        routing = BfsRouter().route_application(app, placement, state3x3)
+        options = SdfModelOptions(hop_latency=0.5)
+        graph = layout_to_sdf(app, binding.choice, placement,
+                              routing.routes, state3x3, options)
+        hops = routing.routes["t0->t1"].hops
+        assert graph.actor("ch:t0->t1").duration == pytest.approx(0.5 * hops)
+
+    def test_time_sharing_scales_durations(self, state3x3):
+        app = chain_app(2)
+        binding = bind(app, state3x3)
+        placement = {"t0": "dsp_0_0", "t1": "dsp_0_0"}
+        for task in placement:
+            state3x3.occupy("dsp_0_0", app.name, task,
+                            binding.choice[task].requirement)
+        graph = layout_to_sdf(app, binding.choice, placement, {}, state3x3)
+        base = binding.choice["t0"].execution_time
+        assert graph.actor("t0").duration == pytest.approx(2 * base)
+        solo = layout_to_sdf(
+            app, binding.choice, placement, {}, state3x3,
+            SdfModelOptions(model_time_sharing=False),
+        )
+        assert solo.actor("t0").duration == pytest.approx(base)
+
+    def test_buffer_tokens_bound_pipelining(self, state3x3):
+        app = chain_app(2)
+        binding, mapping, routing = self.build_layout(app, state3x3)
+        shallow = layout_to_sdf(app, binding.choice, mapping.placement,
+                                routing.routes, state3x3,
+                                SdfModelOptions(buffer_tokens=1))
+        deep = layout_to_sdf(app, binding.choice, mapping.placement,
+                             routing.routes, state3x3,
+                             SdfModelOptions(buffer_tokens=8))
+        t_shallow = analyze_throughput(shallow).of("t1")
+        t_deep = analyze_throughput(deep).of("t1")
+        assert t_deep >= t_shallow
+
+
+class TestValidator:
+    def test_reference_task_defaults(self):
+        app = diamond_app()
+        assert default_reference_task(app) == "d"  # unique sink
+
+    def test_validate_layout_reports(self, state3x3):
+        app = chain_app(3)
+        app.add_constraint(ThroughputConstraint(1e-6, reference_task="t2"))
+        app.add_constraint(LatencyConstraint(1e6, path=("t0", "t1", "t2")))
+        binding = bind(app, state3x3)
+        mapping = map_application(app, binding.choice, state3x3)
+        routing = BfsRouter().route_application(app, mapping.placement, state3x3)
+        report = validate_layout(app, binding.choice, mapping.placement,
+                                 routing.routes, state3x3)
+        assert report.satisfied
+        assert len(report.checks) == 2
+        assert all(c.achieved > 0 for c in report.checks)
+
+    def test_violation_detected(self, state3x3):
+        app = chain_app(3)
+        app.add_constraint(ThroughputConstraint(1e9, reference_task="t2"))
+        binding = bind(app, state3x3)
+        mapping = map_application(app, binding.choice, state3x3)
+        routing = BfsRouter().route_application(app, mapping.placement, state3x3)
+        report = validate_layout(app, binding.choice, mapping.placement,
+                                 routing.routes, state3x3)
+        assert not report.satisfied
+        assert len(report.violations()) == 1
+
+
+class TestCyclicApplications:
+    def make_cyclic_app(self, initial_tokens: int):
+        """a -> b -> a feedback pair, optionally tokenless."""
+        from repro.apps import Application, Channel
+        from tests.conftest import simple_dsp_task
+        app = Application("cyclic")
+        app.add_task(simple_dsp_task("a"))
+        app.add_task(simple_dsp_task("b"))
+        app.add_channel(Channel("fwd", "a", "b", bandwidth=2.0))
+        app.add_channel(Channel("back", "b", "a", bandwidth=2.0,
+                                initial_tokens=initial_tokens))
+        return app
+
+    def test_feedback_tokens_prevent_deadlock(self, state3x3):
+        app = self.make_cyclic_app(initial_tokens=1)
+        binding = bind(app, state3x3)
+        mapping = map_application(app, binding.choice, state3x3)
+        routing = BfsRouter().route_application(app, mapping.placement,
+                                                state3x3)
+        report = validate_layout(app, binding.choice, mapping.placement,
+                                 routing.routes, state3x3)
+        assert not report.deadlocked
+        assert report.throughput.of("a") > 0
+
+    def test_tokenless_cycle_deadlocks(self):
+        from repro.arch import AllocationState, mesh
+        state = AllocationState(mesh(3, 3))
+        app = self.make_cyclic_app(initial_tokens=0)
+        binding = bind(app, state)
+        mapping = map_application(app, binding.choice, state)
+        routing = BfsRouter().route_application(app, mapping.placement, state)
+        report = validate_layout(app, binding.choice, mapping.placement,
+                                 routing.routes, state)
+        assert report.deadlocked
+
+    def test_negative_initial_tokens_rejected(self):
+        from repro.apps import Channel, TaskGraphError
+        with pytest.raises(TaskGraphError):
+            Channel("c", "a", "b", initial_tokens=-1)

@@ -1,0 +1,188 @@
+"""Tests for the workload driver, the ASCII visualisation and the
+simulated-annealing baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import make_dataset
+from repro.apps.datasets import DatasetSpec
+from repro.arch import AllocationState, crisp, mesh
+from repro.baselines import annealed_map, communication_distance, random_map
+from repro.binding import bind
+from repro.core import MappingError
+from repro.experiments.workload import (
+    WorkloadConfig,
+    WorkloadStats,
+    run_workload,
+    saturation_point,
+)
+from repro.manager import Kairos
+from repro.viz import render_occupancy, render_placement, render_route
+from tests.conftest import chain_app, diamond_app
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return make_dataset(DatasetSpec("communication", "small"),
+                        count=10, seed=9)
+
+
+class TestWorkloadDriver:
+    def test_deterministic(self, pool):
+        platform = crisp()
+        first = run_workload(pool, platform, WorkloadConfig(steps=60, seed=3))
+        second = run_workload(pool, platform, WorkloadConfig(steps=60, seed=3))
+        assert first.admitted == second.admitted
+        assert first.rejected == second.rejected
+        assert first.utilization_trace == second.utilization_trace
+
+    def test_traces_cover_every_step(self, pool):
+        stats = run_workload(pool, crisp(), WorkloadConfig(steps=40, seed=1))
+        assert len(stats.utilization_trace) == 40
+        assert len(stats.fragmentation_trace) == 40
+        assert all(0.0 <= u <= 1.0 for u in stats.utilization_trace)
+
+    def test_counters_consistent(self, pool):
+        stats = run_workload(pool, crisp(), WorkloadConfig(steps=80, seed=2))
+        assert stats.admitted >= stats.departed
+        assert stats.departed == len(stats.residencies)
+        assert sum(stats.rejections_by_phase.values()) == stats.rejected
+        assert 0.0 <= stats.admission_ratio <= 1.0
+
+    def test_departures_sustain_admissions(self, pool):
+        """With departures, strictly more admissions happen than the
+        platform's simultaneous capacity."""
+        platform = crisp()
+        capacity = saturation_point(pool, platform)
+        stats = run_workload(
+            pool, platform,
+            WorkloadConfig(steps=120, departure_probability=0.4, seed=5),
+        )
+        assert stats.admitted > capacity
+
+    def test_no_departures_matches_sequence_behaviour(self, pool):
+        stats = run_workload(
+            pool, crisp(),
+            WorkloadConfig(steps=40, departure_probability=0.0, seed=1),
+        )
+        assert stats.departed == 0
+        # utilization only grows without departures
+        assert stats.utilization_trace == sorted(stats.utilization_trace)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            run_workload([], crisp())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(steps=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(departure_probability=1.0)
+
+    def test_stats_empty_defaults(self):
+        stats = WorkloadStats()
+        assert stats.admission_ratio == 0.0
+        assert stats.mean_residency == 0.0
+        assert stats.mean_utilization() == 0.0
+
+
+class TestViz:
+    def test_occupancy_grid_shape(self):
+        platform = mesh(2, 3)
+        state = AllocationState(platform)
+        text = render_occupancy(state)
+        assert "D." in text
+        assert "legend" in text
+
+    def test_occupancy_counts_and_faults(self):
+        platform = mesh(2, 2)
+        state = AllocationState(platform)
+        from repro.arch import ResourceVector
+        state.occupy("dsp_0_0", "a", "t0", ResourceVector(cycles=10))
+        state.occupy("dsp_0_0", "a", "t1", ResourceVector(cycles=10))
+        state.fail_element("dsp_1_1")
+        text = render_occupancy(state)
+        assert "D2" in text
+        assert "XX" in text
+
+    def test_crisp_renders_all_kinds(self):
+        state = AllocationState(crisp())
+        text = render_occupancy(state)
+        for glyph in ("D.", "A.", "F.", "M.", "T."):
+            assert glyph in text
+
+    def test_placement_rendering(self):
+        platform = mesh(2, 2)
+        text = render_placement(platform, {"x": "dsp_0_0", "y": "dsp_1_1"})
+        assert "x" in text and "y" in text
+
+    def test_placement_multi_task_marker(self):
+        platform = mesh(1, 2)
+        text = render_placement(
+            platform, {"aa": "dsp_0_0", "bb": "dsp_0_0"}, width=4
+        )
+        assert "aa+" in text
+
+    def test_route_rendering(self):
+        platform = mesh(1, 2)
+        text = render_route(platform, ("dsp_0_0", "r_0_0", "r_0_1", "dsp_0_1"))
+        assert "(3 hops)" in text
+
+
+class TestAnnealing:
+    def test_places_all_tasks_feasibly(self):
+        app = diamond_app()
+        state = AllocationState(mesh(3, 3))
+        binding = bind(app, state)
+        result = annealed_map(app, binding.choice, state, seed=1,
+                              iterations=300)
+        assert set(result.placement) == set(app.tasks)
+        for element in state.platform.elements:
+            for kind, quantity in state.free(element).items():
+                assert quantity >= 0
+
+    def test_deterministic_per_seed(self):
+        app = chain_app(4)
+        placements = []
+        for _ in range(2):
+            state = AllocationState(mesh(3, 3))
+            binding = bind(app, state)
+            placements.append(
+                annealed_map(app, binding.choice, state, seed=5,
+                             iterations=200).placement
+            )
+        assert placements[0] == placements[1]
+
+    def test_beats_random_on_average(self):
+        app = chain_app(5, cycles=60)
+        annealed_costs = []
+        random_costs = []
+        for seed in range(4):
+            state_a = AllocationState(mesh(4, 4))
+            binding = bind(app, state_a)
+            result = annealed_map(app, binding.choice, state_a, seed=seed,
+                                  iterations=1500)
+            annealed_costs.append(
+                communication_distance(app, result.placement, state_a)
+            )
+            state_r = AllocationState(mesh(4, 4))
+            rnd = random_map(app, binding.choice, state_r, seed=seed)
+            random_costs.append(
+                communication_distance(app, rnd.placement, state_r)
+            )
+        assert sum(annealed_costs) < sum(random_costs)
+
+    def test_impossible_instance_raises(self):
+        app = chain_app(2, cycles=1000)
+        state = AllocationState(mesh(2, 2))
+        binding = {t: app.task(t).implementations[0] for t in app.tasks}
+        with pytest.raises(MappingError):
+            annealed_map(app, binding, state)
+
+    def test_invalid_cooling_rejected(self):
+        app = chain_app(2)
+        state = AllocationState(mesh(2, 2))
+        binding = bind(app, state)
+        with pytest.raises(ValueError):
+            annealed_map(app, binding.choice, state, cooling=1.5)
