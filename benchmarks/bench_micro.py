@@ -14,6 +14,12 @@ from repro.arch import AllocationState, ResourceVector, crisp, mesh
 from repro.binding import bind
 from repro.core import BOTH, MappingCost, map_application
 from repro.core.knapsack import KnapsackItem, solve_greedy
+from repro.experiments import (
+    CHURN_BENCH_CONFIG,
+    CHURN_BENCH_POOL_SIZE,
+    churn_pool,
+    run_admission_churn,
+)
 from repro.manager import Kairos
 from repro.routing import BfsRouter
 from repro.validation import analyze_throughput, layout_to_sdf
@@ -96,3 +102,33 @@ def bench_binding_beamformer(benchmark, platform):
     app = beamforming_application()
     state = AllocationState(platform)
     benchmark(bind, app, state)
+
+
+def bench_admission_churn(benchmark):
+    """Sustained allocate/release churn, 12x12 mesh at ~80% utilization.
+
+    The workload of the PR-over-PR perf trajectory: run
+    ``python benchmarks/run_admission_bench.py`` to emit the
+    machine-readable ``BENCH_admission.json`` (including the
+    seed-reference comparison and rollback-scaling micro-benchmarks).
+    """
+    pool = churn_pool(count=CHURN_BENCH_POOL_SIZE, seed=0)
+
+    def run():
+        run_admission_churn(
+            pool, mesh(12, 12), CHURN_BENCH_CONFIG, rollback="transaction"
+        )
+
+    benchmark(run)
+
+
+def bench_admission_churn_snapshot_rollback(benchmark):
+    """The same churn under the legacy full-snapshot rollback strategy."""
+    pool = churn_pool(count=CHURN_BENCH_POOL_SIZE, seed=0)
+
+    def run():
+        run_admission_churn(
+            pool, mesh(12, 12), CHURN_BENCH_CONFIG, rollback="snapshot"
+        )
+
+    benchmark(run)

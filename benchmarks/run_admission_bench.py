@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Emit ``BENCH_admission.json`` — the admission-churn perf trajectory.
+
+Runs the canonical 12x12-mesh churn workload (fill to ~80% utilization,
+then sustained release/admit churn) against:
+
+* the live pipeline with transaction-journal rollback (the default),
+* the live pipeline with the legacy full-snapshot rollback strategy,
+* the frozen seed reference (``benchmarks/seed_reference``) — the
+  repository's original snapshot/restore implementation,
+
+plus two rollback-scaling micro-benchmarks (4x4 vs 16x16 mesh):
+
+* transaction rollback of a fixed-size failed attempt (must be flat in
+  platform size), and
+* a full snapshot+restore cycle (grows with platform size) for contrast.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_admission_bench.py \
+        [--output BENCH_admission.json] [--repeats 3]
+
+The output is machine-readable so successive PRs can track the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_module
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.arch import AllocationState, mesh  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    CHURN_BENCH_CONFIG,
+    CHURN_BENCH_POOL_SIZE,
+    ROLLBACK_BENCH_OCCUPIES,
+    ROLLBACK_BENCH_ROUTES,
+    churn_pool,
+    measure_mesh_rollback_seconds,
+    run_admission_churn,
+)
+
+from benchmarks.seed_reference.kairos import run_seed_churn  # noqa: E402
+
+
+def best_of(repeats, run):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        value, outcome = run()
+        if value < best:
+            best, result = value, outcome
+    return best, result
+
+
+def measure_snapshot_restore(rows: int, repeats: int = 400) -> float:
+    """Seconds for one full snapshot() + restore() cycle (contrast)."""
+    platform = mesh(rows, rows)
+    state = AllocationState(platform)
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        snapshot = state.snapshot()
+        state.restore(snapshot)
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_admission.json")
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    pool = churn_pool(count=CHURN_BENCH_POOL_SIZE, seed=0)
+
+    def live_transaction():
+        result = run_admission_churn(
+            pool, mesh(12, 12), CHURN_BENCH_CONFIG, rollback="transaction"
+        )
+        return result.elapsed_seconds, result
+
+    def live_snapshot():
+        result = run_admission_churn(
+            pool, mesh(12, 12), CHURN_BENCH_CONFIG, rollback="snapshot"
+        )
+        return result.elapsed_seconds, result
+
+    def seed():
+        result = run_seed_churn(pool, mesh(12, 12), CHURN_BENCH_CONFIG)
+        return result.elapsed_seconds, result
+
+    tx_seconds, tx_result = best_of(args.repeats, live_transaction)
+    snap_seconds, snap_result = best_of(args.repeats, live_snapshot)
+    seed_seconds, seed_result = best_of(args.repeats, seed)
+
+    rollback_4 = measure_mesh_rollback_seconds(4, repeats=400)
+    rollback_16 = measure_mesh_rollback_seconds(16, repeats=400)
+    snapshot_4 = measure_snapshot_restore(4)
+    snapshot_16 = measure_snapshot_restore(16)
+
+    report = {
+        "workload": {
+            "platform": "mesh_12x12",
+            "pool_size": CHURN_BENCH_POOL_SIZE,
+            "steps": CHURN_BENCH_CONFIG.steps,
+            "target_utilization": CHURN_BENCH_CONFIG.target_utilization,
+            "seed": CHURN_BENCH_CONFIG.seed,
+            "attempts": tx_result.attempts,
+            "admitted": tx_result.admitted,
+            "rejected": tx_result.rejected,
+        },
+        "churn_seconds": {
+            "live_transaction": tx_seconds,
+            "live_snapshot": snap_seconds,
+            "seed_reference": seed_seconds,
+        },
+        "speedup_vs_seed": {
+            "live_transaction": seed_seconds / tx_seconds,
+            "live_snapshot": seed_seconds / snap_seconds,
+        },
+        "layouts_identical": {
+            "transaction_vs_snapshot": tx_result.layouts == snap_result.layouts,
+            "transaction_vs_seed": tx_result.layouts == seed_result.layouts,
+        },
+        "rollback_scaling": {
+            "occupies": ROLLBACK_BENCH_OCCUPIES,
+            "routes": ROLLBACK_BENCH_ROUTES,
+            "transaction_rollback_seconds": {
+                "mesh_4x4": rollback_4,
+                "mesh_16x16": rollback_16,
+                "ratio_16x16_over_4x4": rollback_16 / rollback_4,
+            },
+            "snapshot_restore_seconds": {
+                "mesh_4x4": snapshot_4,
+                "mesh_16x16": snapshot_16,
+                "ratio_16x16_over_4x4": snapshot_16 / snapshot_4,
+            },
+        },
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform_module.platform(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+    }
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

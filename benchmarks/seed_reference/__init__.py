@@ -1,0 +1,25 @@
+"""Frozen copy of the seed's admission hot paths — benchmark baseline.
+
+The modules in this package are verbatim copies (imports aside) of the
+repository's *seed* implementation (commit ``v0``) of the allocation
+state, platform search, routers, cost function, binder and mapper —
+the code paths the transactional/interned rewrite replaced:
+
+* ``state.py``    — dict ledgers, O(platform) snapshot()/restore()
+* ``search.py``   — string-keyed ring search and distance matrix
+* ``router.py``   — BFS/Dijkstra hashing node names per hop
+* ``cost.py``     — cost function over the string-based state API
+* ``binder.py``   — regret binder rescanning the platform every round
+* ``mapping.py``  — MapApplication over the above
+* ``kairos.py``   — snapshot/restore allocate work-flow (added here;
+  a trimmed copy of the seed manager, validation always skipped)
+
+Do **not** modify them: ``bench_admission_churn`` and
+``tests/test_admission_churn.py`` measure the live implementation
+against this baseline, so the speedup numbers in ``BENCH_admission.json``
+stay comparable across PRs.  (The baseline shares the immutable
+platform/application model with the live code — those APIs are
+backward compatible — so it benefits from any speedups there; the
+measured ratio is therefore a *lower* bound on the true gain over the
+seed.)
+"""

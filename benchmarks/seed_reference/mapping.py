@@ -19,8 +19,8 @@ heuristic uses divide-and-conquer over the task graph:
    mapped or the search exhausts (mapping failure).
 
 The algorithm mutates the :class:`AllocationState` as layers commit;
-callers (the manager) wrap the whole allocation attempt in a
-``state.transaction()`` so failures roll back atomically.
+callers (the manager) wrap the whole allocation attempt in a snapshot
+so failures roll back atomically.
 """
 
 from __future__ import annotations
@@ -28,13 +28,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.apps.implementations import Implementation
+from benchmarks.seed_reference.compat import seed_fits_in, seed_runs_on
 from repro.apps.taskgraph import Application
 from repro.arch.elements import ProcessingElement
-from repro.arch.state import AllocationError, AllocationState
-from repro.core.cost import MappingCost
-from repro.core.gap import GapSolver, KnapsackSolver
+from benchmarks.seed_reference.state import AllocationError, AllocationState
+from benchmarks.seed_reference.cost import MappingCost
+from benchmarks.seed_reference.gap import GapSolver, KnapsackSolver
 from repro.core.knapsack import solve_greedy
-from repro.core.search import RingSearch, SparseDistanceMatrix
+from benchmarks.seed_reference.search import RingSearch, SparseDistanceMatrix
 
 
 class MappingError(RuntimeError):
@@ -96,42 +97,12 @@ def available_elements(
     This is the paper's ``{e | av(e, t)}``: static compatibility of the
     implementation and sufficient free resources in the current state.
     """
-    return list(_iter_available(implementation, state))
-
-
-def _iter_available(
-    implementation: Implementation,
-    state: AllocationState,
-):
-    """Yield available elements in platform scan order (the single
-    definition of ``av(e, t)`` shared by candidate enumeration and
-    anchor detection)."""
-    platform = state.platform
-    requirement = implementation.requirement
-    free = state._free
-    failed = state._failed_elements
-    element_ids = platform.element_ids
-    for position, element in implementation.compatible_on(platform):
-        element_id = element_ids[position]
-        if element_id not in failed and requirement.fits_in(free[element_id]):
-            yield element
-
-
-def _single_available_element(
-    implementation: Implementation,
-    state: AllocationState,
-) -> ProcessingElement | None:
-    """The element of a single-option task, or None when 0 or >= 2 fit.
-
-    Anchor detection only needs to know whether *exactly one* element
-    is available, so it stops pulling candidates at the second hit
-    (pinned I/O tasks aside, most tasks have many options).
-    """
-    candidates = _iter_available(implementation, state)
-    first = next(candidates, None)
-    if first is None or next(candidates, None) is not None:
-        return None
-    return first
+    return [
+        element
+        for element in state.platform.elements
+        if seed_runs_on(implementation, element)
+        and state.is_available(element, implementation.requirement)
+    ]
 
 
 def map_application(
@@ -147,7 +118,7 @@ def map_application(
     ``binding`` maps every task name to its chosen implementation.
     On success the state holds the new placements; on failure the
     state may hold partial placements of this app — callers should
-    wrap the attempt in ``state.transaction()`` (the manager does).
+    snapshot/restore around the attempt (the manager does).
     """
     cost = cost or MappingCost()
     app_id = app_id or app.name
@@ -161,16 +132,16 @@ def map_application(
         bind_requirements(requirements)
 
     def compatible(task: str, element: ProcessingElement) -> bool:
-        return binding[task].runs_on(element)
+        return seed_runs_on(binding[task], element)
 
     result = MappingResult(placement={}, anchors={})
 
     # ---- M0: single-option anchors (paper Fig. 5, line 2) ----------------
     anchor_pairs: list[tuple[str, ProcessingElement]] = []
     for task in sorted(app.tasks):
-        anchor = _single_available_element(binding[task], state)
-        if anchor is not None:
-            anchor_pairs.append((task, anchor))
+        candidates = available_elements(task, binding[task], state)
+        if len(candidates) == 1:
+            anchor_pairs.append((task, candidates[0]))
 
     # ---- empty M0: anchor the minimum-degree task (lines 3-4) ------------
     if not anchor_pairs:
@@ -178,7 +149,7 @@ def map_application(
         candidates = available_elements(t0, binding[t0], state)
         if not candidates:
             raise MappingError(f"no available element for starting task {t0!r}")
-        empty_distances = SparseDistanceMatrix(state.platform)
+        empty_distances = SparseDistanceMatrix()
         e0 = min(
             candidates,
             key=lambda e: (
@@ -268,7 +239,7 @@ def _map_layer(
     def availability(element: ProcessingElement) -> bool:
         free = state.free(element)
         return any(
-            compatible(task, element) and requirements[task].fits_in(free)
+            compatible(task, element) and seed_fits_in(requirements[task], free)
             for task in tasks
         )
 

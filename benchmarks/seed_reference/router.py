@@ -12,11 +12,6 @@ edge cost) — ablation A1 benchmarks them against each other.  A route
 claims one virtual channel plus the channel's bandwidth on every
 directed link it crosses; channels whose endpoints share an element
 need no network resources at all.
-
-Internally both routers search over the platform's interned node ids
-and directed link slots — the per-hop capacity check is three array
-reads instead of string hashing — and translate back to names only in
-the public ``find_path`` wrapper and the reservations they return.
 """
 
 from __future__ import annotations
@@ -26,7 +21,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.apps.taskgraph import Application, Channel
-from repro.arch.state import AllocationError, AllocationState, ChannelReservation
+from benchmarks.seed_reference.state import AllocationError, AllocationState, ChannelReservation
 
 
 class RoutingError(RuntimeError):
@@ -71,10 +66,9 @@ class BaseRouter:
         Channels are processed by descending bandwidth (fattest first:
         they have the fewest path options), ties broken by name for
         determinism.  Reservations mutate ``state``; the caller is
-        responsible for transaction/rollback on failure.
+        responsible for snapshot/rollback on failure.
         """
         app_id = app_id or app.name
-        node_ids = state.platform._node_ids
         result = RoutingResult()
         local: list[str] = []
         ordered = sorted(
@@ -90,17 +84,15 @@ class BaseRouter:
             if source == target:
                 local.append(channel.name)
                 continue
-            id_path = self.find_path_ids(
-                state, node_ids[source], node_ids[target], channel.bandwidth
-            )
-            if id_path is None:
+            path = self.find_path(state, source, target, channel.bandwidth)
+            if path is None:
                 raise RoutingError(
                     f"no route for channel {channel.name!r} "
                     f"({source} -> {target}, bw {channel.bandwidth:g})"
                 )
             try:
-                reservation = state.reserve_route_ids(
-                    app_id, channel.name, id_path, channel.bandwidth
+                reservation = state.reserve_route(
+                    app_id, channel.name, path, channel.bandwidth
                 )
             except AllocationError as exc:  # pragma: no cover - find_path
                 raise RoutingError(str(exc)) from exc   # guarantees capacity
@@ -115,67 +107,33 @@ class BaseRouter:
         target: str,
         bandwidth: float,
     ) -> list[str] | None:
-        """Name-based wrapper over :meth:`find_path_ids`."""
-        platform = state.platform
-        id_path = self.find_path_ids(
-            state,
-            platform.node_id(source),
-            platform.node_id(target),
-            bandwidth,
-        )
-        if id_path is None:
-            return None
-        nodes = platform.nodes
-        return [nodes[node_id].name for node_id in id_path]
-
-    def find_path_ids(
-        self,
-        state: AllocationState,
-        source_id: int,
-        target_id: int,
-        bandwidth: float,
-    ) -> list[int] | None:
         raise NotImplementedError
 
 
 class BfsRouter(BaseRouter):
     """Breadth-first (minimum-hop) routing — the paper's default."""
 
-    def find_path_ids(
+    def find_path(
         self,
         state: AllocationState,
-        source_id: int,
-        target_id: int,
+        source: str,
+        target: str,
         bandwidth: float,
-    ) -> list[int] | None:
+    ) -> list[str] | None:
         platform = state.platform
-        neighbor_ids = platform._neighbor_ids
-        neighbor_slots = platform._neighbor_slots
-        slot_vc, slot_bw = platform.slot_vc, platform.slot_bw
-        vc_used, bw_used = state._vc_used, state._bw_used
-        failed_links = state._failed_links
-        # parent ids; -1 marks the root, -2 unvisited
-        parents = [-2] * platform.node_count
-        parents[source_id] = -1
-        queue: deque[int] = deque([source_id])
+        parents: dict[str, str | None] = {source: None}
+        queue: deque[str] = deque([source])
         while queue:
             current = queue.popleft()
-            if current == target_id:
-                return _unwind(parents, target_id)
-            ids = neighbor_ids[current]
-            slots = neighbor_slots[current]
-            for position, neighbor in enumerate(ids):
-                if parents[neighbor] != -2:
+            if current == target:
+                return _unwind(parents, target)
+            for neighbor in platform.neighbors(current):
+                if neighbor.name in parents:
                     continue
-                slot = slots[position]
-                if vc_used[slot] >= slot_vc[slot]:
+                if not state.can_traverse(current, neighbor.name, bandwidth):
                     continue
-                if slot_bw[slot] - bw_used[slot] < bandwidth:
-                    continue
-                if failed_links and (slot >> 1) in failed_links:
-                    continue
-                parents[neighbor] = current
-                queue.append(neighbor)
+                parents[neighbor.name] = current
+                queue.append(neighbor.name)
         return None
 
 
@@ -193,64 +151,48 @@ class DijkstraRouter(BaseRouter):
             raise ValueError("congestion_weight must be non-negative")
         self.congestion_weight = congestion_weight
 
-    def find_path_ids(
+    def _edge_cost(self, state: AllocationState, a: str, b: str) -> float:
+        link = state.platform.link_between(a, b)
+        used = link.bandwidth - state.bandwidth_free(a, b)
+        utilization = used / link.bandwidth
+        return 1.0 + self.congestion_weight * utilization
+
+    def find_path(
         self,
         state: AllocationState,
-        source_id: int,
-        target_id: int,
+        source: str,
+        target: str,
         bandwidth: float,
-    ) -> list[int] | None:
+    ) -> list[str] | None:
         platform = state.platform
-        neighbor_ids = platform._neighbor_ids
-        neighbor_slots = platform._neighbor_slots
-        slot_vc, slot_bw = platform.slot_vc, platform.slot_bw
-        vc_used, bw_used = state._vc_used, state._bw_used
-        failed_links = state._failed_links
-        nodes = platform.nodes
-        congestion_weight = self.congestion_weight
-        best: dict[int, float] = {source_id: 0.0}
-        parents = [-2] * platform.node_count
-        parents[source_id] = -1
-        # ties broken by node *name* to keep historical determinism
-        heap: list[tuple[float, str, int]] = [
-            (0.0, nodes[source_id].name, source_id)
-        ]
-        done = bytearray(platform.node_count)
+        best: dict[str, float] = {source: 0.0}
+        parents: dict[str, str | None] = {source: None}
+        heap: list[tuple[float, str]] = [(0.0, source)]
+        done: set[str] = set()
         while heap:
-            cost, _name, current = heapq.heappop(heap)
-            if done[current]:
+            cost, current = heapq.heappop(heap)
+            if current in done:
                 continue
-            done[current] = 1
-            if current == target_id:
-                return _unwind(parents, target_id)
-            ids = neighbor_ids[current]
-            slots = neighbor_slots[current]
-            for position, neighbor in enumerate(ids):
-                if done[neighbor]:
+            done.add(current)
+            if current == target:
+                return _unwind(parents, target)
+            for neighbor in platform.neighbors(current):
+                if neighbor.name in done:
                     continue
-                slot = slots[position]
-                if vc_used[slot] >= slot_vc[slot]:
+                if not state.can_traverse(current, neighbor.name, bandwidth):
                     continue
-                capacity = slot_bw[slot]
-                if capacity - bw_used[slot] < bandwidth:
-                    continue
-                if failed_links and (slot >> 1) in failed_links:
-                    continue
-                edge = 1.0 + congestion_weight * (bw_used[slot] / capacity)
-                candidate = cost + edge
-                if candidate < best.get(neighbor, float("inf")):
-                    best[neighbor] = candidate
-                    parents[neighbor] = current
-                    heapq.heappush(
-                        heap, (candidate, nodes[neighbor].name, neighbor)
-                    )
+                candidate = cost + self._edge_cost(state, current, neighbor.name)
+                if candidate < best.get(neighbor.name, float("inf")):
+                    best[neighbor.name] = candidate
+                    parents[neighbor.name] = current
+                    heapq.heappush(heap, (candidate, neighbor.name))
         return None
 
 
-def _unwind(parents: list[int], target_id: int) -> list[int]:
-    path = [target_id]
-    while parents[path[-1]] != -1:
-        path.append(parents[path[-1]])
+def _unwind(parents: dict[str, str | None], target: str) -> list[str]:
+    path = [target]
+    while parents[path[-1]] is not None:
+        path.append(parents[path[-1]])  # type: ignore[arg-type]
     path.reverse()
     return path
 

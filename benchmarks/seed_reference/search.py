@@ -1,0 +1,187 @@
+"""Platform search: ring-wise BFS for candidate elements (Section III-B).
+
+"In every iteration, we start searching in the topological
+neighborhood of the elements that were allocated in the previous
+iteration.  From the location of the elements Ei-1, a breadth-first
+search (BFS) is started.  When the partial mapping Mi-1 contains more
+than one element, we start this search at multiple locations ...  In
+this search, we keep track of the distance between a newly discovered
+element and the origins of the BFS, to estimate the cost of the
+communication routes."
+
+:class:`RingSearch` runs one BFS *per origin element* in lockstep
+rings, so the sparse distance matrix records, for every discovered
+node, its distance to each individual origin — exactly what the
+mapping cost function needs to estimate route lengths to already-mapped
+communication peers.  Links without a free virtual channel are not
+traversed (a congestion-aware search keeps the distance estimates
+honest and avoids proposing unreachable elements).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.arch.elements import ProcessingElement, is_element
+from benchmarks.seed_reference.state import AllocationState
+
+
+class SparseDistanceMatrix:
+    """Distances discovered so far, keyed by (origin element, node).
+
+    "A sparse distance matrix is built while searching the platform
+    for elements.  If a required distance lookup fails, a relative
+    high penalty is given" (Section III-D) — the penalty policy lives
+    in the cost function; this class just answers ``get`` with None
+    for unknown pairs.  Lookups are symmetric.
+    """
+
+    def __init__(self) -> None:
+        self._distances: dict[tuple[str, str], int] = {}
+
+    def record(self, origin: str, node: str, distance: int) -> None:
+        key = (origin, node) if origin <= node else (node, origin)
+        previous = self._distances.get(key)
+        if previous is None or distance < previous:
+            self._distances[key] = distance
+
+    def get(self, a: str, b: str) -> int | None:
+        if a == b:
+            return 0
+        key = (a, b) if a <= b else (b, a)
+        return self._distances.get(key)
+
+    def __len__(self) -> int:
+        return len(self._distances)
+
+    def merge(self, other: "SparseDistanceMatrix") -> None:
+        """Keep the minimum of both matrices (used across iterations)."""
+        for (a, b), distance in other._distances.items():
+            self.record(a, b, distance)
+
+
+class RingSearch:
+    """Lockstep per-origin BFS producing rings of candidate elements.
+
+    ``advance()`` expands every origin's frontier by one hop and
+    returns the processing elements discovered for the first time by
+    *any* origin in that ring (the paper's ``Ei,j``).  An empty return
+    with :attr:`exhausted` set means the reachable platform has been
+    fully explored — the mapping iteration must then fail.
+    """
+
+    def __init__(
+        self,
+        state: AllocationState,
+        origins: Iterable[ProcessingElement | str],
+        respect_congestion: bool = True,
+    ) -> None:
+        self.state = state
+        self.platform = state.platform
+        self.respect_congestion = respect_congestion
+        self.distances = SparseDistanceMatrix()
+        origin_names: list[str] = []
+        for origin in origins:
+            name = origin if isinstance(origin, str) else origin.name
+            if name not in origin_names:
+                origin_names.append(name)
+        if not origin_names:
+            raise ValueError("RingSearch needs at least one origin element")
+        self.origins = tuple(origin_names)
+        # per-origin BFS state
+        self._visited: dict[str, set[str]] = {o: {o} for o in origin_names}
+        self._frontier: dict[str, list[str]] = {o: [o] for o in origin_names}
+        self._seen_elements: set[str] = set(origin_names)
+        self._ring = 0
+        for origin in origin_names:
+            self.distances.record(origin, origin, 0)
+
+    @property
+    def ring(self) -> int:
+        """Number of rings expanded so far (the paper's ``j``)."""
+        return self._ring
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no origin has frontier nodes left to expand."""
+        return all(not frontier for frontier in self._frontier.values())
+
+    def _traversable(self, a: str, b: str) -> bool:
+        """Can the search step across link a—b?
+
+        With ``respect_congestion`` a link must offer a free virtual
+        channel in at least one direction; fully saturated or failed
+        links act as walls, so distance estimates reflect the
+        platform's *current* connectivity.
+        """
+        if not self.respect_congestion:
+            return True
+        return (
+            self.state.vc_free(a, b) >= 1 or self.state.vc_free(b, a) >= 1
+        )
+
+    def advance(self) -> list[ProcessingElement]:
+        """Expand one ring; return globally new candidate elements."""
+        if self.exhausted:
+            return []
+        self._ring += 1
+        new_elements: list[ProcessingElement] = []
+        for origin in self.origins:
+            frontier = self._frontier[origin]
+            if not frontier:
+                continue
+            visited = self._visited[origin]
+            next_frontier: list[str] = []
+            for node_name in frontier:
+                for neighbor in self.platform.neighbors(node_name):
+                    if neighbor.name in visited:
+                        continue
+                    if not self._traversable(node_name, neighbor.name):
+                        continue
+                    visited.add(neighbor.name)
+                    next_frontier.append(neighbor.name)
+                    self.distances.record(origin, neighbor.name, self._ring)
+                    if is_element(neighbor) and neighbor.name not in self._seen_elements:
+                        self._seen_elements.add(neighbor.name)
+                        new_elements.append(neighbor)
+            self._frontier[origin] = next_frontier
+        return new_elements
+
+    def gather(
+        self,
+        needed: int,
+        availability,
+        extra_rings: int = 1,
+        max_rings: int | None = None,
+    ) -> list[ProcessingElement]:
+        """Expand rings until ``needed`` available elements are found.
+
+        ``availability(element) -> bool`` decides whether an element
+        counts towards ``needed`` (typically: at least one task of the
+        current layer fits on it).  Per Section III-B, "once we have
+        discovered enough elements ... a single additional search step
+        is performed" — controlled by ``extra_rings`` — so later
+        objectives (fragmentation) have slack to choose from.
+
+        Returns all *new* candidate elements found by this call, in
+        discovery order.  The caller decides what to do when the
+        search exhausts before ``needed`` is reached (the returned
+        list is simply shorter in that case).
+        """
+        found: list[ProcessingElement] = []
+        useful = 0
+        while useful < needed and not self.exhausted:
+            if max_rings is not None and self._ring >= max_rings:
+                break
+            ring_elements = self.advance()
+            for element in ring_elements:
+                found.append(element)
+                if availability(element):
+                    useful += 1
+        for _ in range(extra_rings):
+            if self.exhausted:
+                break
+            if max_rings is not None and self._ring >= max_rings:
+                break
+            found.extend(self.advance())
+        return found

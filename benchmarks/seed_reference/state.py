@@ -1,0 +1,365 @@
+"""Run-time allocation state of a platform.
+
+The :class:`Platform` is immutable; everything that changes while
+applications come and go lives here:
+
+* per-element free resource vectors,
+* which tasks of which applications occupy each element,
+* per-directed-link virtual-channel and bandwidth ledgers,
+* failed (faulty) elements and links, and
+* the external-resource-fragmentation metric of Section III-A:
+  "the percentage of pairs of adjacent elements of which only one
+  element is used, over all pairs of adjacent elements in the
+  platform".
+
+A whole allocation attempt (binding, mapping, routing, validation) must
+be atomic — a failure in any phase must leave no residue — so the state
+supports cheap :meth:`snapshot` / :meth:`restore`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.arch.elements import Node, ProcessingElement
+from repro.arch.resources import ResourceError, ResourceVector
+from benchmarks.seed_reference.compat import seed_add, seed_fits_in, seed_sub
+from repro.arch.topology import Platform, TopologyError
+
+
+class AllocationError(RuntimeError):
+    """Raised when an occupy/reserve request cannot be satisfied."""
+
+
+@dataclass(frozen=True)
+class Occupant:
+    """A task instance resident on an element."""
+
+    app_id: str
+    task_id: str
+    requirement: ResourceVector
+
+
+@dataclass(frozen=True)
+class ChannelReservation:
+    """A reserved route: one virtual channel + bandwidth per hop."""
+
+    app_id: str
+    channel_id: str
+    path: tuple[str, ...]  # node names, source element ... target element
+    bandwidth: float
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+def _directed_key(a: str, b: str) -> tuple[str, str]:
+    return (a, b)
+
+
+class AllocationState:
+    """Mutable occupancy ledger over a frozen :class:`Platform`."""
+
+    def __init__(self, platform: Platform):
+        if not platform.frozen:
+            raise TopologyError("AllocationState requires a frozen platform")
+        self.platform = platform
+        self._free: dict[str, ResourceVector] = {
+            e.name: e.capacity for e in platform.elements
+        }
+        self._occupants: dict[str, list[Occupant]] = {
+            e.name: [] for e in platform.elements
+        }
+        # directed link ledgers: (a, b) -> used virtual channels / bandwidth
+        self._vc_used: dict[tuple[str, str], int] = {}
+        self._bw_used: dict[tuple[str, str], float] = {}
+        self._reservations: dict[tuple[str, str], ChannelReservation] = {}
+        self._placements: dict[tuple[str, str], str] = {}  # (app, task) -> element
+        # wear odometer: total occupations ever served per element
+        # (releases do not decrement; see WearLevelingObjective)
+        self._wear: dict[str, int] = {e.name: 0 for e in platform.elements}
+        self._failed_elements: set[str] = set()
+        self._failed_links: set[frozenset[str]] = set()
+
+    # -- element occupancy ------------------------------------------------
+
+    def free(self, element: ProcessingElement | str) -> ResourceVector:
+        """Remaining capacity of ``element`` (zero if failed)."""
+        name = self._element_name(element)
+        if name in self._failed_elements:
+            return ResourceVector()
+        return self._free[name]
+
+    def is_available(
+        self, element: ProcessingElement | str, requirement: ResourceVector
+    ) -> bool:
+        """The paper's ``av(e, t)``: can ``element`` still host ``requirement``?"""
+        return seed_fits_in(requirement, self.free(element))
+
+    def occupy(
+        self,
+        element: ProcessingElement | str,
+        app_id: str,
+        task_id: str,
+        requirement: ResourceVector,
+    ) -> None:
+        """Allocate ``requirement`` of ``element`` to a task."""
+        name = self._element_name(element)
+        if name in self._failed_elements:
+            raise AllocationError(f"element {name} is marked failed")
+        key = (app_id, task_id)
+        if key in self._placements:
+            raise AllocationError(f"task {task_id!r} of {app_id!r} already placed")
+        try:
+            self._free[name] = seed_sub(self._free[name], requirement)
+        except ResourceError as exc:
+            raise AllocationError(
+                f"element {name} cannot host {task_id!r}: {exc}"
+            ) from exc
+        self._occupants[name].append(Occupant(app_id, task_id, requirement))
+        self._placements[key] = name
+        self._wear[name] += 1
+
+    def vacate(self, app_id: str, task_id: str) -> None:
+        """Release the resources a task held."""
+        key = (app_id, task_id)
+        try:
+            name = self._placements.pop(key)
+        except KeyError:
+            raise AllocationError(
+                f"task {task_id!r} of {app_id!r} is not placed"
+            ) from None
+        occupants = self._occupants[name]
+        for index, occupant in enumerate(occupants):
+            if occupant.app_id == app_id and occupant.task_id == task_id:
+                del occupants[index]
+                self._free[name] = seed_add(self._free[name], occupant.requirement)
+                return
+        raise AssertionError("placement table and occupant list disagree")
+
+    def occupants(self, element: ProcessingElement | str) -> tuple[Occupant, ...]:
+        return tuple(self._occupants[self._element_name(element)])
+
+    def element_of(self, app_id: str, task_id: str) -> str | None:
+        """Element name hosting a task, or None when unplaced."""
+        return self._placements.get((app_id, task_id))
+
+    def placements_of(self, app_id: str) -> dict[str, str]:
+        """task_id -> element name for one application."""
+        return {
+            task: element
+            for (app, task), element in self._placements.items()
+            if app == app_id
+        }
+
+    def wear(self, element: ProcessingElement | str) -> int:
+        """Total occupations this element ever served (never decreases)."""
+        return self._wear[self._element_name(element)]
+
+    def is_used(self, element: ProcessingElement | str) -> bool:
+        """True when the element hosts at least one task."""
+        return bool(self._occupants[self._element_name(element)])
+
+    def used_elements(self) -> tuple[str, ...]:
+        return tuple(name for name, occ in self._occupants.items() if occ)
+
+    def applications(self) -> tuple[str, ...]:
+        """Identifiers of all applications with at least one placement."""
+        return tuple(sorted({app for app, _task in self._placements}))
+
+    # -- link ledger --------------------------------------------------------
+
+    def vc_free(self, a: Node | str, b: Node | str) -> int:
+        """Free virtual channels on the directed link a -> b."""
+        name_a, name_b = self._node_name(a), self._node_name(b)
+        if frozenset((name_a, name_b)) in self._failed_links:
+            return 0
+        link = self.platform.link_between(name_a, name_b)
+        return link.virtual_channels - self._vc_used.get((name_a, name_b), 0)
+
+    def bandwidth_free(self, a: Node | str, b: Node | str) -> float:
+        name_a, name_b = self._node_name(a), self._node_name(b)
+        if frozenset((name_a, name_b)) in self._failed_links:
+            return 0.0
+        link = self.platform.link_between(name_a, name_b)
+        return link.bandwidth - self._bw_used.get((name_a, name_b), 0.0)
+
+    def can_traverse(self, a: Node | str, b: Node | str, bandwidth: float) -> bool:
+        """Can one more channel with ``bandwidth`` cross link a -> b?"""
+        return self.vc_free(a, b) >= 1 and self.bandwidth_free(a, b) >= bandwidth
+
+    def reserve_route(
+        self,
+        app_id: str,
+        channel_id: str,
+        path: Iterable[Node | str],
+        bandwidth: float,
+    ) -> ChannelReservation:
+        """Reserve one virtual channel + bandwidth along ``path``.
+
+        ``path`` is a node sequence from the source element to the
+        target element.  All-or-nothing: verified first, then applied.
+        """
+        names = [self._node_name(node) for node in path]
+        if len(names) < 2:
+            raise AllocationError(f"route for {channel_id!r} has no hops: {names}")
+        key = (app_id, channel_id)
+        if key in self._reservations:
+            raise AllocationError(f"channel {channel_id!r} already routed")
+        hops = list(zip(names, names[1:]))
+        for a, b in hops:
+            if not self.can_traverse(a, b, bandwidth):
+                raise AllocationError(
+                    f"link {a}->{b} lacks capacity for channel {channel_id!r}"
+                )
+        for a, b in hops:
+            directed = _directed_key(a, b)
+            self._vc_used[directed] = self._vc_used.get(directed, 0) + 1
+            self._bw_used[directed] = self._bw_used.get(directed, 0.0) + bandwidth
+        reservation = ChannelReservation(app_id, channel_id, tuple(names), bandwidth)
+        self._reservations[key] = reservation
+        return reservation
+
+    def release_route(self, app_id: str, channel_id: str) -> None:
+        key = (app_id, channel_id)
+        try:
+            reservation = self._reservations.pop(key)
+        except KeyError:
+            raise AllocationError(f"channel {channel_id!r} is not routed") from None
+        for a, b in zip(reservation.path, reservation.path[1:]):
+            directed = _directed_key(a, b)
+            self._vc_used[directed] -= 1
+            self._bw_used[directed] -= reservation.bandwidth
+            if self._vc_used[directed] == 0:
+                del self._vc_used[directed]
+            if abs(self._bw_used[directed]) < 1e-9:
+                del self._bw_used[directed]
+
+    def reservation(self, app_id: str, channel_id: str) -> ChannelReservation | None:
+        return self._reservations.get((app_id, channel_id))
+
+    def reservations_of(self, app_id: str) -> tuple[ChannelReservation, ...]:
+        return tuple(
+            res for (app, _ch), res in self._reservations.items() if app == app_id
+        )
+
+    # -- whole-application release -----------------------------------------
+
+    def release_application(self, app_id: str) -> None:
+        """Vacate every task and route of ``app_id`` (idempotent)."""
+        for task_id in list(self.placements_of(app_id)):
+            self.vacate(app_id, task_id)
+        for reservation in self.reservations_of(app_id):
+            self.release_route(app_id, reservation.channel_id)
+
+    # -- fault injection -----------------------------------------------------
+
+    def fail_element(self, element: ProcessingElement | str) -> None:
+        """Mark an element faulty: it stops offering resources.
+
+        Resident tasks are *not* evicted automatically — re-allocation
+        policy belongs to the manager layer (see
+        :mod:`repro.arch.faults`).
+        """
+        self._failed_elements.add(self._element_name(element))
+
+    def heal_element(self, element: ProcessingElement | str) -> None:
+        self._failed_elements.discard(self._element_name(element))
+
+    def fail_link(self, a: Node | str, b: Node | str) -> None:
+        name_a, name_b = self._node_name(a), self._node_name(b)
+        self.platform.link_between(name_a, name_b)  # validates existence
+        self._failed_links.add(frozenset((name_a, name_b)))
+
+    def heal_link(self, a: Node | str, b: Node | str) -> None:
+        self._failed_links.discard(
+            frozenset((self._node_name(a), self._node_name(b)))
+        )
+
+    def is_failed(self, element: ProcessingElement | str) -> bool:
+        return self._element_name(element) in self._failed_elements
+
+    @property
+    def failed_elements(self) -> frozenset[str]:
+        return frozenset(self._failed_elements)
+
+    @property
+    def failed_links(self) -> frozenset[frozenset[str]]:
+        """Endpoint-name pairs of links currently marked failed."""
+        return frozenset(self._failed_links)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def external_fragmentation(self) -> float:
+        """Paper Section III-A's external resource fragmentation, in percent.
+
+        The percentage of adjacent element pairs of which exactly one
+        element is used, over all adjacent element pairs.
+        """
+        pairs = self.platform.element_pairs
+        if not pairs:
+            return 0.0
+        mixed = sum(
+            1 for a, b in pairs if self.is_used(a) != self.is_used(b)
+        )
+        return 100.0 * mixed / len(pairs)
+
+    def utilization(self) -> float:
+        """Fraction of total platform capacity currently allocated."""
+        total = sum(e.capacity.total() for e in self.platform.elements)
+        if not total:
+            return 0.0
+        free = sum(self._free[e.name].total() for e in self.platform.elements)
+        return (total - free) / total
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """An opaque, restorable copy of the mutable ledgers."""
+        return {
+            "free": dict(self._free),
+            "occupants": {name: list(occ) for name, occ in self._occupants.items()},
+            "vc_used": dict(self._vc_used),
+            "bw_used": dict(self._bw_used),
+            "reservations": dict(self._reservations),
+            "placements": dict(self._placements),
+            "wear": dict(self._wear),
+            "failed_elements": set(self._failed_elements),
+            "failed_links": set(self._failed_links),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self._free = dict(snapshot["free"])
+        self._occupants = {
+            name: list(occ) for name, occ in snapshot["occupants"].items()
+        }
+        self._vc_used = dict(snapshot["vc_used"])
+        self._bw_used = dict(snapshot["bw_used"])
+        self._reservations = dict(snapshot["reservations"])
+        self._placements = dict(snapshot["placements"])
+        self._wear = dict(snapshot["wear"])
+        self._failed_elements = set(snapshot["failed_elements"])
+        self._failed_links = set(snapshot["failed_links"])
+
+    # -- helpers ------------------------------------------------------------
+
+    def _element_name(self, element: ProcessingElement | str) -> str:
+        name = element if isinstance(element, str) else element.name
+        if name not in self._free:
+            raise TopologyError(f"unknown element {name!r}")
+        return name
+
+    def _node_name(self, node: Node | str) -> str:
+        name = node if isinstance(node, str) else node.name
+        if name not in self.platform:
+            raise TopologyError(f"unknown node {name!r}")
+        return name
+
+    def __repr__(self) -> str:
+        return (
+            f"<AllocationState on {self.platform.name}: "
+            f"{len(self.used_elements())}/{len(self.platform.elements)} "
+            f"elements used, {len(self._reservations)} routes>"
+        )

@@ -22,6 +22,12 @@ class ImplementationError(ValueError):
     """Raised for malformed implementation specifications."""
 
 
+#: bounds of the per-implementation compatibility memos; on overflow
+#: the memo is cleared (it is a cache, not state)
+_COMPAT_CACHE_LIMIT = 4096
+_PLATFORM_CACHE_LIMIT = 8
+
+
 @dataclass(frozen=True)
 class Implementation:
     """One executable variant of a task.
@@ -58,6 +64,15 @@ class Implementation:
             raise ImplementationError(
                 f"implementation {self.name!r} has negative cost"
             )
+        # memos for runs_on / compatible_on: the answers are static per
+        # element (resp. platform), but the binder and mapper ask them
+        # inside platform-wide scans on every admission.  Keyed by
+        # object identity; the references in the values keep ids
+        # stable.  Both caches are bounded (cleared on overflow) so an
+        # implementation reused across many platforms cannot pin
+        # retired platforms in memory forever.
+        object.__setattr__(self, "_compat", {})
+        object.__setattr__(self, "_platform_compat", {})
 
     def runs_on(self, element: ProcessingElement) -> bool:
         """Static compatibility: type/pin match and capacity is sufficient.
@@ -65,12 +80,47 @@ class Implementation:
         Run-time availability (enough *free* resources) is the
         allocation state's ``av(e, t)``; this check ignores occupancy.
         """
+        cached = self._compat.get(id(element))
+        if cached is not None and cached[0] is element:
+            return cached[1]
         if self.target_element is not None:
-            if element.name != self.target_element:
-                return False
-        elif element.kind != self.target_kind:
-            return False
-        return self.requirement.fits_in(element.capacity)
+            result = (
+                element.name == self.target_element
+                and self.requirement.fits_in(element.capacity)
+            )
+        else:
+            result = (
+                element.kind == self.target_kind
+                and self.requirement.fits_in(element.capacity)
+            )
+        if len(self._compat) >= _COMPAT_CACHE_LIMIT:
+            self._compat.clear()
+        self._compat[id(element)] = (element, result)
+        return result
+
+    def compatible_on(self, platform) -> tuple[tuple[int, object], ...]:
+        """Statically compatible elements of a platform, with positions.
+
+        Returns ``(position, element)`` pairs, where ``position``
+        indexes ``platform.elements`` — the scan order every allocation
+        phase uses.  Cached per platform, so platform-wide hot loops
+        iterate only the elements that can ever host this
+        implementation instead of re-checking ``runs_on`` each time.
+        """
+        cached = self._platform_compat.get(id(platform))
+        if cached is not None and cached[0] is platform:
+            return cached[1]
+        pairs = tuple(
+            (position, element)
+            for position, element in enumerate(platform.elements)
+            if self.runs_on(element)
+        )
+        if not platform.frozen:
+            return pairs  # mutable platform: the list may still grow
+        if len(self._platform_compat) >= _PLATFORM_CACHE_LIMIT:
+            self._platform_compat.clear()
+        self._platform_compat[id(platform)] = (platform, pairs)
+        return pairs
 
     @property
     def pinned(self) -> bool:

@@ -117,6 +117,7 @@ class Application:
         if task.name in self.tasks:
             raise TaskGraphError(f"duplicate task {task.name!r}")
         self.tasks[task.name] = task
+        self.invalidate_graph_cache()
         return task
 
     def add_channel(self, channel: Channel) -> Channel:
@@ -129,7 +130,19 @@ class Application:
                     f"{endpoint!r}"
                 )
         self.channels[channel.name] = channel
+        self.invalidate_graph_cache()
         return channel
+
+    def invalidate_graph_cache(self) -> None:
+        """Drop the cached incidence index.
+
+        ``add_task``/``add_channel`` call this automatically; call it
+        yourself after mutating the public ``tasks``/``channels`` dicts
+        directly (e.g. replacing a channel in place), or subsequent
+        ``neighbors``/``incident_channels`` queries may serve stale
+        structure.
+        """
+        self._incidence_cache = None
 
     def connect(
         self,
@@ -176,6 +189,34 @@ class Application:
 
     # -- graph structure -------------------------------------------------------
 
+    def _incidence(self) -> dict[str, tuple[tuple[Channel, ...], tuple[str, ...]]]:
+        """task -> (incident channels, undirected neighbours), cached.
+
+        The mapping cost function asks for neighbours and incident
+        channels on every (task, element) evaluation; scanning all
+        channels each time made those queries O(C).  The construction
+        API invalidates the index explicitly; the task/channel-count
+        signature is a second guard that also catches direct additions
+        to the public dicts (in-place *replacements* need
+        :meth:`invalidate_graph_cache`).
+        """
+        cached = getattr(self, "_incidence_cache", None)
+        signature = (len(self.tasks), len(self.channels))
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        channels: dict[str, list[Channel]] = {t: [] for t in self.tasks}
+        neighbors: dict[str, dict[str, None]] = {t: {} for t in self.tasks}
+        for channel in self.channels.values():
+            channels[channel.source].append(channel)
+            channels[channel.target].append(channel)
+            neighbors[channel.source].setdefault(channel.target)
+            neighbors[channel.target].setdefault(channel.source)
+        index = {
+            t: (tuple(channels[t]), tuple(neighbors[t])) for t in self.tasks
+        }
+        self._incidence_cache = (signature, index)
+        return index
+
     def successors(self, task: Task | str) -> tuple[str, ...]:
         name = self._task_name(task)
         return tuple(
@@ -191,22 +232,12 @@ class Application:
     def neighbors(self, task: Task | str) -> tuple[str, ...]:
         """Undirected neighbours, deduplicated, in channel order."""
         name = self._task_name(task)
-        seen: dict[str, None] = {}
-        for channel in self.channels.values():
-            if channel.source == name:
-                seen.setdefault(channel.target)
-            elif channel.target == name:
-                seen.setdefault(channel.source)
-        return tuple(seen)
+        entry = self._incidence().get(name)
+        return entry[1] if entry is not None else ()
 
     def degree(self, task: Task | str) -> int:
         """Undirected degree d(t): number of incident channels."""
-        name = self._task_name(task)
-        return sum(
-            1
-            for c in self.channels.values()
-            if name in (c.source, c.target)
-        )
+        return len(self.incident_channels(task))
 
     def min_degree(self) -> int:
         """δ(T): the minimum undirected degree over all tasks."""
@@ -230,9 +261,8 @@ class Application:
 
     def incident_channels(self, task: Task | str) -> tuple[Channel, ...]:
         name = self._task_name(task)
-        return tuple(
-            c for c in self.channels.values() if name in (c.source, c.target)
-        )
+        entry = self._incidence().get(name)
+        return entry[0] if entry is not None else ()
 
     def distance_layers(self, origins: Iterable[Task | str]) -> list[set[str]]:
         """Undirected BFS layers from ``origins``.

@@ -98,12 +98,28 @@ class ResourceVector(Mapping[str, Number]):
         return NotImplemented
 
     # -- Algebra -----------------------------------------------------------
+    #
+    # These run inside every occupy/vacate/availability check, so they
+    # loop over the raw component dicts instead of going through the
+    # Mapping protocol, and build known-canonical results without the
+    # validating constructor.
+
+    @classmethod
+    def _unsafe(cls, data: dict[str, Number]) -> "ResourceVector":
+        """Wrap an already-canonical component dict (no zeros/negatives)."""
+        vector = object.__new__(cls)
+        object.__setattr__(vector, "_data", data)
+        return vector
 
     def __add__(self, other: "ResourceVector") -> "ResourceVector":
         if not isinstance(other, ResourceVector):
             return NotImplemented
-        kinds = set(self._data) | set(other._data)
-        return ResourceVector({k: self[k] + other[k] for k in kinds})
+        # both operands are canonical (positive components), so the sum is too
+        data = dict(self._data)
+        for kind, quantity in other._data.items():
+            base = data.get(kind)
+            data[kind] = quantity if base is None else base + quantity
+        return ResourceVector._unsafe(data)
 
     def __sub__(self, other: "ResourceVector") -> "ResourceVector":
         """Element-wise difference; raises if any component goes negative.
@@ -113,17 +129,19 @@ class ResourceVector(Mapping[str, Number]):
         """
         if not isinstance(other, ResourceVector):
             return NotImplemented
-        kinds = set(self._data) | set(other._data)
-        result = {}
-        for kind in kinds:
-            value = self[kind] - other[kind]
+        data = dict(self._data)
+        for kind, quantity in other._data.items():
+            value = data.get(kind, 0) - quantity
             if value < 0:
                 raise ResourceError(
                     f"subtraction drives {kind!r} negative "
-                    f"({self[kind]} - {other[kind]})"
+                    f"({data.get(kind, 0)} - {quantity})"
                 )
-            result[kind] = value
-        return ResourceVector(result)
+            if value == 0:
+                data.pop(kind, None)
+            else:
+                data[kind] = value
+        return ResourceVector._unsafe(data)
 
     def __mul__(self, scalar: Number) -> "ResourceVector":
         if not isinstance(scalar, (int, float)):
@@ -136,7 +154,12 @@ class ResourceVector(Mapping[str, Number]):
 
     def fits_in(self, capacity: "ResourceVector") -> bool:
         """True when this requirement is satisfiable by ``capacity``."""
-        return all(quantity <= capacity[kind] for kind, quantity in self._data.items())
+        available = capacity._data
+        for kind, quantity in self._data.items():
+            other = available.get(kind)
+            if other is None or quantity > other:
+                return False
+        return True
 
     def dominates(self, other: "ResourceVector") -> bool:
         """True when every component of ``self`` is >= the one in ``other``."""
@@ -149,12 +172,15 @@ class ResourceVector(Mapping[str, Number]):
         kinds this vector requires.  A requirement of a kind the
         capacity lacks yields ``inf``.  The empty requirement yields 0.
         """
+        data = capacity._data
         worst = 0.0
         for kind, quantity in self._data.items():
-            available = capacity[kind]
+            available = data.get(kind, 0)
             if available == 0:
                 return float("inf")
-            worst = max(worst, quantity / available)
+            ratio = quantity / available
+            if ratio > worst:
+                worst = ratio
         return worst
 
     def total(self) -> Number:

@@ -13,8 +13,36 @@ applications come and go lives here:
   platform".
 
 A whole allocation attempt (binding, mapping, routing, validation) must
-be atomic — a failure in any phase must leave no residue — so the state
-supports cheap :meth:`snapshot` / :meth:`restore`.
+be atomic — a failure in any phase must leave no residue.  Atomicity is
+provided by a **transaction journal**: every mutation appends an undo
+entry while a transaction is open, and rollback replays those entries
+in reverse.  Rollback cost is therefore O(mutations performed), not
+O(platform size), which is what keeps failed-admission recovery flat
+as platforms grow.  Use::
+
+    with state.transaction():
+        state.occupy(...)
+        state.reserve_route(...)
+        # raising any exception rolls everything back
+
+Within a transaction, :meth:`savepoint` / :meth:`rollback_to` provide
+partial undo (used by the exhaustive baseline's branch-and-bound).
+
+The legacy :meth:`snapshot` / :meth:`restore` pair — a full O(platform)
+copy of every ledger — is kept as a compatibility wrapper; new code
+should prefer transactions.
+
+Internally all ledgers are arrays indexed by the interned integer ids
+the platform assigns at freeze time (see :mod:`repro.arch.topology`);
+the name-based public methods translate at the boundary.
+
+Package-internal contract: the ledger arrays ``_free``, ``_vc_used``,
+``_bw_used``, ``_failed_elements`` and ``_failed_links`` are read
+directly (never written) by the hot loops in
+:mod:`repro.routing.router`, :mod:`repro.core.search` and
+:mod:`repro.core.mapping` — hoisting them once per search avoids a
+method call per hop.  A representation change here must update those
+three modules (and nothing else; external code uses the public API).
 """
 
 from __future__ import annotations
@@ -54,8 +82,40 @@ class ChannelReservation:
         return len(self.path) - 1
 
 
-def _directed_key(a: str, b: str) -> tuple[str, str]:
-    return (a, b)
+#: journal op codes (first element of every undo entry)
+_OP_OCCUPY = 0
+_OP_VACATE = 1
+_OP_RESERVE = 2
+_OP_RELEASE = 3
+_OP_FAIL_ELEMENT = 4
+_OP_HEAL_ELEMENT = 5
+_OP_FAIL_LINK = 6
+_OP_HEAL_LINK = 7
+
+#: below this magnitude a drained bandwidth ledger snaps back to zero,
+#: so float accumulation drift cannot shadow a fully free link
+_BW_EPSILON = 1e-9
+
+
+class _Transaction:
+    """Context manager returned by :meth:`AllocationState.transaction`."""
+
+    __slots__ = ("_state", "_mark")
+
+    def __init__(self, state: "AllocationState") -> None:
+        self._state = state
+        self._mark = 0
+
+    def __enter__(self) -> "AllocationState":
+        self._mark = self._state._tx_begin()
+        return self._state
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._state._tx_commit()
+        else:
+            self._state._tx_rollback(self._mark)
+        return False
 
 
 class AllocationState:
@@ -65,31 +125,154 @@ class AllocationState:
         if not platform.frozen:
             raise TopologyError("AllocationState requires a frozen platform")
         self.platform = platform
-        self._free: dict[str, ResourceVector] = {
-            e.name: e.capacity for e in platform.elements
-        }
-        self._occupants: dict[str, list[Occupant]] = {
-            e.name: [] for e in platform.elements
-        }
-        # directed link ledgers: (a, b) -> used virtual channels / bandwidth
-        self._vc_used: dict[tuple[str, str], int] = {}
-        self._bw_used: dict[tuple[str, str], float] = {}
+        mask = platform._is_element_mask
+        self._free: list[ResourceVector | None] = [
+            node.capacity if mask[index] else None
+            for index, node in enumerate(platform._nodes_by_id)
+        ]
+        self._occupants: list[list[Occupant] | None] = [
+            [] if flag else None for flag in mask
+        ]
+        # directed link ledgers, indexed by slot (2 per undirected link)
+        self._vc_used: list[int] = [0] * platform.slot_count
+        self._bw_used: list[float] = [0.0] * platform.slot_count
         self._reservations: dict[tuple[str, str], ChannelReservation] = {}
-        self._placements: dict[tuple[str, str], str] = {}  # (app, task) -> element
+        #: directed slots of each reservation, parallel to _reservations
+        self._res_slots: dict[tuple[str, str], tuple[int, ...]] = {}
+        self._placements: dict[tuple[str, str], int] = {}  # (app, task) -> id
         # wear odometer: total occupations ever served per element
         # (releases do not decrement; see WearLevelingObjective)
-        self._wear: dict[str, int] = {e.name: 0 for e in platform.elements}
-        self._failed_elements: set[str] = set()
-        self._failed_links: set[frozenset[str]] = set()
+        self._wear: list[int] = [0] * platform.node_count
+        self._failed_elements: set[int] = set()
+        self._failed_links: set[int] = set()  # undirected link ids
+        # cached totals so utilization() is O(1) (it runs per admission)
+        self._total_capacity = sum(
+            e.capacity.total() for e in platform.elements
+        )
+        self._allocated_total: float = 0
+        # transaction journal: None when no transaction is open
+        self._journal: list[tuple] | None = None
+        self._tx_depth = 0
+
+    # -- transactions ------------------------------------------------------
+
+    def transaction(self) -> _Transaction:
+        """Open an atomic scope: any exception rolls every mutation back.
+
+        Transactions nest; an inner rollback undoes only the inner
+        scope.  Rollback cost is proportional to the mutations made
+        inside the scope, never to the platform size.
+        """
+        return _Transaction(self)
+
+    def in_transaction(self) -> bool:
+        return self._journal is not None
+
+    def savepoint(self) -> int:
+        """A mark for partial rollback inside an open transaction."""
+        if self._journal is None:
+            raise AllocationError("savepoint() requires an open transaction")
+        return len(self._journal)
+
+    def rollback_to(self, mark: int) -> None:
+        """Undo every mutation made since ``mark`` (newest first)."""
+        journal = self._journal
+        if journal is None:
+            raise AllocationError("rollback_to() requires an open transaction")
+        while len(journal) > mark:
+            self._undo(journal.pop())
+
+    def _tx_begin(self) -> int:
+        if self._journal is None:
+            self._journal = []
+        self._tx_depth += 1
+        return len(self._journal)
+
+    def _tx_commit(self) -> None:
+        self._tx_depth -= 1
+        if self._tx_depth == 0:
+            self._journal = None
+
+    def _tx_rollback(self, mark: int) -> None:
+        self.rollback_to(mark)
+        self._tx_depth -= 1
+        if self._tx_depth == 0:
+            self._journal = None
+
+    def _undo(self, entry: tuple) -> None:
+        # Undo entries carry the exact pre-mutation values (old free
+        # vector, old bandwidth per slot, old allocated total) and
+        # restore them verbatim.  Inverting the arithmetic instead
+        # ((x + b) - b) is not bit-exact for float quantities, and the
+        # journal must leave the state indistinguishable from a
+        # snapshot restore.
+        op = entry[0]
+        if op == _OP_OCCUPY:
+            _op, element_id, key, old_free, old_allocated = entry
+            self._occupants[element_id].pop()
+            self._free[element_id] = old_free
+            del self._placements[key]
+            self._wear[element_id] -= 1
+            self._allocated_total = old_allocated
+        elif op == _OP_VACATE:
+            _op, element_id, key, occupant, index, old_free, old_allocated = entry
+            self._occupants[element_id].insert(index, occupant)
+            self._free[element_id] = old_free
+            self._placements[key] = element_id
+            self._allocated_total = old_allocated
+        elif op == _OP_RESERVE:
+            _op, key, old_bws = entry
+            self._reservations.pop(key)
+            slots = self._res_slots.pop(key)
+            vc_used, bw_used = self._vc_used, self._bw_used
+            for position in range(len(slots) - 1, -1, -1):
+                slot = slots[position]
+                vc_used[slot] -= 1
+                bw_used[slot] = old_bws[position]
+        elif op == _OP_RELEASE:
+            _op, key, reservation, slots, old_bws = entry
+            self._reservations[key] = reservation
+            self._res_slots[key] = slots
+            vc_used, bw_used = self._vc_used, self._bw_used
+            for position in range(len(slots) - 1, -1, -1):
+                slot = slots[position]
+                vc_used[slot] += 1
+                bw_used[slot] = old_bws[position]
+        elif op == _OP_FAIL_ELEMENT:
+            _op, element_id, was_failed = entry
+            if not was_failed:
+                self._failed_elements.discard(element_id)
+        elif op == _OP_HEAL_ELEMENT:
+            _op, element_id, was_failed = entry
+            if was_failed:
+                self._failed_elements.add(element_id)
+        elif op == _OP_FAIL_LINK:
+            _op, link_id, was_failed = entry
+            if not was_failed:
+                self._failed_links.discard(link_id)
+        elif op == _OP_HEAL_LINK:
+            _op, link_id, was_failed = entry
+            if was_failed:
+                self._failed_links.add(link_id)
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown journal op {op}")
+
+    def _unapply_slots(self, slots: tuple[int, ...], bandwidth: float) -> None:
+        vc_used, bw_used = self._vc_used, self._bw_used
+        for slot in slots:
+            vc_used[slot] -= 1
+            bw_used[slot] -= bandwidth
+            if vc_used[slot] == 0 and abs(bw_used[slot]) < _BW_EPSILON:
+                bw_used[slot] = 0.0
 
     # -- element occupancy ------------------------------------------------
 
     def free(self, element: ProcessingElement | str) -> ResourceVector:
         """Remaining capacity of ``element`` (zero if failed)."""
-        name = self._element_name(element)
-        if name in self._failed_elements:
+        element_id = self._element_id(element)
+        if element_id in self._failed_elements:
             return ResourceVector()
-        return self._free[name]
+        return self._free[element_id]
 
     def is_available(
         self, element: ProcessingElement | str, requirement: ResourceVector
@@ -105,64 +288,99 @@ class AllocationState:
         requirement: ResourceVector,
     ) -> None:
         """Allocate ``requirement`` of ``element`` to a task."""
-        name = self._element_name(element)
-        if name in self._failed_elements:
-            raise AllocationError(f"element {name} is marked failed")
+        element_id = self._element_id(element)
+        if element_id in self._failed_elements:
+            raise AllocationError(
+                f"element {self.platform._nodes_by_id[element_id].name} "
+                "is marked failed"
+            )
         key = (app_id, task_id)
         if key in self._placements:
             raise AllocationError(f"task {task_id!r} of {app_id!r} already placed")
+        old_free = self._free[element_id]
         try:
-            self._free[name] = self._free[name] - requirement
+            self._free[element_id] = old_free - requirement
         except ResourceError as exc:
+            name = self.platform._nodes_by_id[element_id].name
             raise AllocationError(
                 f"element {name} cannot host {task_id!r}: {exc}"
             ) from exc
-        self._occupants[name].append(Occupant(app_id, task_id, requirement))
-        self._placements[key] = name
-        self._wear[name] += 1
+        self._occupants[element_id].append(Occupant(app_id, task_id, requirement))
+        self._placements[key] = element_id
+        self._wear[element_id] += 1
+        old_allocated = self._allocated_total
+        self._allocated_total = old_allocated + requirement.total()
+        if self._journal is not None:
+            self._journal.append(
+                (_OP_OCCUPY, element_id, key, old_free, old_allocated)
+            )
 
     def vacate(self, app_id: str, task_id: str) -> None:
         """Release the resources a task held."""
         key = (app_id, task_id)
         try:
-            name = self._placements.pop(key)
+            element_id = self._placements.pop(key)
         except KeyError:
             raise AllocationError(
                 f"task {task_id!r} of {app_id!r} is not placed"
             ) from None
-        occupants = self._occupants[name]
+        occupants = self._occupants[element_id]
         for index, occupant in enumerate(occupants):
             if occupant.app_id == app_id and occupant.task_id == task_id:
                 del occupants[index]
-                self._free[name] = self._free[name] + occupant.requirement
+                old_free = self._free[element_id]
+                self._free[element_id] = old_free + occupant.requirement
+                old_allocated = self._allocated_total
+                self._allocated_total = (
+                    old_allocated - occupant.requirement.total()
+                )
+                if self._journal is not None:
+                    self._journal.append(
+                        (_OP_VACATE, element_id, key, occupant, index,
+                         old_free, old_allocated)
+                    )
                 return
         raise AssertionError("placement table and occupant list disagree")
 
     def occupants(self, element: ProcessingElement | str) -> tuple[Occupant, ...]:
-        return tuple(self._occupants[self._element_name(element)])
+        return tuple(self._occupants[self._element_id(element)])
+
+    def occupants_id(self, element_id: int) -> list[Occupant]:
+        """Id-based occupant list (hot path; treat as read-only)."""
+        return self._occupants[element_id]
 
     def element_of(self, app_id: str, task_id: str) -> str | None:
         """Element name hosting a task, or None when unplaced."""
-        return self._placements.get((app_id, task_id))
+        element_id = self._placements.get((app_id, task_id))
+        if element_id is None:
+            return None
+        return self.platform._nodes_by_id[element_id].name
 
     def placements_of(self, app_id: str) -> dict[str, str]:
         """task_id -> element name for one application."""
+        nodes = self.platform._nodes_by_id
         return {
-            task: element
-            for (app, task), element in self._placements.items()
+            task: nodes[element_id].name
+            for (app, task), element_id in self._placements.items()
             if app == app_id
         }
 
     def wear(self, element: ProcessingElement | str) -> int:
         """Total occupations this element ever served (never decreases)."""
-        return self._wear[self._element_name(element)]
+        return self._wear[self._element_id(element)]
 
     def is_used(self, element: ProcessingElement | str) -> bool:
         """True when the element hosts at least one task."""
-        return bool(self._occupants[self._element_name(element)])
+        return bool(self._occupants[self._element_id(element)])
 
     def used_elements(self) -> tuple[str, ...]:
-        return tuple(name for name, occ in self._occupants.items() if occ)
+        nodes = self.platform._nodes_by_id
+        occupants = self._occupants
+        return tuple(
+            nodes[element_id].name
+            for element_id in self.platform.element_ids
+            if occupants[element_id]
+        )
 
     def applications(self) -> tuple[str, ...]:
         """Identifiers of all applications with at least one placement."""
@@ -172,22 +390,30 @@ class AllocationState:
 
     def vc_free(self, a: Node | str, b: Node | str) -> int:
         """Free virtual channels on the directed link a -> b."""
-        name_a, name_b = self._node_name(a), self._node_name(b)
-        if frozenset((name_a, name_b)) in self._failed_links:
+        slot = self.platform.directed_slot(self._node_id(a), self._node_id(b))
+        if (slot >> 1) in self._failed_links:
             return 0
-        link = self.platform.link_between(name_a, name_b)
-        return link.virtual_channels - self._vc_used.get((name_a, name_b), 0)
+        return self.platform._slot_vc[slot] - self._vc_used[slot]
 
     def bandwidth_free(self, a: Node | str, b: Node | str) -> float:
-        name_a, name_b = self._node_name(a), self._node_name(b)
-        if frozenset((name_a, name_b)) in self._failed_links:
+        slot = self.platform.directed_slot(self._node_id(a), self._node_id(b))
+        if (slot >> 1) in self._failed_links:
             return 0.0
-        link = self.platform.link_between(name_a, name_b)
-        return link.bandwidth - self._bw_used.get((name_a, name_b), 0.0)
+        return self.platform._slot_bw[slot] - self._bw_used[slot]
 
     def can_traverse(self, a: Node | str, b: Node | str, bandwidth: float) -> bool:
         """Can one more channel with ``bandwidth`` cross link a -> b?"""
-        return self.vc_free(a, b) >= 1 and self.bandwidth_free(a, b) >= bandwidth
+        slot = self.platform.directed_slot(self._node_id(a), self._node_id(b))
+        return self.can_traverse_slot(slot, bandwidth)
+
+    def can_traverse_slot(self, slot: int, bandwidth: float) -> bool:
+        """Id-based :meth:`can_traverse` over a directed slot (hot path)."""
+        platform = self.platform
+        return (
+            self._vc_used[slot] < platform._slot_vc[slot]
+            and platform._slot_bw[slot] - self._bw_used[slot] >= bandwidth
+            and (slot >> 1) not in self._failed_links
+        )
 
     def reserve_route(
         self,
@@ -201,24 +427,52 @@ class AllocationState:
         ``path`` is a node sequence from the source element to the
         target element.  All-or-nothing: verified first, then applied.
         """
-        names = [self._node_name(node) for node in path]
-        if len(names) < 2:
+        ids = [self._node_id(node) for node in path]
+        return self.reserve_route_ids(app_id, channel_id, ids, bandwidth)
+
+    def reserve_route_ids(
+        self,
+        app_id: str,
+        channel_id: str,
+        id_path: list[int],
+        bandwidth: float,
+    ) -> ChannelReservation:
+        """Id-based :meth:`reserve_route` (hot path for the routers)."""
+        if len(id_path) < 2:
+            names = [self.platform._nodes_by_id[i].name for i in id_path]
             raise AllocationError(f"route for {channel_id!r} has no hops: {names}")
         key = (app_id, channel_id)
         if key in self._reservations:
             raise AllocationError(f"channel {channel_id!r} already routed")
-        hops = list(zip(names, names[1:]))
-        for a, b in hops:
-            if not self.can_traverse(a, b, bandwidth):
+        directed_slot = self.platform.directed_slot
+        slots = tuple(
+            directed_slot(a, b) for a, b in zip(id_path, id_path[1:])
+        )
+        for slot in slots:
+            if not self.can_traverse_slot(slot, bandwidth):
+                link = self.platform.link_by_id(slot >> 1)
+                a, b = (link.a, link.b) if slot % 2 == 0 else (link.b, link.a)
                 raise AllocationError(
-                    f"link {a}->{b} lacks capacity for channel {channel_id!r}"
+                    f"link {a.name}->{b.name} lacks capacity for "
+                    f"channel {channel_id!r}"
                 )
-        for a, b in hops:
-            directed = _directed_key(a, b)
-            self._vc_used[directed] = self._vc_used.get(directed, 0) + 1
-            self._bw_used[directed] = self._bw_used.get(directed, 0.0) + bandwidth
-        reservation = ChannelReservation(app_id, channel_id, tuple(names), bandwidth)
+        vc_used, bw_used = self._vc_used, self._bw_used
+        journal = self._journal
+        old_bws = [] if journal is not None else None
+        for slot in slots:
+            vc_used[slot] += 1
+            if old_bws is not None:
+                old_bws.append(bw_used[slot])
+            bw_used[slot] += bandwidth
+        nodes = self.platform._nodes_by_id
+        reservation = ChannelReservation(
+            app_id, channel_id,
+            tuple(nodes[i].name for i in id_path), bandwidth,
+        )
         self._reservations[key] = reservation
+        self._res_slots[key] = slots
+        if journal is not None:
+            journal.append((_OP_RESERVE, key, tuple(old_bws)))
         return reservation
 
     def release_route(self, app_id: str, channel_id: str) -> None:
@@ -227,14 +481,15 @@ class AllocationState:
             reservation = self._reservations.pop(key)
         except KeyError:
             raise AllocationError(f"channel {channel_id!r} is not routed") from None
-        for a, b in zip(reservation.path, reservation.path[1:]):
-            directed = _directed_key(a, b)
-            self._vc_used[directed] -= 1
-            self._bw_used[directed] -= reservation.bandwidth
-            if self._vc_used[directed] == 0:
-                del self._vc_used[directed]
-            if abs(self._bw_used[directed]) < 1e-9:
-                del self._bw_used[directed]
+        slots = self._res_slots.pop(key)
+        journal = self._journal
+        old_bws = (
+            tuple(self._bw_used[slot] for slot in slots)
+            if journal is not None else None
+        )
+        self._unapply_slots(slots, reservation.bandwidth)
+        if journal is not None:
+            journal.append((_OP_RELEASE, key, reservation, slots, old_bws))
 
     def reservation(self, app_id: str, channel_id: str) -> ChannelReservation | None:
         return self._reservations.get((app_id, channel_id))
@@ -262,32 +517,61 @@ class AllocationState:
         policy belongs to the manager layer (see
         :mod:`repro.arch.faults`).
         """
-        self._failed_elements.add(self._element_name(element))
+        element_id = self._element_id(element)
+        if self._journal is not None:
+            self._journal.append(
+                (_OP_FAIL_ELEMENT, element_id,
+                 element_id in self._failed_elements)
+            )
+        self._failed_elements.add(element_id)
 
     def heal_element(self, element: ProcessingElement | str) -> None:
-        self._failed_elements.discard(self._element_name(element))
+        element_id = self._element_id(element)
+        if self._journal is not None:
+            self._journal.append(
+                (_OP_HEAL_ELEMENT, element_id,
+                 element_id in self._failed_elements)
+            )
+        self._failed_elements.discard(element_id)
 
     def fail_link(self, a: Node | str, b: Node | str) -> None:
-        name_a, name_b = self._node_name(a), self._node_name(b)
-        self.platform.link_between(name_a, name_b)  # validates existence
-        self._failed_links.add(frozenset((name_a, name_b)))
+        slot = self.platform.directed_slot(  # validates link existence
+            self._node_id(a), self._node_id(b)
+        )
+        link_id = slot >> 1
+        if self._journal is not None:
+            self._journal.append(
+                (_OP_FAIL_LINK, link_id, link_id in self._failed_links)
+            )
+        self._failed_links.add(link_id)
 
     def heal_link(self, a: Node | str, b: Node | str) -> None:
-        self._failed_links.discard(
-            frozenset((self._node_name(a), self._node_name(b)))
-        )
+        pair = (self._node_id(a), self._node_id(b))
+        slot = self.platform._directed_slots.get(pair)
+        if slot is None:
+            return  # unknown links were never failed; healing is a no-op
+        link_id = slot >> 1
+        if self._journal is not None:
+            self._journal.append(
+                (_OP_HEAL_LINK, link_id, link_id in self._failed_links)
+            )
+        self._failed_links.discard(link_id)
 
     def is_failed(self, element: ProcessingElement | str) -> bool:
-        return self._element_name(element) in self._failed_elements
+        return self._element_id(element) in self._failed_elements
 
     @property
     def failed_elements(self) -> frozenset[str]:
-        return frozenset(self._failed_elements)
+        nodes = self.platform._nodes_by_id
+        return frozenset(
+            nodes[element_id].name for element_id in self._failed_elements
+        )
 
     @property
     def failed_links(self) -> frozenset[frozenset[str]]:
         """Endpoint-name pairs of links currently marked failed."""
-        return frozenset(self._failed_links)
+        links = self.platform._links_by_id
+        return frozenset(links[link_id].key() for link_id in self._failed_links)
 
     # -- metrics ---------------------------------------------------------------
 
@@ -297,64 +581,135 @@ class AllocationState:
         The percentage of adjacent element pairs of which exactly one
         element is used, over all adjacent element pairs.
         """
-        pairs = self.platform.element_pairs
+        pairs = self.platform.element_pair_ids
         if not pairs:
             return 0.0
+        occupants = self._occupants
         mixed = sum(
-            1 for a, b in pairs if self.is_used(a) != self.is_used(b)
+            1 for a, b in pairs if bool(occupants[a]) != bool(occupants[b])
         )
         return 100.0 * mixed / len(pairs)
 
     def utilization(self) -> float:
-        """Fraction of total platform capacity currently allocated."""
-        total = sum(e.capacity.total() for e in self.platform.elements)
-        if not total:
-            return 0.0
-        free = sum(self._free[e.name].total() for e in self.platform.elements)
-        return (total - free) / total
+        """Fraction of total platform capacity currently allocated.
 
-    # -- snapshots -----------------------------------------------------------
+        O(1): the totals are maintained incrementally by occupy/vacate
+        rather than re-summed over every element per call.
+        """
+        if not self._total_capacity:
+            return 0.0
+        return self._allocated_total / self._total_capacity
+
+    # -- snapshots (legacy compatibility wrappers) ---------------------------
 
     def snapshot(self) -> dict:
-        """An opaque, restorable copy of the mutable ledgers."""
+        """An opaque, restorable copy of the mutable ledgers.
+
+        O(platform size) — prefer :meth:`transaction` for rollback; the
+        snapshot remains for whole-state capture and comparisons.
+        """
+        platform = self.platform
+        nodes = platform._nodes_by_id
+        links = platform._links_by_id
+        vc_used: dict[tuple[str, str], int] = {}
+        bw_used: dict[tuple[str, str], float] = {}
+        for slot, used in enumerate(self._vc_used):
+            bw = self._bw_used[slot]
+            if not used and abs(bw) < _BW_EPSILON:
+                continue
+            link = links[slot >> 1]
+            pair = (
+                (link.a.name, link.b.name) if slot % 2 == 0
+                else (link.b.name, link.a.name)
+            )
+            if used:
+                vc_used[pair] = used
+            if abs(bw) >= _BW_EPSILON:
+                bw_used[pair] = bw
         return {
-            "free": dict(self._free),
-            "occupants": {name: list(occ) for name, occ in self._occupants.items()},
-            "vc_used": dict(self._vc_used),
-            "bw_used": dict(self._bw_used),
+            "free": {
+                nodes[element_id].name: self._free[element_id]
+                for element_id in platform.element_ids
+            },
+            "occupants": {
+                nodes[element_id].name: list(self._occupants[element_id])
+                for element_id in platform.element_ids
+            },
+            "vc_used": vc_used,
+            "bw_used": bw_used,
             "reservations": dict(self._reservations),
-            "placements": dict(self._placements),
-            "wear": dict(self._wear),
-            "failed_elements": set(self._failed_elements),
-            "failed_links": set(self._failed_links),
+            "placements": {
+                key: nodes[element_id].name
+                for key, element_id in self._placements.items()
+            },
+            "wear": {
+                nodes[element_id].name: self._wear[element_id]
+                for element_id in platform.element_ids
+            },
+            "failed_elements": set(self.failed_elements),
+            "failed_links": set(self.failed_links),
+            # the exact incremental total, so a restore leaves the same
+            # float the journal path carries (recomputing could differ
+            # in the last bit and desynchronize the two strategies)
+            "allocated_total": self._allocated_total,
         }
 
     def restore(self, snapshot: dict) -> None:
-        self._free = dict(snapshot["free"])
-        self._occupants = {
-            name: list(occ) for name, occ in snapshot["occupants"].items()
-        }
-        self._vc_used = dict(snapshot["vc_used"])
-        self._bw_used = dict(snapshot["bw_used"])
+        if self._journal is not None:
+            raise AllocationError(
+                "cannot restore() inside an open transaction"
+            )
+        platform = self.platform
+        node_ids = platform._node_ids
+        for name, vector in snapshot["free"].items():
+            self._free[node_ids[name]] = vector
+        for name, occupants in snapshot["occupants"].items():
+            self._occupants[node_ids[name]] = list(occupants)
+        self._vc_used = [0] * platform.slot_count
+        self._bw_used = [0.0] * platform.slot_count
+        directed = platform._directed_slots
+        for (a, b), used in snapshot["vc_used"].items():
+            self._vc_used[directed[(node_ids[a], node_ids[b])]] = used
+        for (a, b), used in snapshot["bw_used"].items():
+            self._bw_used[directed[(node_ids[a], node_ids[b])]] = used
         self._reservations = dict(snapshot["reservations"])
-        self._placements = dict(snapshot["placements"])
-        self._wear = dict(snapshot["wear"])
-        self._failed_elements = set(snapshot["failed_elements"])
-        self._failed_links = set(snapshot["failed_links"])
+        self._res_slots = {
+            key: tuple(
+                directed[(node_ids[a], node_ids[b])]
+                for a, b in zip(res.path, res.path[1:])
+            )
+            for key, res in self._reservations.items()
+        }
+        self._placements = {
+            key: node_ids[name]
+            for key, name in snapshot["placements"].items()
+        }
+        for name, count in snapshot["wear"].items():
+            self._wear[node_ids[name]] = count
+        self._failed_elements = {
+            node_ids[name] for name in snapshot["failed_elements"]
+        }
+        self._failed_links = {
+            platform.directed_slot(*(node_ids[name] for name in pair)) >> 1
+            for pair in snapshot["failed_links"]
+        }
+        self._allocated_total = snapshot["allocated_total"]
 
     # -- helpers ------------------------------------------------------------
 
-    def _element_name(self, element: ProcessingElement | str) -> str:
+    def _element_id(self, element: ProcessingElement | str) -> int:
         name = element if isinstance(element, str) else element.name
-        if name not in self._free:
+        element_id = self.platform._node_ids.get(name)
+        if element_id is None or not self.platform._is_element_mask[element_id]:
             raise TopologyError(f"unknown element {name!r}")
-        return name
+        return element_id
 
-    def _node_name(self, node: Node | str) -> str:
+    def _node_id(self, node: Node | str) -> int:
         name = node if isinstance(node, str) else node.name
-        if name not in self.platform:
+        node_id = self.platform._node_ids.get(name)
+        if node_id is None:
             raise TopologyError(f"unknown node {name!r}")
-        return name
+        return node_id
 
     def __repr__(self) -> str:
         return (

@@ -17,6 +17,22 @@ Two derived views are central to the algorithms:
   share a router or sit on directly-linked routers — which defines the
   "pairs of adjacent elements" in the paper's external-fragmentation
   metric and the neighbour bonuses of the mapping cost function.
+
+Freezing also *interns* every node and link to a dense integer id and
+precomputes id-based adjacency and link tables.  The run-time hot
+paths (allocation state ledgers, ring search, routing) operate on
+these ids — array indexing instead of string hashing — and translate
+back to names only at public API boundaries:
+
+* ``node_id`` / ``node_by_id`` — name ↔ dense node id,
+* ``neighbor_ids(i)`` with the parallel ``neighbor_slots(i)`` — the
+  adjacency of node ``i`` together with the *directed link slot* of
+  each edge,
+* directed link slots: link ``l`` (id ``k``) owns slots ``2k`` and
+  ``2k + 1`` for its two directions, so ``slot ^ 1`` is always the
+  reverse direction; ``slot >> 1`` recovers the undirected link id,
+* ``slot_vc`` / ``slot_bw`` — per-slot capacity arrays mirroring the
+  :class:`Link` attributes.
 """
 
 from __future__ import annotations
@@ -86,6 +102,21 @@ class Platform:
         self._frozen = False
         self._element_neighbors: dict[str, tuple[ProcessingElement, ...]] = {}
         self._element_pairs: tuple[tuple[ProcessingElement, ProcessingElement], ...] = ()
+        # id interning tables, populated by freeze() (see module docstring)
+        self._node_ids: dict[str, int] = {}
+        self._nodes_by_id: tuple[Node, ...] = ()
+        self._neighbor_ids: tuple[tuple[int, ...], ...] = ()
+        self._neighbor_slots: tuple[tuple[int, ...], ...] = ()
+        self._links_by_id: tuple[Link, ...] = ()
+        self._directed_slots: dict[tuple[int, int], int] = {}
+        self._slot_vc: tuple[int, ...] = ()
+        self._slot_bw: tuple[float, ...] = ()
+        self._is_element_mask: tuple[bool, ...] = ()
+        self._element_ids: tuple[int, ...] = ()
+        self._elements_tuple: tuple[ProcessingElement, ...] = ()
+        self._routers_tuple: tuple[Router, ...] = ()
+        self._element_neighbor_ids: dict[str, tuple[int, ...]] = {}
+        self._element_pair_ids: tuple[tuple[int, int], ...] = ()
 
     # -- construction -------------------------------------------------
 
@@ -130,8 +161,53 @@ class Platform:
         if self._frozen:
             return self
         self._frozen = True
+        self._intern()
         self._compute_element_adjacency()
         return self
+
+    def _intern(self) -> None:
+        """Assign dense integer ids to nodes and links (see docstring)."""
+        names = list(self._nodes)
+        self._node_ids = {name: index for index, name in enumerate(names)}
+        self._nodes_by_id = tuple(self._nodes[name] for name in names)
+        self._is_element_mask = tuple(
+            is_element(node) for node in self._nodes_by_id
+        )
+        self._element_ids = tuple(
+            index for index, flag in enumerate(self._is_element_mask) if flag
+        )
+        self._elements_tuple = tuple(
+            node for node in self._nodes_by_id if is_element(node)
+        )
+        self._routers_tuple = tuple(
+            node for node in self._nodes_by_id if not is_element(node)
+        )
+        self._links_by_id = tuple(self._links.values())
+        slot_vc: list[int] = []
+        slot_bw: list[float] = []
+        directed: dict[tuple[int, int], int] = {}
+        for link_id, link in enumerate(self._links_by_id):
+            id_a = self._node_ids[link.a.name]
+            id_b = self._node_ids[link.b.name]
+            directed[(id_a, id_b)] = 2 * link_id
+            directed[(id_b, id_a)] = 2 * link_id + 1
+            slot_vc += [link.virtual_channels, link.virtual_channels]
+            slot_bw += [link.bandwidth, link.bandwidth]
+        self._directed_slots = directed
+        self._slot_vc = tuple(slot_vc)
+        self._slot_bw = tuple(slot_bw)
+        neighbor_ids = []
+        neighbor_slots = []
+        for index, node in enumerate(self._nodes_by_id):
+            ids = tuple(
+                self._node_ids[other.name] for other in self._adjacency[node.name]
+            )
+            neighbor_ids.append(ids)
+            neighbor_slots.append(
+                tuple(directed[(index, other)] for other in ids)
+            )
+        self._neighbor_ids = tuple(neighbor_ids)
+        self._neighbor_slots = tuple(neighbor_slots)
 
     def _require_mutable(self) -> None:
         if self._frozen:
@@ -171,18 +247,26 @@ class Platform:
 
     @property
     def nodes(self) -> tuple[Node, ...]:
+        if self._frozen:
+            return self._nodes_by_id
         return tuple(self._nodes.values())
 
     @property
     def elements(self) -> tuple[ProcessingElement, ...]:
+        if self._frozen:
+            return self._elements_tuple
         return tuple(n for n in self._nodes.values() if is_element(n))
 
     @property
     def routers(self) -> tuple[Router, ...]:
+        if self._frozen:
+            return self._routers_tuple
         return tuple(n for n in self._nodes.values() if not is_element(n))
 
     @property
     def links(self) -> tuple[Link, ...]:
+        if self._frozen:
+            return self._links_by_id
         return tuple(self._links.values())
 
     def link_between(self, a: Node | str, b: Node | str) -> Link:
@@ -202,6 +286,76 @@ class Platform:
 
     def degree(self, node: Node | str) -> int:
         return len(self.neighbors(node))
+
+    # -- interned-id queries (frozen platforms only) ---------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def slot_count(self) -> int:
+        """Number of directed link slots (two per undirected link)."""
+        return 2 * len(self._links)
+
+    def node_id(self, node: Node | str) -> int:
+        """Dense integer id of a node (frozen platforms only)."""
+        self._require_frozen()
+        name = node if isinstance(node, str) else node.name
+        try:
+            return self._node_ids[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def node_by_id(self, node_id: int) -> Node:
+        return self._nodes_by_id[node_id]
+
+    def neighbor_ids(self, node_id: int) -> tuple[int, ...]:
+        """Neighbor node ids of ``node_id``, in link insertion order."""
+        self._require_frozen()
+        return self._neighbor_ids[node_id]
+
+    def neighbor_slots(self, node_id: int) -> tuple[int, ...]:
+        """Directed link slot of each edge, parallel to neighbor_ids."""
+        self._require_frozen()
+        return self._neighbor_slots[node_id]
+
+    @property
+    def element_ids(self) -> tuple[int, ...]:
+        """Node ids of processing elements, in declaration order."""
+        self._require_frozen()
+        return self._element_ids
+
+    def is_element_id(self, node_id: int) -> bool:
+        return self._is_element_mask[node_id]
+
+    def directed_slot(self, a_id: int, b_id: int) -> int:
+        """The directed slot of link ``a -> b``; raises if not linked.
+
+        The reverse direction is always ``slot ^ 1``, the undirected
+        link id ``slot >> 1``.
+        """
+        try:
+            return self._directed_slots[(a_id, b_id)]
+        except KeyError:
+            name_a = self._nodes_by_id[a_id].name
+            name_b = self._nodes_by_id[b_id].name
+            raise TopologyError(
+                f"no link between {name_a} and {name_b}"
+            ) from None
+
+    def link_by_id(self, link_id: int) -> Link:
+        return self._links_by_id[link_id]
+
+    @property
+    def slot_vc(self) -> tuple[int, ...]:
+        """Per-slot virtual-channel capacities."""
+        return self._slot_vc
+
+    @property
+    def slot_bw(self) -> tuple[float, ...]:
+        """Per-slot bandwidth capacities."""
+        return self._slot_bw
 
     # -- distances and neighbourhoods -----------------------------------
 
@@ -303,6 +457,14 @@ class Platform:
             tuple(sorted((self.element(x) for x in pair), key=lambda e: e.name))
             for pair in sorted(pairs, key=sorted)
         )
+        self._element_neighbor_ids = {
+            name: tuple(self._node_ids[e.name] for e in found)
+            for name, found in self._element_neighbors.items()
+        }
+        self._element_pair_ids = tuple(
+            (self._node_ids[a.name], self._node_ids[b.name])
+            for a, b in self._element_pairs
+        )
 
     def element_neighbors(self, element: ProcessingElement | str) -> tuple[ProcessingElement, ...]:
         """Adjacent elements of ``element`` (see class docstring)."""
@@ -327,6 +489,21 @@ class Platform:
     def element_connectivity(self, element: ProcessingElement | str) -> int:
         """Number of adjacent elements — low values mean border tiles."""
         return len(self.element_neighbors(element))
+
+    def element_neighbor_ids(self, element: ProcessingElement | str) -> tuple[int, ...]:
+        """Node ids of the adjacent elements of ``element``."""
+        self._require_frozen()
+        name = element if isinstance(element, str) else element.name
+        try:
+            return self._element_neighbor_ids[name]
+        except KeyError:
+            raise TopologyError(f"unknown element {name!r}") from None
+
+    @property
+    def element_pair_ids(self) -> tuple[tuple[int, int], ...]:
+        """:attr:`element_pairs` as node-id pairs (fragmentation hot path)."""
+        self._require_frozen()
+        return self._element_pair_ids
 
     def _require_frozen(self) -> None:
         if not self._frozen:

@@ -135,11 +135,13 @@ def annealed_map(
         temperature *= cooling
 
     result = MappingResult(placement={}, anchors={})
-    for task in tasks:
-        element = best[task]
-        try:
-            state.occupy(element, app_id, task, requirements[task])
-        except AllocationError as exc:  # pragma: no cover - feasible()
-            raise MappingError(str(exc)) from exc   # guards this
-        result.placement[task] = element
+    # commit atomically: a mid-commit failure leaves no partial placement
+    with state.transaction():
+        for task in tasks:
+            element = best[task]
+            try:
+                state.occupy(element, app_id, task, requirements[task])
+            except AllocationError as exc:  # pragma: no cover - feasible()
+                raise MappingError(str(exc)) from exc   # guards this
+            result.placement[task] = element
     return result

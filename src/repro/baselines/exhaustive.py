@@ -25,7 +25,6 @@ from dataclasses import dataclass
 from repro.apps.implementations import Implementation
 from repro.apps.taskgraph import Application
 from repro.arch.elements import ProcessingElement
-from repro.arch.resources import ResourceVector
 from repro.arch.state import AllocationState
 
 #: refuse instances with more than this many task-element combinations
@@ -70,8 +69,9 @@ def optimal_map(
 ) -> OptimalResult:
     """Find the minimum-communication-distance feasible placement.
 
-    Does *not* mutate ``state`` — it only reads free capacities.
-    Raises :class:`InstanceTooLargeError` when the candidate space
+    Leaves ``state`` unchanged: the branch-and-bound tentatively
+    occupies elements inside a transaction and unwinds every branch
+    via savepoints.  Raises :class:`InstanceTooLargeError` when the candidate space
     exceeds ``max_combinations``, and ``ValueError`` when no feasible
     placement exists at all.
     """
@@ -112,14 +112,13 @@ def optimal_map(
         return distance_cache[key]
 
     requirements = {t: binding[t].requirement for t in tasks}
-    free0 = {e.name: state.free(e) for e in state.platform.elements}
+    scratch_id = f"__optimal__{app.name}"
 
     best_cost = float("inf")
     best_placement: dict[str, str] | None = None
     nodes = 0
 
     placement: dict[str, str] = {}
-    free: dict[str, ResourceVector] = dict(free0)
 
     # incident channels per task against already-placed peers
     incident = {
@@ -153,17 +152,23 @@ def optimal_map(
             key=lambda e: (added_cost(task, e.name), e.name),
         )
         for element in options:
-            if not requirement.fits_in(free[element.name]):
+            if not state.is_available(element, requirement):
                 continue
             delta = added_cost(task, element.name)
             nodes += 1
             placement[task] = element.name
-            free[element.name] = free[element.name] - requirement
+            mark = state.savepoint()
+            state.occupy(element, scratch_id, task, requirement)
             recurse(index + 1, cost_so_far + delta)
-            free[element.name] = free[element.name] + requirement
+            state.rollback_to(mark)
             del placement[task]
 
-    recurse(0, 0.0)
+    # explore over the live state inside a transaction: each branch
+    # occupies tentatively and unwinds via savepoints, so av(e, t) is
+    # evaluated by the same ledger logic the run-time manager uses and
+    # the state is bit-identical afterwards (wear included)
+    with state.transaction():
+        recurse(0, 0.0)
     if best_placement is None:
         raise ValueError(f"no feasible placement for {app.name!r}")
     return OptimalResult(best_placement, best_cost, nodes)

@@ -16,14 +16,23 @@ mapping cost function needs to estimate route lengths to already-mapped
 communication peers.  Links without a free virtual channel are not
 traversed (a congestion-aware search keeps the distance estimates
 honest and avoids proposing unreachable elements).
+
+Both classes operate on the interned integer ids a frozen platform
+provides (see :mod:`repro.arch.topology`): BFS frontiers are id lists,
+visited sets are per-origin byte masks, and distances live in
+origin-indexed rows — one array cell per node — instead of a dict
+keyed by string pairs.  Names appear only at the public boundaries
+(``origins``, ``advance()``'s returned elements, and name-based
+``record``/``get`` lookups).
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.arch.elements import ProcessingElement, is_element
+from repro.arch.elements import ProcessingElement
 from repro.arch.state import AllocationState
+from repro.arch.topology import Platform
 
 
 class SparseDistanceMatrix:
@@ -34,29 +43,114 @@ class SparseDistanceMatrix:
     high penalty is given" (Section III-D) — the penalty policy lives
     in the cost function; this class just answers ``get`` with None
     for unknown pairs.  Lookups are symmetric.
+
+    When built over a frozen platform the matrix stores origin-indexed
+    rows (one distance cell per node id); without a platform it falls
+    back to a name-keyed dict, which keeps ad-hoc construction in
+    tests and callers working.
     """
 
-    def __init__(self) -> None:
-        self._distances: dict[tuple[str, str], int] = {}
+    __slots__ = ("_platform", "_node_ids", "_rows", "_fallback")
+
+    def __init__(self, platform: Platform | None = None) -> None:
+        self._platform = platform
+        self._node_ids = platform._node_ids if platform is not None else None
+        #: origin node id -> per-node distance row (-1 = unknown)
+        self._rows: dict[int, list[int]] = {}
+        #: legacy symmetric name-keyed store (no-platform mode)
+        self._fallback: dict[tuple[str, str], int] = {}
+
+    def row(self, origin_id: int) -> list[int]:
+        """The (mutable) distance row of ``origin_id`` (hot path)."""
+        rows = self._rows
+        row = rows.get(origin_id)
+        if row is None:
+            row = rows[origin_id] = [-1] * self._platform.node_count
+        return row
 
     def record(self, origin: str, node: str, distance: int) -> None:
+        node_ids = self._node_ids
+        if node_ids is not None:
+            origin_id = node_ids.get(origin)
+            node_id = node_ids.get(node)
+            if origin_id is not None and node_id is not None:
+                row = self.row(origin_id)
+                if row[node_id] < 0 or distance < row[node_id]:
+                    row[node_id] = distance
+                return
         key = (origin, node) if origin <= node else (node, origin)
-        previous = self._distances.get(key)
+        previous = self._fallback.get(key)
         if previous is None or distance < previous:
-            self._distances[key] = distance
+            self._fallback[key] = distance
 
     def get(self, a: str, b: str) -> int | None:
         if a == b:
             return 0
-        key = (a, b) if a <= b else (b, a)
-        return self._distances.get(key)
+        best: int | None = None
+        node_ids = self._node_ids
+        if node_ids is not None and self._rows:
+            id_a = node_ids.get(a)
+            id_b = node_ids.get(b)
+            if id_a is not None and id_b is not None:
+                best = self.get_ids(id_a, id_b)
+        if self._fallback:
+            key = (a, b) if a <= b else (b, a)
+            distance = self._fallback.get(key)
+            if distance is not None and (best is None or distance < best):
+                best = distance
+        return best
+
+    def get_ids(self, id_a: int, id_b: int) -> int | None:
+        """Symmetric lookup over node ids (platform mode only)."""
+        if id_a == id_b:
+            return 0
+        best: int | None = None
+        rows = self._rows
+        row = rows.get(id_a)
+        if row is not None and row[id_b] >= 0:
+            best = row[id_b]
+        row = rows.get(id_b)
+        if row is not None and 0 <= row[id_a] and (best is None or row[id_a] < best):
+            best = row[id_a]
+        return best
 
     def __len__(self) -> int:
-        return len(self._distances)
+        count = len(self._fallback)
+        for row in self._rows.values():
+            count += sum(1 for distance in row if distance >= 0)
+        return count
 
     def merge(self, other: "SparseDistanceMatrix") -> None:
         """Keep the minimum of both matrices (used across iterations)."""
-        for (a, b), distance in other._distances.items():
+        if (
+            self._platform is None
+            and other._platform is not None
+            and not self._fallback
+        ):
+            # adopt the other's interning (fresh result matrices start
+            # platform-less; the first merge binds them)
+            self._platform = other._platform
+            self._node_ids = other._node_ids
+        if other._rows:
+            if other._platform is self._platform:
+                for origin_id, row in other._rows.items():
+                    mine = self._rows.get(origin_id)
+                    if mine is None:
+                        self._rows[origin_id] = list(row)
+                        continue
+                    for node_id, distance in enumerate(row):
+                        if 0 <= distance and (
+                            mine[node_id] < 0 or distance < mine[node_id]
+                        ):
+                            mine[node_id] = distance
+            else:  # cross-platform merge: degrade to names
+                nodes = other._platform._nodes_by_id
+                for origin_id, row in other._rows.items():
+                    origin = nodes[origin_id].name
+                    for node_id, distance in enumerate(row):
+                        if distance >= 0:
+                            self.record(origin, nodes[node_id].name, distance)
+        for (a, b), distance in other._fallback.items():
             self.record(a, b, distance)
 
 
@@ -79,22 +173,32 @@ class RingSearch:
         self.state = state
         self.platform = state.platform
         self.respect_congestion = respect_congestion
-        self.distances = SparseDistanceMatrix()
+        self.distances = SparseDistanceMatrix(self.platform)
+        node_ids = self.platform._node_ids
+        origin_ids: list[int] = []
         origin_names: list[str] = []
         for origin in origins:
             name = origin if isinstance(origin, str) else origin.name
             if name not in origin_names:
                 origin_names.append(name)
+                origin_ids.append(node_ids[name])
         if not origin_names:
             raise ValueError("RingSearch needs at least one origin element")
         self.origins = tuple(origin_names)
-        # per-origin BFS state
-        self._visited: dict[str, set[str]] = {o: {o} for o in origin_names}
-        self._frontier: dict[str, list[str]] = {o: [o] for o in origin_names}
-        self._seen_elements: set[str] = set(origin_names)
+        self._origin_ids = tuple(origin_ids)
+        # per-origin BFS state: byte visited masks and id frontiers
+        node_count = self.platform.node_count
+        self._visited: list[bytearray] = []
+        self._frontier: list[list[int]] = []
+        self._seen_elements = bytearray(node_count)
         self._ring = 0
-        for origin in origin_names:
-            self.distances.record(origin, origin, 0)
+        for origin_id in origin_ids:
+            visited = bytearray(node_count)
+            visited[origin_id] = 1
+            self._visited.append(visited)
+            self._frontier.append([origin_id])
+            self._seen_elements[origin_id] = 1
+            self.distances.row(origin_id)[origin_id] = 0
 
     @property
     def ring(self) -> int:
@@ -104,10 +208,10 @@ class RingSearch:
     @property
     def exhausted(self) -> bool:
         """True when no origin has frontier nodes left to expand."""
-        return all(not frontier for frontier in self._frontier.values())
+        return all(not frontier for frontier in self._frontier)
 
-    def _traversable(self, a: str, b: str) -> bool:
-        """Can the search step across link a—b?
+    def _traversable(self, slot: int) -> bool:
+        """Can the search step across the link owning directed ``slot``?
 
         With ``respect_congestion`` a link must offer a free virtual
         channel in at least one direction; fully saturated or failed
@@ -116,8 +220,14 @@ class RingSearch:
         """
         if not self.respect_congestion:
             return True
+        state = self.state
+        if (slot >> 1) in state._failed_links:
+            return False
+        vc_used, slot_vc = state._vc_used, self.platform._slot_vc
+        reverse = slot ^ 1
         return (
-            self.state.vc_free(a, b) >= 1 or self.state.vc_free(b, a) >= 1
+            vc_used[slot] < slot_vc[slot]
+            or vc_used[reverse] < slot_vc[reverse]
         )
 
     def advance(self) -> list[ProcessingElement]:
@@ -125,26 +235,40 @@ class RingSearch:
         if self.exhausted:
             return []
         self._ring += 1
+        ring = self._ring
+        platform = self.platform
+        neighbor_ids = platform._neighbor_ids
+        neighbor_slots = platform._neighbor_slots
+        nodes = platform._nodes_by_id
+        is_element = platform._is_element_mask
+        seen = self._seen_elements
+        respect_congestion = self.respect_congestion
         new_elements: list[ProcessingElement] = []
-        for origin in self.origins:
-            frontier = self._frontier[origin]
+        for index, origin_id in enumerate(self._origin_ids):
+            frontier = self._frontier[index]
             if not frontier:
                 continue
-            visited = self._visited[origin]
-            next_frontier: list[str] = []
-            for node_name in frontier:
-                for neighbor in self.platform.neighbors(node_name):
-                    if neighbor.name in visited:
+            visited = self._visited[index]
+            row = self.distances.row(origin_id)
+            next_frontier: list[int] = []
+            for node_id in frontier:
+                ids = neighbor_ids[node_id]
+                slots = neighbor_slots[node_id]
+                for position, neighbor_id in enumerate(ids):
+                    if visited[neighbor_id]:
                         continue
-                    if not self._traversable(node_name, neighbor.name):
+                    if respect_congestion and not self._traversable(
+                        slots[position]
+                    ):
                         continue
-                    visited.add(neighbor.name)
-                    next_frontier.append(neighbor.name)
-                    self.distances.record(origin, neighbor.name, self._ring)
-                    if is_element(neighbor) and neighbor.name not in self._seen_elements:
-                        self._seen_elements.add(neighbor.name)
-                        new_elements.append(neighbor)
-            self._frontier[origin] = next_frontier
+                    visited[neighbor_id] = 1
+                    next_frontier.append(neighbor_id)
+                    if row[neighbor_id] < 0 or ring < row[neighbor_id]:
+                        row[neighbor_id] = ring
+                    if is_element[neighbor_id] and not seen[neighbor_id]:
+                        seen[neighbor_id] = 1
+                        new_elements.append(nodes[neighbor_id])
+            self._frontier[index] = next_frontier
         return new_elements
 
     def gather(

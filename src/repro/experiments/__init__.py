@@ -39,8 +39,17 @@ from repro.experiments.harness import (
     run_sequence,
 )
 from repro.experiments.workload import (
+    CHURN_BENCH_CONFIG,
+    CHURN_BENCH_POOL_SIZE,
+    ROLLBACK_BENCH_OCCUPIES,
+    ROLLBACK_BENCH_ROUTES,
+    ChurnConfig,
+    ChurnResult,
     WorkloadConfig,
     WorkloadStats,
+    churn_pool,
+    measure_mesh_rollback_seconds,
+    run_admission_churn,
     run_workload,
     saturation_point,
 )
@@ -53,6 +62,10 @@ from repro.experiments.table1 import (
 )
 
 __all__ = [
+    "CHURN_BENCH_CONFIG",
+    "CHURN_BENCH_POOL_SIZE",
+    "ChurnConfig",
+    "ChurnResult",
     "Fig10Result",
     "Fig7Result",
     "Fig89Result",
@@ -64,20 +77,25 @@ __all__ = [
     "PAPER_SEQUENCES",
     "PAPER_TABLE1",
     "PreparedDataset",
+    "ROLLBACK_BENCH_OCCUPIES",
+    "ROLLBACK_BENCH_ROUTES",
     "SMOKE",
     "Table1Result",
     "Table1Row",
     "WorkloadConfig",
     "WorkloadStats",
     "case_study_timing",
+    "churn_pool",
     "default_platform",
     "format_fig10",
     "format_fig7",
     "format_fig8",
     "format_fig9",
     "format_table1",
+    "measure_mesh_rollback_seconds",
     "prepare_all_datasets",
     "prepare_dataset",
+    "run_admission_churn",
     "run_dataset_sequences",
     "run_fig10",
     "run_fig7",

@@ -17,9 +17,15 @@ mid-lifetime re-admission behaviour the sequence protocol cannot see.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 
+from repro.apps.generator import GeneratorConfig, generate
 from repro.apps.taskgraph import Application
+from repro.arch.builders import mesh
+from repro.arch.elements import ElementType
+from repro.arch.resources import ResourceVector
+from repro.arch.state import AllocationState
 from repro.arch.topology import Platform
 from repro.core.cost import BOTH, CostWeights
 from repro.manager.kairos import Kairos
@@ -131,6 +137,200 @@ def run_workload(
         manager.release(app_id)
     assert manager.utilization() == 0.0, "drained platform not empty"
     return stats
+
+
+# ---------------------------------------------------------------------------
+# Admission churn: the rollback-strategy benchmark workload
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Knobs of the sustained allocate/release churn scenario.
+
+    The platform is first filled round-robin until ``target_utilization``
+    is reached (or the whole pool is rejected in a row); every
+    subsequent step releases one random resident application and
+    attempts one admission.  Near the utilization target many attempts
+    fail, which is exactly the regime that stresses rollback cost.
+    """
+
+    steps: int = 150
+    target_utilization: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError("need at least one step")
+        if not 0 < self.target_utilization <= 1:
+            raise ValueError("target_utilization must be in (0, 1]")
+
+
+#: the canonical churn workload measured by ``bench_admission_churn``,
+#: ``benchmarks/run_admission_bench.py`` and ``tests/test_admission_churn.py``
+#: — tune it here so every entry point keeps measuring the same thing
+CHURN_BENCH_CONFIG = ChurnConfig(steps=150, target_utilization=0.8, seed=0)
+CHURN_BENCH_POOL_SIZE = 20
+
+#: the fixed-size failed attempt of the rollback-scaling micro-benchmark
+#: (must fit the smallest mesh compared, so every platform rolls back
+#: exactly the same work)
+ROLLBACK_BENCH_OCCUPIES = 16
+ROLLBACK_BENCH_ROUTES = 3
+
+
+def measure_mesh_rollback_seconds(rows: int, repeats: int = 300) -> float:
+    """Min seconds to undo one fixed-size failed attempt via the journal.
+
+    The single definition shared by ``benchmarks/run_admission_bench.py``
+    and ``tests/test_admission_churn.py``, so the reported
+    rollback-scaling numbers and the CI gate measure the same scenario.
+    The attempt (:data:`ROLLBACK_BENCH_OCCUPIES` occupies +
+    :data:`ROLLBACK_BENCH_ROUTES` route reservations) is identical on
+    every ``rows x rows`` mesh, making the measured time a pure probe
+    of platform-size dependence.
+    """
+    if rows <= ROLLBACK_BENCH_ROUTES:
+        raise ValueError("mesh too small for the fixed-size failed attempt")
+    platform = mesh(rows, rows)
+    state = AllocationState(platform)
+    elements = platform.elements[:ROLLBACK_BENCH_OCCUPIES]
+    requirement = ResourceVector(cycles=10, memory=2)
+    routes = [
+        (f"dsp_0_{col}", f"r_0_{col}", f"r_0_{col + 1}", f"dsp_0_{col + 1}")
+        for col in range(ROLLBACK_BENCH_ROUTES)
+    ]
+    best = float("inf")
+    for _ in range(repeats):
+        with state.transaction():
+            mark = state.savepoint()
+            for index, element in enumerate(elements):
+                state.occupy(element, "bench", f"t{index}", requirement)
+            for index, path in enumerate(routes):
+                state.reserve_route("bench", f"c{index}", path, 1.0)
+            started = time.perf_counter()
+            state.rollback_to(mark)
+            elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+@dataclass
+class ChurnResult:
+    """Outcome and determinism digest of one churn run."""
+
+    admitted: int = 0
+    rejected: int = 0
+    released: int = 0
+    fill_admitted: int = 0
+    final_utilization: float = 0.0
+    elapsed_seconds: float = 0.0
+    #: per-admission digest (app_id, placements, route paths) — two
+    #: runs are equivalent iff their digests are equal
+    layouts: list[tuple] = field(default_factory=list)
+
+    @property
+    def attempts(self) -> int:
+        return self.admitted + self.rejected
+
+
+def churn_pool(count: int = 20, seed: int = 0) -> list[Application]:
+    """A deterministic pool of DSP-only applications for churn runs.
+
+    Sizes and utilizations are varied enough that the packing near the
+    utilization target keeps producing both successes and failures.
+    """
+    pool = []
+    for index in range(count):
+        config = GeneratorConfig(
+            inputs=1,
+            internals=2 + index % 5,
+            outputs=1,
+            target_kinds=((ElementType.DSP, 1.0),),
+            utilization_low=0.25,
+            utilization_high=0.65,
+        )
+        pool.append(generate(config, seed=seed * 10_000 + index))
+    return pool
+
+
+def run_admission_churn(
+    pool: list[Application],
+    platform: Platform,
+    config: ChurnConfig = ChurnConfig(),
+    weights: CostWeights = BOTH,
+    rollback: str = "transaction",
+) -> ChurnResult:
+    """Sustained allocate/release churn against one Kairos instance.
+
+    Deterministic for a given (pool, config): the event sequence
+    depends only on the seeded RNG and admission outcomes, so two runs
+    with different ``rollback`` strategies must produce identical
+    :attr:`ChurnResult.layouts` digests — asserted by the test suite.
+    """
+    if not pool:
+        raise ValueError("churn pool must not be empty")
+    rng = random.Random(config.seed)
+    manager = Kairos(
+        platform, weights=weights, validation_mode="skip", rollback=rollback
+    )
+    result = ChurnResult()
+    resident: list[str] = []
+    next_app = 0
+    counter = 0
+    started = time.perf_counter()
+
+    def attempt() -> bool:
+        nonlocal next_app, counter
+        app = pool[next_app % len(pool)]
+        next_app += 1
+        counter += 1
+        app_id = f"churn{counter}_{app.name}"
+        try:
+            layout = manager.allocate(app, app_id)
+        except AllocationFailure:
+            result.rejected += 1
+            return False
+        result.admitted += 1
+        resident.append(app_id)
+        result.layouts.append(_layout_digest(layout))
+        return True
+
+    # fill to the target utilization
+    consecutive_rejections = 0
+    while (
+        manager.utilization() < config.target_utilization
+        and consecutive_rejections < len(pool)
+    ):
+        if attempt():
+            consecutive_rejections = 0
+            result.fill_admitted += 1
+        else:
+            consecutive_rejections += 1
+
+    # churn: one departure + one admission attempt per step
+    for _step in range(config.steps):
+        if resident:
+            app_id = resident.pop(rng.randrange(len(resident)))
+            manager.release(app_id)
+            result.released += 1
+        attempt()
+
+    result.final_utilization = manager.utilization()
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def _layout_digest(layout) -> tuple:
+    return (
+        layout.app_id,
+        tuple(sorted(layout.placement.items())),
+        tuple(
+            (channel, reservation.path)
+            for channel, reservation in sorted(layout.routes.items())
+        ),
+    )
 
 
 def saturation_point(

@@ -8,6 +8,12 @@ atomic: any phase failure rolls the allocation state back and raises
 :class:`AllocationFailure` tagged with the failing phase (Table I's
 unit of account).
 
+Atomicity uses the state's transaction journal by default: rollback
+cost scales with the mutations the failed attempt made, not with the
+platform size.  The pre-journal strategy — a full ledger snapshot
+before every attempt — remains available as ``rollback="snapshot"``
+for comparison benchmarks (see ``benchmarks/run_admission_bench.py``).
+
 The manager also provides release (applications leaving the system)
 and fault recovery (re-allocating applications stranded by element or
 link failures), the run-time capabilities motivating the paper.
@@ -37,6 +43,9 @@ from repro.validation.validator import validate_layout
 
 #: validation policy names (see module docstring of validator)
 VALIDATION_MODES = ("enforce", "report", "skip")
+
+#: failed-attempt rollback strategies (see class docstring)
+ROLLBACK_STRATEGIES = ("transaction", "snapshot")
 
 
 @dataclass
@@ -71,6 +80,10 @@ class Kairos:
         ``"simulation"`` (exact state-space exploration, the paper's
         approach) or ``"analytical"`` (maximum cycle ratio — the
         future-work scheme of Section V, much faster).
+    rollback:
+        ``"transaction"`` (default) undoes a failed attempt via the
+        state's journal, O(mutations); ``"snapshot"`` restores a full
+        pre-attempt ledger copy, O(platform) — kept for comparison.
     """
 
     def __init__(
@@ -83,11 +96,17 @@ class Kairos:
         validation_mode: str = "report",
         validation_max_firings: int | None = None,
         validation_method: str = "simulation",
+        rollback: str = "transaction",
     ) -> None:
         if validation_mode not in VALIDATION_MODES:
             raise ValueError(
                 f"validation_mode must be one of {VALIDATION_MODES}, "
                 f"got {validation_mode!r}"
+            )
+        if rollback not in ROLLBACK_STRATEGIES:
+            raise ValueError(
+                f"rollback must be one of {ROLLBACK_STRATEGIES}, "
+                f"got {rollback!r}"
             )
         self.platform = platform
         self.state = AllocationState(platform)
@@ -106,6 +125,7 @@ class Kairos:
         self.validation_mode = validation_mode
         self.validation_max_firings = validation_max_firings
         self.validation_method = validation_method
+        self.rollback = rollback
         self.admitted: dict[str, ExecutionLayout] = {}
         self._counter = itertools.count()
 
@@ -127,69 +147,87 @@ class Kairos:
         except TaskGraphError as exc:
             raise AllocationFailure(Phase.BINDING, app_id, str(exc)) from exc
 
-        snapshot = self.state.snapshot()
         timings = PhaseTimings()
+        if self.rollback == "snapshot":
+            # legacy strategy: full ledger copy up front, restore on failure
+            snapshot = self.state.snapshot()
+            try:
+                layout = self._run_phases(app, app_id, timings)
+            except AllocationFailure:
+                self.state.restore(snapshot)
+                raise
+        else:
+            # journal strategy: any exception (phase failure or bug)
+            # rolls back exactly the mutations this attempt made
+            with self.state.transaction():
+                layout = self._run_phases(app, app_id, timings)
+        self.admitted[app_id] = layout
+        return layout
+
+    def _run_phases(
+        self, app: Application, app_id: str, timings: PhaseTimings
+    ) -> ExecutionLayout:
+        """Binding, mapping, routing, validation — the Fig. 1 work-flow.
+
+        Mutates the allocation state; the caller provides atomicity.
+        """
+        # 1. binding
+        started = time.perf_counter()
         try:
-            # 1. binding
-            started = time.perf_counter()
-            try:
-                binding = bind(app, self.state)
-            except BindingError as exc:
-                raise AllocationFailure(Phase.BINDING, app_id, str(exc)) from exc
-            finally:
-                timings.record(Phase.BINDING, time.perf_counter() - started)
+            binding = bind(app, self.state)
+        except BindingError as exc:
+            raise AllocationFailure(Phase.BINDING, app_id, str(exc)) from exc
+        finally:
+            timings.record(Phase.BINDING, time.perf_counter() - started)
 
-            # 2. mapping
+        # 2. mapping
+        started = time.perf_counter()
+        try:
+            mapping = map_application(
+                app, binding.choice, self.state,
+                cost=self.cost, options=self.mapping_options,
+                app_id=app_id,
+            )
+        except MappingError as exc:
+            raise AllocationFailure(Phase.MAPPING, app_id, str(exc)) from exc
+        finally:
+            timings.record(Phase.MAPPING, time.perf_counter() - started)
+
+        # 3. routing
+        started = time.perf_counter()
+        try:
+            routing = self.router.route_application(
+                app, mapping.placement, self.state, app_id=app_id
+            )
+        except RoutingError as exc:
+            raise AllocationFailure(Phase.ROUTING, app_id, str(exc)) from exc
+        finally:
+            timings.record(Phase.ROUTING, time.perf_counter() - started)
+
+        # 4. validation
+        report = None
+        if self.validation_mode != "skip":
             started = time.perf_counter()
             try:
-                mapping = map_application(
-                    app, binding.choice, self.state,
-                    cost=self.cost, options=self.mapping_options,
-                    app_id=app_id,
+                report = validate_layout(
+                    app, binding.choice, mapping.placement,
+                    routing.routes, self.state,
+                    options=self.sdf_options,
+                    max_firings=self.validation_max_firings,
+                    method=self.validation_method,
                 )
-            except MappingError as exc:
-                raise AllocationFailure(Phase.MAPPING, app_id, str(exc)) from exc
             finally:
-                timings.record(Phase.MAPPING, time.perf_counter() - started)
-
-            # 3. routing
-            started = time.perf_counter()
-            try:
-                routing = self.router.route_application(
-                    app, mapping.placement, self.state, app_id=app_id
+                timings.record(
+                    Phase.VALIDATION, time.perf_counter() - started
                 )
-            except RoutingError as exc:
-                raise AllocationFailure(Phase.ROUTING, app_id, str(exc)) from exc
-            finally:
-                timings.record(Phase.ROUTING, time.perf_counter() - started)
+            if self.validation_mode == "enforce" and not report.satisfied:
+                reasons = "; ".join(
+                    f"{c.constraint.describe()} (achieved {c.achieved:g})"
+                    for c in report.violations()
+                ) or "deadlocked dataflow graph"
+                raise AllocationFailure(Phase.VALIDATION, app_id, reasons)
 
-            # 4. validation
-            report = None
-            if self.validation_mode != "skip":
-                started = time.perf_counter()
-                try:
-                    report = validate_layout(
-                        app, binding.choice, mapping.placement,
-                        routing.routes, self.state,
-                        options=self.sdf_options,
-                        max_firings=self.validation_max_firings,
-                        method=self.validation_method,
-                    )
-                finally:
-                    timings.record(
-                        Phase.VALIDATION, time.perf_counter() - started
-                    )
-                if self.validation_mode == "enforce" and not report.satisfied:
-                    reasons = "; ".join(
-                        f"{c.constraint.describe()} (achieved {c.achieved:g})"
-                        for c in report.violations()
-                    ) or "deadlocked dataflow graph"
-                    raise AllocationFailure(Phase.VALIDATION, app_id, reasons)
-        except AllocationFailure:
-            self.state.restore(snapshot)
-            raise
-
-        layout = ExecutionLayout(
+        return ExecutionLayout(
             app_id=app_id,
             app_name=app.name,
             binding=binding.choice,
@@ -200,8 +238,6 @@ class Kairos:
             validation=report,
             timings=timings,
         )
-        self.admitted[app_id] = layout
-        return layout
 
     # -- release -----------------------------------------------------------
 

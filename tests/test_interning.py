@@ -1,0 +1,210 @@
+"""Id-interning tests: the integer tables agree name-for-name with the
+name-based views (and with the frozen seed implementation) on every
+builder topology, including after fault injection."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from repro.arch import (
+    AllocationState,
+    ResourceVector,
+    TopologyError,
+    crisp,
+    irregular,
+    mesh,
+    torus,
+)
+from repro.core.search import RingSearch
+from repro.routing import BfsRouter, DijkstraRouter
+
+from benchmarks.seed_reference.router import BfsRouter as SeedBfsRouter
+from benchmarks.seed_reference.search import RingSearch as SeedRingSearch
+from benchmarks.seed_reference.state import AllocationState as SeedState
+
+
+def platforms():
+    return [
+        mesh(3, 3),
+        mesh(4, 6),
+        torus(3, 4),
+        irregular(4, 4, drop_fraction=0.3, seed=2),
+        crisp(packages=2),
+    ]
+
+
+@pytest.fixture(params=range(5), ids=["mesh3x3", "mesh4x6", "torus3x4",
+                                      "irregular4x4", "crisp2pkg"])
+def platform(request):
+    return platforms()[request.param]
+
+
+class TestIdTables:
+    def test_node_id_roundtrip(self, platform):
+        for node in platform.nodes:
+            node_id = platform.node_id(node.name)
+            assert platform.node_by_id(node_id) is node
+        assert platform.node_count == len(platform.nodes)
+
+    def test_unknown_node_id_rejected(self, platform):
+        with pytest.raises(TopologyError):
+            platform.node_id("ghost")
+
+    def test_neighbor_ids_agree_with_neighbors(self, platform):
+        for node in platform.nodes:
+            node_id = platform.node_id(node.name)
+            by_id = [
+                platform.node_by_id(n).name
+                for n in platform.neighbor_ids(node_id)
+            ]
+            by_name = [n.name for n in platform.neighbors(node.name)]
+            assert by_id == by_name
+
+    def test_directed_slots_pair_and_match_links(self, platform):
+        for link in platform.links:
+            id_a = platform.node_id(link.a.name)
+            id_b = platform.node_id(link.b.name)
+            forward = platform.directed_slot(id_a, id_b)
+            backward = platform.directed_slot(id_b, id_a)
+            assert forward ^ 1 == backward
+            assert forward >> 1 == backward >> 1
+            assert platform.link_by_id(forward >> 1) is link
+            assert platform.slot_vc[forward] == link.virtual_channels
+            assert platform.slot_bw[backward] == link.bandwidth
+
+    def test_neighbor_slots_are_consistent(self, platform):
+        for node in platform.nodes:
+            node_id = platform.node_id(node.name)
+            ids = platform.neighbor_ids(node_id)
+            slots = platform.neighbor_slots(node_id)
+            assert len(ids) == len(slots)
+            for neighbor_id, slot in zip(ids, slots):
+                assert platform.directed_slot(node_id, neighbor_id) == slot
+
+    def test_element_ids_agree_with_elements(self, platform):
+        names_by_id = [
+            platform.node_by_id(i).name for i in platform.element_ids
+        ]
+        assert names_by_id == [e.name for e in platform.elements]
+        for node in platform.nodes:
+            node_id = platform.node_id(node.name)
+            from repro.arch.elements import is_element
+            assert platform.is_element_id(node_id) == is_element(node)
+
+    def test_element_pair_ids_agree_with_element_pairs(self, platform):
+        by_id = [
+            (platform.node_by_id(a).name, platform.node_by_id(b).name)
+            for a, b in platform.element_pair_ids
+        ]
+        by_name = [(a.name, b.name) for a, b in platform.element_pairs]
+        assert by_id == by_name
+
+    def test_element_neighbor_ids_agree(self, platform):
+        for element in platform.elements:
+            by_id = [
+                platform.node_by_id(i).name
+                for i in platform.element_neighbor_ids(element.name)
+            ]
+            by_name = [e.name for e in platform.element_neighbors(element)]
+            assert by_id == by_name
+
+
+def _twin_states(platform_factory):
+    """A live state and a seed-reference state over identical platforms."""
+    return (
+        AllocationState(platform_factory()),
+        SeedState(platform_factory()),
+    )
+
+
+def _inject_faults(state) -> None:
+    elements = state.platform.elements
+    state.fail_element(elements[len(elements) // 2].name)
+    router_links = [
+        link for link in state.platform.links
+        if link.a.name.startswith("r") and link.b.name.startswith("r")
+    ]
+    if router_links:
+        link = router_links[len(router_links) // 3]
+        state.fail_link(link.a.name, link.b.name)
+
+
+def _occupy_some(state) -> None:
+    requirement = ResourceVector(cycles=30, memory=4)
+    for index, element in enumerate(state.platform.elements):
+        if index % 3 == 0:
+            try:
+                state.occupy(element.name, "load", f"t{index}", requirement)
+            except Exception:
+                pass
+    reservable = [
+        link for link in state.platform.links
+        if not link.a.name.startswith("r") or not link.b.name.startswith("r")
+    ]
+    for index, link in enumerate(reservable[:5]):
+        state.reserve_route(
+            "load", f"c{index}", [link.a.name, link.b.name], 10.0
+        )
+
+
+@pytest.mark.parametrize(
+    "factory", [lambda: mesh(4, 4), lambda: torus(3, 3), lambda: crisp(packages=2)],
+    ids=["mesh", "torus", "crisp"],
+)
+class TestSeedAgreement:
+    def test_router_paths_match_seed(self, factory):
+        live, seed = _twin_states(factory)
+        for state in (live, seed):
+            _occupy_some(state)
+            _inject_faults(state)
+        elements = [e.name for e in live.platform.elements]
+        probes = [
+            (elements[i], elements[-1 - i])
+            for i in range(0, len(elements) // 2, 3)
+        ]
+        live_router, seed_router = BfsRouter(), SeedBfsRouter()
+        for source, target in probes:
+            if source == target:
+                continue
+            live_path = live_router.find_path(live, source, target, 5.0)
+            seed_path = seed_router.find_path(seed, source, target, 5.0)
+            assert live_path == seed_path, (source, target)
+
+    def test_ring_search_matches_seed(self, factory):
+        live, seed = _twin_states(factory)
+        for state in (live, seed):
+            _occupy_some(state)
+            _inject_faults(state)
+        elements = [e.name for e in live.platform.elements]
+        origins = [elements[0], elements[len(elements) // 2]]
+        live_search = RingSearch(live, origins)
+        seed_search = SeedRingSearch(seed, origins)
+        while not (live_search.exhausted and seed_search.exhausted):
+            live_ring = [e.name for e in live_search.advance()]
+            seed_ring = [e.name for e in seed_search.advance()]
+            assert live_ring == seed_ring
+        for origin in origins:
+            for node in live.platform.nodes:
+                assert live_search.distances.get(origin, node.name) == \
+                    seed_search.distances.get(origin, node.name)
+
+    def test_dijkstra_lengths_match_seed_bfs(self, factory):
+        """Dijkstra with zero congestion weight stays hop-minimal."""
+        live, _seed = _twin_states(factory)
+        elements = [e.name for e in live.platform.elements]
+        router = DijkstraRouter(congestion_weight=0.0)
+        bfs = BfsRouter()
+        for source, target in zip(elements[:6], reversed(elements[:6])):
+            if source == target:
+                continue
+            a = router.find_path(live, source, target, 1.0)
+            b = bfs.find_path(live, source, target, 1.0)
+            assert a is not None and b is not None
+            assert len(a) == len(b)
