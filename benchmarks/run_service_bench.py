@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Emit ``BENCH_service.json`` — the admission-service throughput bench.
+
+Runs the continuous-time admission service (``repro.sim``) on the
+canonical 12x12 mesh under the default three-class traffic mix at an
+overloaded rate, once per queue policy (reject, bounded FIFO,
+priority, retry-with-backoff), and reports for each:
+
+* sustained kernel throughput (events processed per wall-clock second),
+* admission-wait tail latency (p50/p95/p99 in sim-time),
+* blocking probability and per-class admission ratios,
+
+plus a record/replay determinism check: the FIFO run's decision trace
+is replayed and must be bit-identical.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_service_bench.py \
+        [--output BENCH_service.json] [--repeats 2] [--smoke]
+
+``--smoke`` shrinks the run for CI (correctness + replay only; the
+throughput numbers of a smoke run are not meaningful).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_module
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim import build_recipe, replay_trace, run_recipe  # noqa: E402
+
+POLICIES = ("reject", "fifo", "priority", "retry")
+
+#: the canonical service workload: 12x12 mesh, overloaded three-class mix
+PLATFORM = "12x12"
+DURATION = 120.0
+SMOKE_DURATION = 15.0
+RATE_SCALE = 8.0
+SEED = 0
+SAMPLE_INTERVAL = 5.0
+
+
+def bench_policy(policy: str, duration: float, repeats: int) -> dict:
+    recipe = build_recipe(
+        platform=PLATFORM,
+        duration=duration,
+        seed=SEED,
+        policy=policy,
+        rate_scale=RATE_SCALE,
+        sample_interval=SAMPLE_INTERVAL,
+    )
+    best = None
+    for _ in range(repeats):
+        result = run_recipe(recipe)
+        if best is None or result.wall_seconds < best.wall_seconds:
+            best = result
+    summary = best.metrics.summary()
+    return {
+        "policy": policy,
+        "events_processed": best.events_processed,
+        "wall_seconds": best.wall_seconds,
+        "events_per_second": best.events_per_second,
+        "offered": summary["offered"],
+        "admitted": summary["admitted"],
+        "blocking_probability": summary["blocking_probability"],
+        "admission_wait": summary["admission_wait"],
+        "per_class_admission_ratio": {
+            name: stats["admission_ratio"]
+            for name, stats in summary["per_class"].items()
+        },
+        "mean_utilization": summary["mean_utilization"],
+        "peak_queue_depth": summary["peak_queue_depth"],
+    }
+
+
+def replay_check(duration: float) -> dict:
+    recipe = build_recipe(
+        platform=PLATFORM,
+        duration=duration,
+        seed=SEED,
+        policy="fifo",
+        rate_scale=RATE_SCALE,
+        sample_interval=SAMPLE_INTERVAL,
+        faults=2,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "service_trace.jsonl"
+        recorded = run_recipe(recipe, trace_path=path)
+        identical, differences, _ = replay_trace(path)
+    return {
+        "records": len(recorded.trace),
+        "identical": identical,
+        "first_differences": differences[:3],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_service.json")
+    )
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short CI run: correctness and replay only",
+    )
+    args = parser.parse_args()
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    duration = SMOKE_DURATION if args.smoke else DURATION
+    repeats = 1 if args.smoke else args.repeats
+
+    policies = [bench_policy(p, duration, repeats) for p in POLICIES]
+    replay = replay_check(duration)
+
+    report = {
+        "workload": {
+            "platform": f"mesh_{PLATFORM}",
+            "duration": duration,
+            "rate_scale": RATE_SCALE,
+            "seed": SEED,
+            "traffic": "default 3-class mix (interactive/batch/bursty)",
+            "smoke": args.smoke,
+        },
+        "policies": policies,
+        "replay": replay,
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform_module.platform(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+    }
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {output}", file=sys.stderr)
+    if not replay["identical"]:
+        print("REPLAY DIVERGED — determinism regression", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,10 @@ substrate it depends on:
   plans, fault recovery and evaluation metrics,
 * :mod:`repro.baselines` — first-fit, random and exact mappers,
 * :mod:`repro.experiments` — regeneration of Table I and Figs. 7-10,
-* :mod:`repro.io` — the Kairos binary application format.
+* :mod:`repro.io` — the Kairos binary application format,
+* :mod:`repro.sim` — the discrete-event admission service: event
+  kernel, Poisson/MMPP traffic, QoS queue policies, SLA metrics and
+  deterministic trace replay (``docs/simulation.md``).
 
 Quick start::
 

@@ -73,6 +73,28 @@ class FaultCampaign:
             injected.append(fault)
         return injected
 
+    def schedule(
+        self, times: Sequence[float]
+    ) -> tuple[tuple[float, Fault], ...]:
+        """Pair each pending fault with an injection time, in order.
+
+        The ``(time, fault)`` pairs feed the discrete-event simulation
+        (:func:`repro.sim.service.run_simulation`), which injects each
+        fault at its sim-time instant and immediately runs
+        :meth:`repro.manager.kairos.Kairos.recover`.  ``times`` must be
+        non-decreasing and provide one instant per pending fault
+        (already-injected faults are excluded, matching
+        :meth:`inject_next`'s notion of progress).
+        """
+        pending = self.faults[len(self.injected):]
+        if len(times) != len(pending):
+            raise ValueError(
+                f"need {len(pending)} times, got {len(times)}"
+            )
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("fault times must be non-decreasing")
+        return tuple(zip(times, pending))
+
 
 def random_element_campaign(
     state: AllocationState,

@@ -9,6 +9,9 @@ Subcommands mirror the library's main entry points::
     python -m repro inspect APP.kair          # decode a binary
     python -m repro table1 | fig7 | fig8 | fig9 | fig10
                                               # regenerate paper artifacts
+    python -m repro sim --policy fifo --duration 120
+                                              # discrete-event service sim
+    python -m repro sim --replay trace.jsonl  # bit-identical replay check
 
 Scale knobs are taken from the environment (``REPRO_APPS``,
 ``REPRO_SEQUENCES``, ``REPRO_POSITIONS``, ``REPRO_FIG10_*``) exactly
@@ -75,6 +78,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     inspect = commands.add_parser("inspect", help="decode a .kair binary")
     inspect.add_argument("binary")
+
+    sim = commands.add_parser(
+        "sim",
+        help="discrete-event admission-service simulation (QoS queueing, "
+             "faults, trace record/replay)",
+    )
+    sim.add_argument("--platform", default="12x12",
+                     help="'crisp' or a RxC mesh spec (default 12x12)")
+    sim.add_argument("--duration", type=float, default=120.0,
+                     help="sim-time to run (default 120)")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--policy", default="fifo",
+                     choices=("reject", "fifo", "priority", "retry"),
+                     help="queue policy (default fifo)")
+    sim.add_argument("--rate-scale", type=float, default=4.0,
+                     help="multiplies every class arrival rate (default 4.0)")
+    sim.add_argument("--pool-size", type=int, default=8,
+                     help="generated applications per traffic class")
+    sim.add_argument("--sample-interval", type=float, default=5.0,
+                     help="sim-time between utilization samples")
+    sim.add_argument("--faults", type=int, default=0,
+                     help="random element faults spread over the run")
+    sim.add_argument("--record", metavar="PATH",
+                     help="write the decision trace as JSONL (replayable)")
+    sim.add_argument("--replay", metavar="PATH",
+                     help="re-run a recorded trace and verify bit-identity")
 
     for name, description in (
         ("table1", "Table I — failure distribution per phase"),
@@ -180,6 +209,82 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_sim(args) -> int:
+    from repro.sim import build_recipe, replay_trace, run_recipe
+
+    if args.replay:
+        if args.record:
+            print("error: --replay and --record are mutually exclusive "
+                  "(replay re-runs the recorded recipe)", file=sys.stderr)
+            return 2
+        print("replaying the trace's recorded recipe; other sim flags "
+              "are ignored")
+        try:
+            identical, differences, result = replay_trace(args.replay)
+        except KeyError as exc:
+            print(f"error: cannot replay {args.replay}: recipe header "
+                  f"is missing {exc}", file=sys.stderr)
+            return 2
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot replay {args.replay}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"replayed {args.replay}: {len(result.trace)} records")
+        if identical:
+            print("REPLAY IDENTICAL: event ordering and admission "
+                  "decisions reproduced bit-for-bit")
+            return 0
+        print("REPLAY DIVERGED:")
+        for line in differences:
+            print(f"  {line}")
+        return 1
+
+    recipe = build_recipe(
+        platform=args.platform,
+        duration=args.duration,
+        seed=args.seed,
+        policy=args.policy,
+        rate_scale=args.rate_scale,
+        pool_size=args.pool_size,
+        sample_interval=args.sample_interval,
+        faults=args.faults,
+    )
+    try:
+        result = run_recipe(recipe, trace_path=args.record)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = result.metrics.summary()
+    waits = summary["admission_wait"]
+    print(f"simulated {args.duration:g} time units on {args.platform} "
+          f"({args.policy} policy, seed {args.seed})")
+    print(f"  events processed : {result.events_processed} "
+          f"({result.events_per_second:,.0f} events/s wall)")
+    print(f"  offered/admitted : {summary['offered']} / "
+          f"{summary['admitted']} "
+          f"(blocking {summary['blocking_probability']:.3f})")
+    print(f"  departures/drops : {summary['departed']} / "
+          f"{summary['dropped']} {summary['drops_by_reason']}")
+    print("  admission wait   : "
+          + ", ".join(
+              f"{key} {value:.3f}" if value is not None else f"{key} n/a"
+              for key, value in waits.items()
+          ))
+    print(f"  mean utilization : {summary['mean_utilization']:.3f} "
+          f"(peak queue depth {summary['peak_queue_depth']})")
+    for name, stats in summary["per_class"].items():
+        print(f"  class {name:<12}: {stats['admitted']}/{stats['offered']} "
+              f"admitted ({stats['admission_ratio']:.2%})")
+    if args.faults:
+        faults = summary["faults"]
+        print(f"  faults           : {faults['injected']} injected, "
+              f"{faults['recovered']} recovered, {faults['lost']} lost")
+    if args.record:
+        print(f"  trace            : {len(result.trace)} records -> "
+              f"{args.record}")
+    return 0
+
+
 def _cmd_experiment(command: str) -> int:
     from repro.experiments import (
         HarnessScale,
@@ -216,6 +321,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_pack(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "sim":
+        return _cmd_sim(args)
     return _cmd_experiment(args.command)
 
 

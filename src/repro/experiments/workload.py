@@ -12,6 +12,21 @@ fragmentation traces).
 The sequence experiments (Table I, Figs. 8/9) only *add*
 applications; this driver exercises the release path and the
 mid-lifetime re-admission behaviour the sequence protocol cannot see.
+
+Both drivers are thin adapters over the discrete-event kernel
+(:mod:`repro.sim.events`): each legacy "step" is a STEP event at
+integer sim-time, so the fixed-step scenarios and the continuous-time
+service simulations (:mod:`repro.sim.service`) share one event loop.
+The churn adapter preserves the exact RNG draw sequence of the
+original loop — its layout digests are frozen against
+``benchmarks/seed_reference`` and must stay bit-identical.  The
+``run_workload`` adapter keeps the per-step draw pattern but selects
+departures from the admission-ordered resident list instead of the
+old lexicographically sorted one, so its same-seed trajectories
+differ from pre-kernel runs (it is deterministic, just not
+history-compatible).  Requests these drivers reject are *not*
+retried; queued/retried admission is what :mod:`repro.sim.service`
+models (see its ``retry`` policy).
 """
 
 from __future__ import annotations
@@ -30,6 +45,7 @@ from repro.arch.topology import Platform
 from repro.core.cost import BOTH, CostWeights
 from repro.manager.kairos import Kairos
 from repro.manager.layout import AllocationFailure, Phase
+from repro.sim.events import EventKernel, EventKind, pop_random
 
 
 @dataclass(frozen=True)
@@ -39,8 +55,10 @@ class WorkloadConfig:
     Each step is one scheduling event: with probability
     ``departure_probability`` (and a non-empty system) a uniformly
     random resident application stops; otherwise the next application
-    of the pool (round-robin) requests admission.  Rejected requests
-    re-enter the pool, modelling a user retrying later.
+    of the pool (round-robin) requests admission.  A rejected request
+    is simply counted and dropped — this fixed-step driver never
+    retries; retry-with-backoff (a user trying again later) is modelled
+    by the ``retry`` queue policy of :mod:`repro.sim.service`.
     """
 
     steps: int = 200
@@ -98,23 +116,29 @@ def run_workload(
     Deterministic for a given (pool, config).  The manager is created
     fresh (empty platform) and fully drained at the end, so repeated
     calls are independent; a final invariant check asserts that the
-    drained platform reports zero utilization.
+    drained platform reports zero utilization.  Steps are STEP events
+    at integer sim-time on the shared event kernel; departures sample
+    the resident set with :func:`repro.sim.events.pop_random` (one RNG
+    draw per departure instead of the historic per-departure sort).
     """
     if not pool:
         raise ValueError("workload pool must not be empty")
     rng = random.Random(config.seed)
     manager = Kairos(platform, weights=weights, validation_mode="skip")
     stats = WorkloadStats()
-    resident: dict[str, int] = {}  # app_id -> admission step
+    resident_ids: list[str] = []
+    admitted_step: dict[str, int] = {}  # app_id -> admission step
     next_app = 0
     counter = 0
 
-    for step in range(config.steps):
-        if resident and rng.random() < config.departure_probability:
-            app_id = rng.choice(sorted(resident))
+    def step_event(kernel: EventKernel, event) -> None:
+        nonlocal next_app, counter
+        step = event.payload["step"]
+        if resident_ids and rng.random() < config.departure_probability:
+            app_id = pop_random(rng, resident_ids)
             manager.release(app_id)
             stats.departed += 1
-            stats.residencies.append(step - resident.pop(app_id))
+            stats.residencies.append(step - admitted_step.pop(app_id))
         else:
             app = pool[next_app % len(pool)]
             next_app += 1
@@ -129,11 +153,17 @@ def run_workload(
                 )
             else:
                 stats.admitted += 1
-                resident[layout.app_id] = step
+                resident_ids.append(layout.app_id)
+                admitted_step[layout.app_id] = step
         stats.utilization_trace.append(manager.utilization())
         stats.fragmentation_trace.append(manager.external_fragmentation())
 
-    for app_id in sorted(resident):
+    kernel = EventKernel(seed=config.seed)
+    for step in range(config.steps):
+        kernel.schedule_at(float(step), EventKind.STEP, step_event, step=step)
+    kernel.run()
+
+    for app_id in sorted(resident_ids):
         manager.release(app_id)
     assert manager.utilization() == 0.0, "drained platform not empty"
     return stats
@@ -267,7 +297,11 @@ def run_admission_churn(
     Deterministic for a given (pool, config): the event sequence
     depends only on the seeded RNG and admission outcomes, so two runs
     with different ``rollback`` strategies must produce identical
-    :attr:`ChurnResult.layouts` digests — asserted by the test suite.
+    :attr:`ChurnResult.layouts` digests — asserted by the test suite
+    against the frozen seed reference.  The churn steps are STEP
+    events on the shared event kernel; the adapter reproduces the
+    original loop's RNG draw sequence exactly (order-preserving
+    :func:`~repro.sim.events.pop_random`), keeping the digests stable.
     """
     if not pool:
         raise ValueError("churn pool must not be empty")
@@ -309,13 +343,18 @@ def run_admission_churn(
         else:
             consecutive_rejections += 1
 
-    # churn: one departure + one admission attempt per step
-    for _step in range(config.steps):
+    # churn: one departure + one admission attempt per step event
+    def step_event(kernel: EventKernel, event) -> None:
         if resident:
-            app_id = resident.pop(rng.randrange(len(resident)))
+            app_id = pop_random(rng, resident)
             manager.release(app_id)
             result.released += 1
         attempt()
+
+    kernel = EventKernel(seed=config.seed)
+    for step in range(config.steps):
+        kernel.schedule_at(float(step), EventKind.STEP, step_event, step=step)
+    kernel.run()
 
     result.final_utilization = manager.utilization()
     result.elapsed_seconds = time.perf_counter() - started

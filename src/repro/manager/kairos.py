@@ -127,6 +127,10 @@ class Kairos:
         self.validation_method = validation_method
         self.rollback = rollback
         self.admitted: dict[str, ExecutionLayout] = {}
+        #: original specifications of admitted applications, kept so
+        #: fault recovery can re-allocate without the caller having to
+        #: supply them (layouts do not retain the full task graph)
+        self.specifications: dict[str, Application] = {}
         self._counter = itertools.count()
 
     # -- allocation --------------------------------------------------------
@@ -162,6 +166,7 @@ class Kairos:
             with self.state.transaction():
                 layout = self._run_phases(app, app_id, timings)
         self.admitted[app_id] = layout
+        self.specifications[app_id] = app
         return layout
 
     def _run_phases(
@@ -247,6 +252,7 @@ class Kairos:
             raise KeyError(f"unknown app_id {app_id!r}")
         self.state.release_application(app_id)
         del self.admitted[app_id]
+        self.specifications.pop(app_id, None)
 
     def release_all(self) -> None:
         for app_id in list(self.admitted):
@@ -275,21 +281,26 @@ class Kairos:
                     break
         return tuple(sorted(stranded))
 
-    def recover(self, applications: dict[str, Application]) -> RecoveryReport:
+    def recover(
+        self, applications: dict[str, Application] | None = None
+    ) -> RecoveryReport:
         """Re-allocate every stranded application on the degraded platform.
 
-        ``applications`` supplies the original specifications by
-        ``app_id`` (layouts do not retain the full task graph).  Each
+        ``applications`` optionally overrides the original
+        specifications by ``app_id``; when omitted (the default) the
+        manager's own :attr:`specifications` registry is used, so
+        ``recover()`` with no arguments is always sufficient.  Each
         stranded application is released and re-allocated from
         scratch; irrecoverable ones are reported in ``lost``.
         """
+        lookup = self.specifications if applications is None else applications
         report = RecoveryReport(stranded=self.stranded_by_faults())
         for app_id in report.stranded:
-            if app_id not in applications:
+            if app_id not in lookup:
                 report.lost[app_id] = "no application specification supplied"
                 self.release(app_id)
                 continue
-            app = applications[app_id]
+            app = lookup[app_id]
             self.release(app_id)
             try:
                 report.recovered[app_id] = self.allocate(app, app_id)

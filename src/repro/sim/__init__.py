@@ -1,0 +1,99 @@
+"""repro.sim — discrete-event admission service simulation.
+
+The paper's motivation is that "at design-time, it is unknown when,
+and what combinations of applications are requested" — this package
+turns that sentence into continuous time.  It layers a seeded
+discrete-event kernel, stochastic traffic models, a QoS-queueing
+admission service, SLA metrics and a deterministic trace
+record/replay facility on top of the transactional Kairos core:
+
+* :mod:`repro.sim.events` — heap-ordered event kernel with
+  deterministic tie-breaking,
+* :mod:`repro.sim.traffic` — Poisson/MMPP arrivals, exponential and
+  lognormal holding times, per-class generator pools,
+* :mod:`repro.sim.service` — the admission service wrapping
+  :class:`~repro.manager.kairos.Kairos` with pluggable queue policies
+  (reject, bounded FIFO with timeout, priority classes,
+  retry-with-backoff) and departure-driven backfill, plus the
+  top-level :func:`run_simulation` / recipe drivers,
+* :mod:`repro.sim.metrics` — blocking probability, admission wait
+  percentiles, per-class ratios, sim-time utilization series,
+* :mod:`repro.sim.trace` — JSONL decision traces, bit-identical
+  replay, and trace diffing.
+
+See ``docs/simulation.md`` for the full semantics.
+"""
+
+from repro.sim.events import Event, EventKernel, EventKind, pop_random
+from repro.sim.metrics import ClassStats, ServiceMetrics, SimSample, percentile
+from repro.sim.service import (
+    POLICIES,
+    AdmissionRequest,
+    AdmissionService,
+    FifoPolicy,
+    PriorityPolicy,
+    QueuePolicy,
+    RejectPolicy,
+    RetryPolicy,
+    SimulationConfig,
+    SimulationResult,
+    build_recipe,
+    make_policy,
+    replay_trace,
+    run_recipe,
+    run_simulation,
+)
+from repro.sim.trace import (
+    TraceRecorder,
+    diff_traces,
+    read_trace,
+    trace_digest,
+    write_trace,
+)
+from repro.sim.traffic import (
+    ExponentialHolding,
+    LognormalHolding,
+    MMPPProcess,
+    PoissonProcess,
+    TrafficClass,
+    default_traffic_classes,
+    traffic_pool,
+)
+
+__all__ = [
+    "AdmissionRequest",
+    "AdmissionService",
+    "ClassStats",
+    "Event",
+    "EventKernel",
+    "EventKind",
+    "ExponentialHolding",
+    "FifoPolicy",
+    "LognormalHolding",
+    "MMPPProcess",
+    "POLICIES",
+    "PoissonProcess",
+    "PriorityPolicy",
+    "QueuePolicy",
+    "RejectPolicy",
+    "RetryPolicy",
+    "ServiceMetrics",
+    "SimSample",
+    "SimulationConfig",
+    "SimulationResult",
+    "TraceRecorder",
+    "TrafficClass",
+    "build_recipe",
+    "default_traffic_classes",
+    "diff_traces",
+    "make_policy",
+    "percentile",
+    "pop_random",
+    "read_trace",
+    "replay_trace",
+    "run_recipe",
+    "run_simulation",
+    "trace_digest",
+    "traffic_pool",
+    "write_trace",
+]

@@ -1,0 +1,182 @@
+"""The discrete-event kernel: a seeded, heap-ordered event queue.
+
+Sim-time is a float starting at 0.0.  Every event carries an
+:class:`EventKind`; at equal timestamps events fire in kind order
+(departures before faults before arrivals before retries before
+queue timeouts before sampling ticks) and, within one kind, in
+scheduling order.
+The tie-break is total and independent of hash seeds or insertion
+heap shape, which is what makes recorded traces bit-identical across
+runs — the determinism contract asserted by ``tests/test_sim_trace.py``.
+
+The kernel owns a seeded :class:`random.Random` that drivers may use
+for stochastic draws (holding times, backoff jitter); everything a
+simulation randomises must come from this RNG or from driver-owned
+seeded RNGs, never from global ``random``.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any
+
+
+class EventKind(enum.IntEnum):
+    """Event categories; the integer value is the equal-time priority.
+
+    Departures fire first so capacity freed "now" is visible to every
+    other event at the same instant; faults next, so arrivals at the
+    fault instant already see the degraded platform; retries fire
+    after every same-instant fresh arrival (a retried request never
+    outruns a newcomer for the last slot); queue timeouts purge
+    before the sampling tick observes the queue; ticks observe last,
+    after all state changes.
+    """
+
+    DEPARTURE = 0
+    FAULT = 1
+    ARRIVAL = 2
+    RETRY = 3
+    TIMEOUT = 4
+    TICK = 5
+    #: legacy fixed-step drivers (``run_workload`` / ``run_admission_churn``)
+    STEP = 6
+
+
+@dataclass
+class Event:
+    """One scheduled occurrence.  ``payload`` is handler-defined."""
+
+    time: float
+    kind: EventKind
+    seq: int
+    handler: Callable[["EventKernel", "Event"], None]
+    payload: dict[str, Any] = field(default_factory=dict)
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Lazily cancel: the kernel skips the event when popped."""
+        self.cancelled = True
+
+
+class EventKernel:
+    """Seeded continuous-time event loop with deterministic ordering."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = Random(seed)
+        self.now = 0.0
+        self.processed = 0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._stopped = False
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        kind: EventKind,
+        handler: Callable[["EventKernel", Event], None],
+        **payload: Any,
+    ) -> Event:
+        """Schedule ``handler`` to fire ``delay`` after the current time."""
+        return self.schedule_at(self.now + delay, kind, handler, **payload)
+
+    def schedule_at(
+        self,
+        when: float,
+        kind: EventKind,
+        handler: Callable[["EventKernel", Event], None],
+        **payload: Any,
+    ) -> Event:
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule into the past ({when} < now {self.now})"
+            )
+        event = Event(when, kind, next(self._seq), handler, payload)
+        heapq.heappush(self._heap, (when, int(kind), event.seq, event))
+        return event
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> int:
+        """Process events in order; returns how many fired this call.
+
+        ``until`` is inclusive: events at exactly ``until`` still fire
+        (the natural reading for "simulate for D time units" when the
+        final sampling tick lands on D).  Advances ``now`` to ``until``
+        even if the queue drains earlier.
+        """
+        self._stopped = False
+        fired = 0
+        capped = False
+        while self._heap and not self._stopped:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                break
+            if max_events is not None and fired >= max_events:
+                capped = True
+                break
+            _, _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = when
+            event.handler(self, event)
+            fired += 1
+            self.processed += 1
+        # advance the clock only when the window genuinely completed:
+        # a stop() or max_events halt leaves live events before
+        # ``until``, and jumping past them would make time run
+        # backwards on the next call
+        if (
+            until is not None
+            and not self._stopped
+            and not capped
+            and self.now < until
+        ):
+            self.now = until
+        return fired
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event."""
+        self._stopped = True
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or None when drained."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for *_rest, event in self._heap if not event.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<EventKernel t={self.now:.3f} pending={self.pending()} "
+            f"processed={self.processed}>"
+        )
+
+
+def pop_random(rng: Random, items: list) -> Any:
+    """Remove and return a uniformly random element of ``items``.
+
+    The one sampling helper shared by the legacy step drivers
+    (``run_workload``, ``run_admission_churn``): one RNG draw and one
+    ``list.pop`` per departure, replacing the old per-departure
+    ``rng.choice(sorted(...))`` which sorted the whole resident set
+    every time.  The pop is order-preserving (``pop(i)``, a C-level
+    shift) rather than a swap-with-last pop: the churn layout digests
+    frozen against ``benchmarks/seed_reference`` depend on the
+    residual list order seen by every later draw, and a swap-pop
+    would silently change which application each subsequent
+    ``randrange`` selects.
+    """
+    return items.pop(rng.randrange(len(items)))

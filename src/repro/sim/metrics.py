@@ -1,0 +1,177 @@
+"""SLA metrics of the admission service.
+
+The quantities a service operator reads off a teletraffic system:
+blocking probability, admission-wait percentiles (p50/p95/p99),
+per-class admission ratios, and utilization / fragmentation / queue
+depth time-series sampled in sim-time by the kernel's TICK events.
+Everything aggregates incrementally so a long run stays O(1) per
+decision, and :meth:`ServiceMetrics.summary` renders one JSON-able
+dict shared by the CLI, the benchmark runner and the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of an unsorted list."""
+    if not values:
+        return math.nan
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class SimSample:
+    """One TICK observation of the platform and the queue."""
+
+    time: float
+    utilization: float
+    fragmentation: float
+    resident: int
+    queue_depth: int
+
+
+@dataclass
+class ClassStats:
+    """Per-QoS-class admission accounting."""
+
+    offered: int = 0
+    admitted: int = 0
+    dropped: int = 0
+    waits: list[float] = field(default_factory=list)
+
+    @property
+    def admission_ratio(self) -> float:
+        return self.admitted / self.offered if self.offered else 0.0
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregates of one simulated service run.
+
+    ``offered`` counts first-time arrivals only; a retried or queued
+    request resolves exactly once — admitted or dropped — so
+    ``blocking_probability`` is blocking drops over resolved requests,
+    the standard Erlang blocking definition.  End-of-run ``drained``
+    drops are censored observations (still legitimately waiting at the
+    horizon), not blocking, and are excluded from the ratio — without
+    that, queueing policies would look worse on shorter runs purely
+    from truncation.
+    """
+
+    offered: int = 0
+    admitted: int = 0
+    departed: int = 0
+    retries: int = 0
+    queued: int = 0
+    #: drop reason -> count ("rejected", "queue_full", "timeout",
+    #: "retries_exhausted", "drained")
+    drops: dict[str, int] = field(default_factory=dict)
+    rejections_by_phase: dict[str, int] = field(default_factory=dict)
+    #: admission wait (admit sim-time minus arrival sim-time), admitted only
+    waits: list[float] = field(default_factory=list)
+    per_class: dict[str, ClassStats] = field(default_factory=dict)
+    samples: list[SimSample] = field(default_factory=list)
+    faults_injected: int = 0
+    recovered: int = 0
+    lost: int = 0
+
+    # -- recording hooks (called by the service) ---------------------------
+
+    def on_offered(self, class_name: str) -> None:
+        self.offered += 1
+        self._class(class_name).offered += 1
+
+    def on_admitted(self, class_name: str, wait: float) -> None:
+        self.admitted += 1
+        self.waits.append(wait)
+        stats = self._class(class_name)
+        stats.admitted += 1
+        stats.waits.append(wait)
+
+    def on_dropped(self, class_name: str, reason: str) -> None:
+        self.drops[reason] = self.drops.get(reason, 0) + 1
+        self._class(class_name).dropped += 1
+
+    def on_phase_rejection(self, phase: str) -> None:
+        self.rejections_by_phase[phase] = (
+            self.rejections_by_phase.get(phase, 0) + 1
+        )
+
+    def _class(self, name: str) -> ClassStats:
+        if name not in self.per_class:
+            self.per_class[name] = ClassStats()
+        return self.per_class[name]
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        return sum(self.drops.values())
+
+    @property
+    def blocking_probability(self) -> float:
+        blocked = self.dropped - self.drops.get("drained", 0)
+        resolved = self.admitted + blocked
+        return blocked / resolved if resolved else 0.0
+
+    def wait_percentiles(self) -> dict[str, float]:
+        return {
+            "p50": percentile(self.waits, 50),
+            "p95": percentile(self.waits, 95),
+            "p99": percentile(self.waits, 99),
+        }
+
+    def mean_utilization(self, skip: int = 0) -> float:
+        trace = [s.utilization for s in self.samples[skip:]]
+        return sum(trace) / len(trace) if trace else 0.0
+
+    def peak_queue_depth(self) -> int:
+        return max((s.queue_depth for s in self.samples), default=0)
+
+    def summary(self) -> dict:
+        """One JSON-able report (CLI, bench and docs all render this)."""
+        waits = self.wait_percentiles()
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "departed": self.departed,
+            "dropped": self.dropped,
+            "drops_by_reason": dict(sorted(self.drops.items())),
+            "rejections_by_phase": dict(
+                sorted(self.rejections_by_phase.items())
+            ),
+            "queued": self.queued,
+            "retries": self.retries,
+            "blocking_probability": self.blocking_probability,
+            "admission_wait": {
+                key: (None if math.isnan(value) else value)
+                for key, value in waits.items()
+            },
+            "per_class": {
+                name: {
+                    "offered": stats.offered,
+                    "admitted": stats.admitted,
+                    "dropped": stats.dropped,
+                    "admission_ratio": stats.admission_ratio,
+                    "wait_p95": (
+                        None if not stats.waits
+                        else percentile(stats.waits, 95)
+                    ),
+                }
+                for name, stats in sorted(self.per_class.items())
+            },
+            "mean_utilization": self.mean_utilization(),
+            "peak_queue_depth": self.peak_queue_depth(),
+            "faults": {
+                "injected": self.faults_injected,
+                "recovered": self.recovered,
+                "lost": self.lost,
+            },
+        }

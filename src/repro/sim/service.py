@@ -1,0 +1,780 @@
+"""The admission service: Kairos behind QoS queue policies, in sim-time.
+
+An :class:`AdmissionService` receives arrival events from the kernel
+and runs the four-phase Kairos pipeline for each request.  What
+happens to a request the platform cannot admit right now is the
+*queue policy*:
+
+``reject``
+    drop immediately (pure Erlang-B loss system),
+``fifo``
+    bounded FIFO queue with a residence timeout and head-of-line
+    backfill on every departure,
+``priority``
+    bounded priority queue (higher QoS class first) with greedy
+    backfill — lower-priority requests can be overtaken but never
+    starve the scan,
+``retry``
+    no queue: the request re-arrives after an exponential backoff,
+    up to a retry budget (the "user retrying later" the legacy
+    workload docstring used to promise).
+
+Faults are ordinary events: the scheduled :class:`~repro.arch.faults.Fault`
+is injected into the live state and :meth:`Kairos.recover` re-places
+every stranded application automatically, after which the queue
+policy gets a backfill opportunity (recovery frees capacity exactly
+like a departure).
+
+:func:`run_simulation` wires kernel + traffic + service together;
+:func:`run_recipe` / :func:`replay_trace` drive the same machinery
+from a JSON recipe so a recorded run can be reproduced bit-identically
+(see ``docs/simulation.md``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import time as _time
+from collections import deque
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.apps.taskgraph import Application
+from repro.arch.builders import crisp, mesh
+from repro.arch.faults import Fault, random_element_campaign
+from repro.arch.state import AllocationState
+from repro.arch.topology import Platform
+from repro.core.cost import BOTH, CostWeights
+from repro.manager.kairos import Kairos
+from repro.manager.layout import AllocationFailure
+from repro.sim.events import Event, EventKernel, EventKind
+from repro.sim.metrics import ServiceMetrics, SimSample
+from repro.sim.trace import TraceRecorder, diff_traces, read_trace, write_trace
+from repro.sim.traffic import TrafficClass, default_traffic_classes
+
+
+@dataclass(eq=False)
+class AdmissionRequest:
+    """One admission request travelling through the service."""
+
+    request_id: int
+    app: Application
+    app_id: str
+    class_name: str
+    priority: int
+    arrival_time: float
+    cls: TrafficClass | None = None
+    #: explicit holding time; when None the class distribution is sampled
+    holding: float | None = None
+    attempts: int = 0
+    enqueued_at: float | None = None
+    timeout_event: Event | None = None
+
+
+# -- queue policies ---------------------------------------------------------
+
+
+class QueuePolicy:
+    """Base policy: reject-on-failure, no queue, no backfill."""
+
+    name = "reject"
+
+    def on_rejected(
+        self, service: "AdmissionService", request: AdmissionRequest,
+        now: float,
+    ) -> None:
+        service.drop(request, "rejected", now)
+
+    def on_capacity_freed(
+        self, service: "AdmissionService", now: float
+    ) -> None:
+        """Backfill hook, called after every departure and recovery."""
+
+    def depth(self) -> int:
+        return 0
+
+    def flush(self, service: "AdmissionService", now: float) -> None:
+        """Resolve requests still waiting when the simulation ends."""
+
+    def describe(self) -> dict:
+        return {"name": self.name, "params": {}}
+
+
+class RejectPolicy(QueuePolicy):
+    """Explicit name for the base reject-on-full behaviour."""
+
+
+class _BoundedQueuePolicy(QueuePolicy):
+    """Shared capacity/timeout plumbing of the FIFO and priority queues."""
+
+    def __init__(self, capacity: int = 16, timeout: float | None = 30.0):
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("queue timeout must be positive (or None)")
+        self.capacity = capacity
+        self.timeout = timeout
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "params": {"capacity": self.capacity, "timeout": self.timeout},
+        }
+
+    def _admit_to_queue(
+        self, service: "AdmissionService", request: AdmissionRequest,
+        now: float,
+    ) -> bool:
+        if self.depth() >= self.capacity:
+            service.drop(request, "queue_full", now)
+            return False
+        request.enqueued_at = now
+        if self.timeout is not None:
+            request.timeout_event = service.kernel.schedule(
+                self.timeout,
+                EventKind.TIMEOUT,
+                lambda kernel, event: self._expire(service, request, kernel.now),
+            )
+        service.note_queued(request, now, self.depth() + 1)
+        return True
+
+    def _dequeue(self, request: AdmissionRequest) -> None:
+        if request.timeout_event is not None:
+            request.timeout_event.cancel()
+            request.timeout_event = None
+        request.enqueued_at = None
+
+    def _expire(
+        self, service: "AdmissionService", request: AdmissionRequest,
+        now: float,
+    ) -> None:
+        if self._remove(request):
+            self._dequeue(request)
+            service.drop(request, "timeout", now)
+            self._after_expire(service, now)
+
+    def _after_expire(
+        self, service: "AdmissionService", now: float
+    ) -> None:
+        """Hook after a timeout removal; no capacity was freed, so the
+        default is to do nothing (greedy policies probed everyone at
+        the last capacity event already)."""
+
+    # subclasses provide storage
+    def _remove(self, request: AdmissionRequest) -> bool:
+        raise NotImplementedError
+
+    def _waiting(self) -> list[AdmissionRequest]:
+        raise NotImplementedError
+
+    def flush(self, service: "AdmissionService", now: float) -> None:
+        for request in self._waiting():
+            self._remove(request)
+            self._dequeue(request)
+            service.drop(request, "drained", now)
+
+
+class FifoPolicy(_BoundedQueuePolicy):
+    """Bounded FIFO with timeout; head-of-line backfill on departures.
+
+    Work-conserving on arrival: like every policy, a newcomer that
+    fits is admitted immediately even while earlier (larger) requests
+    queue — the queue orders only the requests the platform rejected.
+    """
+
+    name = "fifo"
+
+    def __init__(self, capacity: int = 16, timeout: float | None = 30.0):
+        super().__init__(capacity, timeout)
+        self.queue: deque[AdmissionRequest] = deque()
+
+    def on_rejected(self, service, request, now):
+        if self._admit_to_queue(service, request, now):
+            self.queue.append(request)
+
+    def on_capacity_freed(self, service, now):
+        # strict FIFO: stop at the first request that still does not
+        # fit (head-of-line blocking is part of the policy's contract)
+        while self.queue:
+            head = self.queue[0]
+            if not service.try_admit(head, now):
+                break
+            self.queue.popleft()
+            self._dequeue(head)
+
+    def _after_expire(self, service, now):
+        # a timed-out head was the only thing blocking its followers:
+        # re-probe, or requests that already fit would sit until their
+        # own timeouts
+        self.on_capacity_freed(service, now)
+
+    def depth(self):
+        return len(self.queue)
+
+    def _remove(self, request):
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            return False
+        return True
+
+    def _waiting(self):
+        return list(self.queue)
+
+
+class PriorityPolicy(_BoundedQueuePolicy):
+    """Bounded priority queue: higher QoS priority first, FIFO within a
+    class; greedy backfill tries *every* waiting request in order, so a
+    small low-priority app can slip into a gap a large high-priority
+    app cannot use."""
+
+    name = "priority"
+
+    def __init__(self, capacity: int = 16, timeout: float | None = 30.0):
+        super().__init__(capacity, timeout)
+        self.queue: list[AdmissionRequest] = []
+
+    @staticmethod
+    def _key(request: AdmissionRequest) -> tuple[int, int]:
+        return (-request.priority, request.request_id)
+
+    def on_rejected(self, service, request, now):
+        if self._admit_to_queue(service, request, now):
+            bisect.insort(self.queue, request, key=self._key)
+
+    def on_capacity_freed(self, service, now):
+        admitted = []
+        for request in list(self.queue):
+            if service.try_admit(request, now):
+                admitted.append(request)
+        for request in admitted:
+            self.queue.remove(request)
+            self._dequeue(request)
+
+    def depth(self):
+        return len(self.queue)
+
+    def _remove(self, request):
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            return False
+        return True
+
+    def _waiting(self):
+        return list(self.queue)
+
+
+class RetryPolicy(QueuePolicy):
+    """Retry with exponential backoff: the rejected request re-arrives
+    ``base_delay * backoff**(attempts-1)`` later, up to ``max_attempts``
+    allocation attempts in total."""
+
+    name = "retry"
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay: float = 2.0,
+        backoff: float = 2.0,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if base_delay <= 0 or backoff < 1.0:
+            raise ValueError("need base_delay > 0 and backoff >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.backoff = backoff
+        self.waiting: set[AdmissionRequest] = set()
+
+    def on_rejected(self, service, request, now):
+        if request.attempts >= self.max_attempts:
+            service.drop(request, "retries_exhausted", now)
+            return
+        delay = self.base_delay * self.backoff ** (request.attempts - 1)
+        self.waiting.add(request)
+        service.kernel.schedule(
+            delay,
+            EventKind.RETRY,
+            lambda kernel, event: self._fire(service, request, kernel.now),
+        )
+        service.note_retry_scheduled(request, now, delay)
+
+    def _fire(self, service, request, now):
+        if request not in self.waiting:  # resolved by flush meanwhile
+            return
+        self.waiting.discard(request)
+        service.reoffer(request, now)
+
+    def depth(self):
+        return len(self.waiting)
+
+    def flush(self, service, now):
+        for request in sorted(self.waiting, key=lambda r: r.request_id):
+            service.drop(request, "drained", now)
+        self.waiting.clear()
+
+    def describe(self):
+        return {
+            "name": self.name,
+            "params": {
+                "max_attempts": self.max_attempts,
+                "base_delay": self.base_delay,
+                "backoff": self.backoff,
+            },
+        }
+
+
+#: policy registry used by the CLI, recipes and the benchmark runner
+POLICIES: dict[str, type[QueuePolicy]] = {
+    "reject": RejectPolicy,
+    "fifo": FifoPolicy,
+    "priority": PriorityPolicy,
+    "retry": RetryPolicy,
+}
+
+
+def make_policy(name: str, params: dict | None = None) -> QueuePolicy:
+    if name not in POLICIES:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(POLICIES)}"
+        )
+    return POLICIES[name](**(params or {}))
+
+
+# -- the service ------------------------------------------------------------
+
+
+class AdmissionService:
+    """Kairos behind a queue policy, driven by kernel events."""
+
+    def __init__(
+        self,
+        manager: Kairos,
+        policy: QueuePolicy,
+        kernel: EventKernel,
+        metrics: ServiceMetrics | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.manager = manager
+        self.policy = policy
+        self.kernel = kernel
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.trace = trace if trace is not None else TraceRecorder()
+
+    # -- request lifecycle -------------------------------------------------
+
+    def offer(self, request: AdmissionRequest, now: float) -> bool:
+        """First-time arrival: try to admit, else consult the policy."""
+        self.metrics.on_offered(request.class_name)
+        self.trace.record(
+            now, "arrival",
+            id=request.app_id, cls=request.class_name, app=request.app.name,
+        )
+        if self.try_admit(request, now):
+            return True
+        self.policy.on_rejected(self, request, now)
+        return False
+
+    def reoffer(self, request: AdmissionRequest, now: float) -> bool:
+        """A retry re-arrival (not counted as newly offered)."""
+        self.metrics.retries += 1
+        self.trace.record(now, "retry", id=request.app_id)
+        if self.try_admit(request, now):
+            return True
+        self.policy.on_rejected(self, request, now)
+        return False
+
+    def try_admit(self, request: AdmissionRequest, now: float) -> bool:
+        """One allocation attempt; schedules the departure on success.
+
+        Never recurses into the policy — backfill hooks call this
+        directly so a failed backfill probe leaves the request where
+        it is.
+        """
+        if request.holding is None and request.cls is None:
+            # checked before allocate: admitting an app we could never
+            # schedule a departure for would leak it into the platform
+            raise ValueError(
+                f"request {request.app_id} has neither a holding time nor "
+                "a traffic class to sample one from"
+            )
+        request.attempts += 1
+        try:
+            self.manager.allocate(request.app, request.app_id)
+        except AllocationFailure as failure:
+            self.metrics.on_phase_rejection(failure.phase.value)
+            return False
+        wait = now - request.arrival_time
+        self.metrics.on_admitted(request.class_name, wait)
+        if request.holding is not None:
+            holding = request.holding
+        else:
+            holding = request.cls.holding.sample(self.kernel.rng)
+        self.kernel.schedule(
+            holding, EventKind.DEPARTURE, self._departure, app_id=request.app_id
+        )
+        self.trace.record(
+            now, "admit",
+            id=request.app_id, wait=wait, hold=holding,
+            attempts=request.attempts,
+        )
+        return True
+
+    def _departure(self, kernel: EventKernel, event: Event) -> None:
+        app_id = event.payload["app_id"]
+        if app_id not in self.manager.admitted:
+            return  # lost to a fault before its natural departure
+        self.manager.release(app_id)
+        self.metrics.departed += 1
+        self.trace.record(kernel.now, "departure", id=app_id)
+        self.policy.on_capacity_freed(self, kernel.now)
+
+    # -- policy callbacks --------------------------------------------------
+
+    def drop(
+        self, request: AdmissionRequest, reason: str, now: float
+    ) -> None:
+        self.metrics.on_dropped(request.class_name, reason)
+        self.trace.record(now, "drop", id=request.app_id, reason=reason)
+
+    def note_queued(
+        self, request: AdmissionRequest, now: float, depth: int
+    ) -> None:
+        self.metrics.queued += 1
+        self.trace.record(now, "queued", id=request.app_id, depth=depth)
+
+    def note_retry_scheduled(
+        self, request: AdmissionRequest, now: float, delay: float
+    ) -> None:
+        self.trace.record(
+            now, "retry_scheduled", id=request.app_id, delay=delay
+        )
+
+    # -- fault events ------------------------------------------------------
+
+    def inject_fault(self, fault: Fault, now: float) -> None:
+        """Apply a scheduled fault and recover stranded applications.
+
+        Recovery uses the manager's remembered application
+        specifications; freed capacity (from lost applications) is
+        offered to the queue policy exactly like a departure.
+        """
+        if fault.kind == "element":
+            self.manager.state.fail_element(fault.target[0])
+        else:
+            self.manager.state.fail_link(fault.target[0], fault.target[1])
+        self.metrics.faults_injected += 1
+        self.trace.record(
+            now, "fault", fkind=fault.kind, target=list(fault.target)
+        )
+        report = self.manager.recover()
+        self.metrics.recovered += len(report.recovered)
+        self.metrics.lost += len(report.lost)
+        self.trace.record(
+            now, "recovery",
+            stranded=list(report.stranded),
+            recovered=sorted(report.recovered),
+            lost=dict(sorted(report.lost.items())),
+        )
+        if report.lost or report.recovered:
+            self.policy.on_capacity_freed(self, now)
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self, now: float) -> SimSample:
+        sample = SimSample(
+            time=now,
+            utilization=self.manager.utilization(),
+            fragmentation=self.manager.external_fragmentation(),
+            resident=len(self.manager.admitted),
+            queue_depth=self.policy.depth(),
+        )
+        self.metrics.samples.append(sample)
+        self.trace.record(
+            now, "sample",
+            u=sample.utilization, f=sample.fragmentation,
+            r=sample.resident, q=sample.queue_depth,
+        )
+        return sample
+
+
+# -- the simulation driver --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of one simulated service run."""
+
+    duration: float = 120.0
+    seed: int = 0
+    sample_interval: float = 5.0
+    #: release everything after the run and verify zero utilization
+    drain: bool = True
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run produced."""
+
+    metrics: ServiceMetrics
+    trace: list[dict] = field(default_factory=list)
+    recipe: dict | None = None
+    duration: float = 0.0
+    wall_seconds: float = 0.0
+    events_processed: int = 0
+    post_drain_utilization: float | None = None
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.wall_seconds
+
+
+def run_simulation(
+    platform: Platform,
+    classes: tuple[TrafficClass, ...],
+    policy: QueuePolicy,
+    config: SimulationConfig = SimulationConfig(),
+    faults: tuple[tuple[float, Fault], ...] = (),
+    weights: CostWeights = BOTH,
+) -> SimulationResult:
+    """Run one continuous-time admission-service simulation.
+
+    Deterministic for a given (platform, classes, policy, config,
+    faults): all randomness flows from seeded RNGs — the kernel RNG
+    (holding times) and one stream per traffic class (arrivals),
+    seeded from ``config.seed`` and the class name.  Stateful arrival
+    processes (MMPP) are reset at start-up so traffic classes can be
+    reused across runs; the *policy* must be fresh — its queue holds
+    requests bound to one run's kernel, so reuse is rejected.
+    """
+    if not classes:
+        raise ValueError("need at least one traffic class")
+    names = [cls.name for cls in classes]
+    if len(set(names)) != len(names):
+        raise ValueError("traffic class names must be unique")
+    if policy.depth() != 0:
+        raise ValueError(
+            "policy still holds requests from a previous run; "
+            "construct a fresh policy per simulation"
+        )
+    for cls in classes:
+        reset = getattr(cls.arrivals, "reset", None)
+        if reset is not None:
+            reset()
+
+    kernel = EventKernel(seed=config.seed)
+    manager = Kairos(platform, weights=weights, validation_mode="skip")
+    service = AdmissionService(manager, policy, kernel)
+    cursors = {cls.name: 0 for cls in classes}
+    arrival_rngs = {
+        cls.name: Random(f"{config.seed}:{cls.name}") for cls in classes
+    }
+    request_ids = iter(range(1, 1 << 62))
+
+    def arrival(cls: TrafficClass):
+        def handle(kernel: EventKernel, event: Event) -> None:
+            index = cursors[cls.name]
+            cursors[cls.name] = index + 1
+            app = cls.pool[index % len(cls.pool)]
+            request = AdmissionRequest(
+                request_id=next(request_ids),
+                app=app,
+                app_id=f"{cls.name}#{index}",
+                class_name=cls.name,
+                priority=cls.priority,
+                arrival_time=kernel.now,
+                cls=cls,
+            )
+            service.offer(request, kernel.now)
+            kernel.schedule(
+                cls.arrivals.next_interarrival(arrival_rngs[cls.name]),
+                EventKind.ARRIVAL,
+                handle,
+            )
+        return handle
+
+    for cls in classes:
+        kernel.schedule(
+            cls.arrivals.next_interarrival(arrival_rngs[cls.name]),
+            EventKind.ARRIVAL,
+            arrival(cls),
+        )
+
+    for when, fault in faults:
+        if when > config.duration:
+            # a silently skipped fault would make a resilience run test
+            # less than the caller specified — match the strictness of
+            # FaultCampaign.schedule's own validation
+            raise ValueError(
+                f"fault at t={when} lies beyond the horizon "
+                f"(duration {config.duration})"
+            )
+        kernel.schedule_at(
+            when,
+            EventKind.FAULT,
+            lambda kernel, event: service.inject_fault(
+                event.payload["fault"], kernel.now
+            ),
+            fault=fault,
+        )
+
+    def tick(kernel: EventKernel, event: Event) -> None:
+        service.sample(kernel.now)
+        if kernel.now + config.sample_interval <= config.duration:
+            kernel.schedule(config.sample_interval, EventKind.TICK, tick)
+
+    kernel.schedule(config.sample_interval, EventKind.TICK, tick)
+
+    started = _time.perf_counter()
+    kernel.run(until=config.duration)
+    wall = _time.perf_counter() - started
+
+    # guarantee at least one end-of-run observation: with
+    # sample_interval > duration no TICK ever fired, and reporting
+    # "utilization 0.0" for a loaded platform would be silently wrong
+    samples = service.metrics.samples
+    if not samples or samples[-1].time < config.duration:
+        service.sample(kernel.now)
+
+    result = SimulationResult(
+        metrics=service.metrics,
+        trace=service.trace.records,
+        duration=config.duration,
+        wall_seconds=wall,
+        events_processed=kernel.processed,
+    )
+    if config.drain:
+        policy.flush(service, kernel.now)
+        drained = sorted(manager.admitted)
+        for app_id in drained:
+            manager.release(app_id)
+        result.post_drain_utilization = manager.utilization()
+        service.trace.record(
+            kernel.now, "drain",
+            released=len(drained),
+            utilization=result.post_drain_utilization,
+        )
+        assert result.post_drain_utilization == 0.0, (
+            "drained platform not empty"
+        )
+    return result
+
+
+# -- recipes: reproducible run descriptions --------------------------------
+
+
+def build_recipe(
+    platform: str = "12x12",
+    duration: float = 120.0,
+    seed: int = 0,
+    policy: str = "fifo",
+    policy_params: dict | None = None,
+    rate_scale: float = 1.0,
+    pool_size: int = 8,
+    sample_interval: float = 5.0,
+    faults: int = 0,
+) -> dict:
+    """A JSON-able description that :func:`run_recipe` reproduces exactly.
+
+    The recipe is also the trace header written by ``repro sim
+    --record``, which is what makes ``--replay`` self-contained.
+    """
+    resolved = make_policy(policy, policy_params)  # validate early
+    return {
+        "platform": platform,
+        "duration": duration,
+        "seed": seed,
+        "sample_interval": sample_interval,
+        "policy": resolved.describe(),
+        "classes": {
+            "kind": "default",
+            "seed": seed,
+            "rate_scale": rate_scale,
+            "pool_size": pool_size,
+        },
+        "faults": faults,
+    }
+
+
+def platform_from_spec(spec: str) -> Platform:
+    """``"crisp"`` or ``"RxC"`` (e.g. ``"12x12"``) -> a Platform."""
+    if spec == "crisp":
+        return crisp()
+    try:
+        rows, cols = (int(part) for part in spec.lower().split("x"))
+    except ValueError:
+        raise ValueError(
+            f"platform spec {spec!r} is neither 'crisp' nor 'RxC'"
+        ) from None
+    return mesh(rows, cols)
+
+
+def scheduled_faults(
+    platform: Platform, count: int, duration: float, seed: int
+) -> tuple[tuple[float, Fault], ...]:
+    """``count`` random element faults spread evenly over the run."""
+    if count < 1:
+        return ()
+    campaign = random_element_campaign(
+        AllocationState(platform), count, seed=seed + 1
+    )
+    times = tuple(
+        duration * (index + 1) / (count + 1) for index in range(count)
+    )
+    return campaign.schedule(times)
+
+
+def run_recipe(recipe: dict, trace_path=None) -> SimulationResult:
+    """Execute a recipe; optionally write the JSONL trace (header first)."""
+    platform = platform_from_spec(recipe["platform"])
+    classes_spec = recipe["classes"]
+    if classes_spec.get("kind", "default") != "default":
+        raise ValueError(
+            f"unknown traffic class kind {classes_spec.get('kind')!r}"
+        )
+    classes = default_traffic_classes(
+        seed=classes_spec["seed"],
+        rate_scale=classes_spec["rate_scale"],
+        pool_size=classes_spec["pool_size"],
+    )
+    policy = make_policy(
+        recipe["policy"]["name"], recipe["policy"].get("params") or {}
+    )
+    config = SimulationConfig(
+        duration=recipe["duration"],
+        seed=recipe["seed"],
+        sample_interval=recipe["sample_interval"],
+    )
+    faults = scheduled_faults(
+        platform, int(recipe.get("faults", 0)),
+        config.duration, config.seed,
+    )
+    result = run_simulation(platform, classes, policy, config, faults=faults)
+    result.recipe = recipe
+    if trace_path is not None:
+        write_trace(trace_path, result.trace, header=recipe)
+    return result
+
+
+def replay_trace(path) -> tuple[bool, list[str], SimulationResult]:
+    """Re-run a recorded trace's recipe and diff the decision streams.
+
+    Returns ``(identical, differences, fresh_result)``; an empty
+    difference list certifies bit-identical event ordering and
+    admission decisions.
+    """
+    header, records = read_trace(path)
+    if header is None:
+        raise ValueError(f"{path}: trace has no recipe header; cannot replay")
+    result = run_recipe(header)
+    differences = diff_traces(records, result.trace)
+    return not differences, differences, result

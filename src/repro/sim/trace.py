@@ -1,0 +1,100 @@
+"""Decision traces: JSONL record, bit-identical replay, diffing.
+
+Every decision the simulation takes — arrival, admission, queueing,
+retry, drop, departure, fault, recovery, sample — is appended to an
+in-memory trace of plain dicts and optionally written as JSON Lines:
+one header object (the *recipe* that reproduces the run) followed by
+one object per record.  Canonical serialisation (sorted keys, fixed
+separators, ``repr``-exact floats) makes two traces comparable byte
+for byte; :func:`diff_traces` reports the first divergences and
+:func:`trace_digest` folds a trace into one hash for quick equality
+checks across code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+
+class TraceRecorder:
+    """Accumulates decision records in arrival order."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def record(self, time: float, kind: str, **data) -> None:
+        entry = {"i": len(self.records), "t": time, "kind": kind}
+        entry.update(data)
+        self.records.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def _canonical(record: dict) -> str:
+    """Canonical JSON: key-sorted, fixed separators, repr-exact floats."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def write_trace(
+    path: str | Path, records: list[dict], header: dict | None = None
+) -> Path:
+    """Write a trace as JSON Lines; the optional header object first."""
+    path = Path(path)
+    lines = []
+    if header is not None:
+        lines.append(_canonical({"header": header}))
+    lines.extend(_canonical(record) for record in records)
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_trace(path: str | Path) -> tuple[dict | None, list[dict]]:
+    """Read a JSONL trace back; returns (header-or-None, records)."""
+    header: dict | None = None
+    records: list[dict] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if line_number == 0 and "header" in entry:
+                header = entry["header"]
+            else:
+                records.append(entry)
+    return header, records
+
+
+def trace_digest(records: list[dict]) -> str:
+    """SHA-256 over the canonical serialisation of every record."""
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(_canonical(record).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def diff_traces(
+    first: list[dict], second: list[dict], limit: int = 5
+) -> list[str]:
+    """Human-readable description of the first ``limit`` divergences.
+
+    Empty list means the traces are bit-identical (same length, same
+    canonical serialisation record by record).
+    """
+    differences: list[str] = []
+    for index, (a, b) in enumerate(zip(first, second)):
+        if _canonical(a) != _canonical(b):
+            differences.append(
+                f"record {index}: {_canonical(a)} != {_canonical(b)}"
+            )
+            if len(differences) >= limit:
+                return differences
+    if len(first) != len(second):
+        differences.append(
+            f"length mismatch: {len(first)} vs {len(second)} records"
+        )
+    return differences

@@ -78,6 +78,50 @@ class TestExperimentCommands:
         assert "admission" in capsys.readouterr().out
 
 
+class TestSim:
+    def test_sim_smoke(self, capsys):
+        code = main([
+            "sim", "--platform", "4x4", "--duration", "10",
+            "--policy", "fifo", "--rate-scale", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "events processed" in out
+        assert "blocking" in out
+        assert "class interactive" in out
+
+    def test_sim_record_then_replay_identical(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "sim", "--platform", "4x4", "--duration", "10",
+            "--policy", "retry", "--rate-scale", "3", "--faults", "1",
+            "--record", str(trace),
+        ]) == 0
+        assert trace.exists()
+        assert main(["sim", "--replay", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "REPLAY IDENTICAL" in out
+
+    def test_sim_replay_missing_file(self, capsys):
+        assert main(["sim", "--replay", "/nonexistent.jsonl"]) == 2
+
+    def test_sim_replay_incomplete_header(self, tmp_path, capsys):
+        trace = tmp_path / "broken.jsonl"
+        trace.write_text('{"header": {"platform": "4x4"}}\n')
+        assert main(["sim", "--replay", str(trace)]) == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_sim_bad_platform_spec(self, capsys):
+        assert main(["sim", "--platform", "bogus", "--duration", "5"]) == 2
+
+    def test_sim_unwritable_record_path(self, capsys):
+        assert main([
+            "sim", "--platform", "3x3", "--duration", "2",
+            "--record", "/nonexistent-dir/t.jsonl",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestArgparse:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

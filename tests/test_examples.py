@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "worked_example.py",
     "binary_deployment.py",
     "design_flow.py",
+    "service_simulation.py",
 ]
 
 

@@ -64,6 +64,62 @@ class TestCampaign:
             random_element_campaign(state3x3, count=10, seed=0)
 
 
+class TestCampaignSchedule:
+    def test_pairs_times_with_faults_in_order(self):
+        campaign = FaultCampaign()
+        campaign.add_element_fault("dsp_0_0").add_link_fault("a", "b")
+        scheduled = campaign.schedule((5.0, 9.0))
+        assert scheduled == (
+            (5.0, Fault("element", ("dsp_0_0",))),
+            (9.0, Fault("link", ("a", "b"))),
+        )
+
+    def test_time_count_must_match(self):
+        campaign = FaultCampaign().add_element_fault("dsp_0_0")
+        with pytest.raises(ValueError):
+            campaign.schedule((1.0, 2.0))
+
+    def test_already_injected_faults_excluded(self, state3x3):
+        campaign = FaultCampaign()
+        campaign.add_element_fault("dsp_0_0").add_element_fault("dsp_1_1")
+        campaign.inject_next(state3x3)
+        scheduled = campaign.schedule((4.0,))
+        assert scheduled == ((4.0, Fault("element", ("dsp_1_1",))),)
+
+    def test_times_must_be_non_decreasing(self):
+        campaign = FaultCampaign()
+        campaign.add_element_fault("a").add_element_fault("b")
+        with pytest.raises(ValueError):
+            campaign.schedule((2.0, 1.0))
+
+
+class TestRecoverDefaultSpecs:
+    def test_recover_uses_remembered_specifications(self, mesh3x3):
+        manager = Kairos(mesh3x3, validation_mode="skip")
+        app = chain_app(2)
+        layout = manager.allocate(app, "app")
+        manager.state.fail_element(layout.placement["t0"])
+        report = manager.recover()  # no specs supplied: registry used
+        assert "app" in report.recovered
+        assert report.lost == {}
+
+    def test_explicit_specs_still_override(self, mesh3x3):
+        manager = Kairos(mesh3x3, validation_mode="skip")
+        layout = manager.allocate(chain_app(2), "app")
+        manager.state.fail_element(layout.placement["t0"])
+        report = manager.recover({})  # explicit empty dict: legacy path
+        assert report.lost == {
+            "app": "no application specification supplied"
+        }
+
+    def test_release_forgets_the_specification(self, mesh3x3):
+        manager = Kairos(mesh3x3, validation_mode="skip")
+        manager.allocate(chain_app(2), "app")
+        assert "app" in manager.specifications
+        manager.release("app")
+        assert manager.specifications == {}
+
+
 class TestStranded:
     def test_element_fault_strands_resident_app(self, mesh3x3):
         manager = Kairos(mesh3x3)

@@ -1,0 +1,238 @@
+"""Tests for the discrete-event kernel and the traffic models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim import (
+    EventKernel,
+    EventKind,
+    ExponentialHolding,
+    LognormalHolding,
+    MMPPProcess,
+    PoissonProcess,
+    default_traffic_classes,
+    pop_random,
+    traffic_pool,
+)
+
+
+class TestEventKernel:
+    def test_fires_in_time_order(self):
+        kernel = EventKernel()
+        fired = []
+        for when in (3.0, 1.0, 2.0):
+            kernel.schedule_at(
+                when, EventKind.ARRIVAL,
+                lambda k, e: fired.append(k.now),
+            )
+        assert kernel.run() == 3
+        assert fired == [1.0, 2.0, 3.0]
+        assert kernel.processed == 3
+
+    def test_equal_time_ties_break_by_kind_then_seq(self):
+        kernel = EventKernel()
+        fired = []
+
+        def log(tag):
+            return lambda k, e: fired.append(tag)
+
+        kernel.schedule_at(5.0, EventKind.TICK, log("tick"))
+        kernel.schedule_at(5.0, EventKind.ARRIVAL, log("arrival_a"))
+        kernel.schedule_at(5.0, EventKind.DEPARTURE, log("departure"))
+        kernel.schedule_at(5.0, EventKind.ARRIVAL, log("arrival_b"))
+        kernel.schedule_at(5.0, EventKind.FAULT, log("fault"))
+        kernel.run()
+        assert fired == [
+            "departure", "fault", "arrival_a", "arrival_b", "tick",
+        ]
+
+    def test_until_is_inclusive_and_advances_now(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_at(2.0, EventKind.TICK, lambda k, e: fired.append(2))
+        kernel.schedule_at(5.0, EventKind.TICK, lambda k, e: fired.append(5))
+        kernel.schedule_at(7.0, EventKind.TICK, lambda k, e: fired.append(7))
+        kernel.run(until=5.0)
+        assert fired == [2, 5]
+        assert kernel.now == 5.0
+        kernel.run(until=6.0)  # drained window still advances the clock
+        assert kernel.now == 6.0
+
+    def test_cancelled_events_are_skipped(self):
+        kernel = EventKernel()
+        fired = []
+        event = kernel.schedule_at(
+            1.0, EventKind.ARRIVAL, lambda k, e: fired.append("a")
+        )
+        kernel.schedule_at(2.0, EventKind.ARRIVAL, lambda k, e: fired.append("b"))
+        event.cancel()
+        assert kernel.pending() == 1
+        kernel.run()
+        assert fired == ["b"]
+
+    def test_handlers_can_schedule_more_events(self):
+        kernel = EventKernel()
+        fired = []
+
+        def chain(kernel, event):
+            fired.append(kernel.now)
+            if kernel.now < 3.0:
+                kernel.schedule(1.0, EventKind.ARRIVAL, chain)
+
+        kernel.schedule_at(0.0, EventKind.ARRIVAL, chain)
+        kernel.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_stop_halts_the_loop(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_at(
+            1.0, EventKind.ARRIVAL,
+            lambda k, e: (fired.append(1), k.stop()),
+        )
+        kernel.schedule_at(2.0, EventKind.ARRIVAL, lambda k, e: fired.append(2))
+        kernel.run()
+        assert fired == [1]
+        assert kernel.peek_time() == 2.0
+
+    def test_scheduling_into_the_past_rejected(self):
+        kernel = EventKernel()
+        kernel.schedule_at(1.0, EventKind.TICK, lambda k, e: None)
+        kernel.run()
+        with pytest.raises(ValueError):
+            kernel.schedule_at(0.5, EventKind.TICK, lambda k, e: None)
+
+    def test_max_events_bounds_one_call(self):
+        kernel = EventKernel()
+        for when in range(5):
+            kernel.schedule_at(float(when), EventKind.TICK, lambda k, e: None)
+        assert kernel.run(max_events=2) == 2
+        assert kernel.run() == 3
+
+    def test_max_events_halt_does_not_jump_the_clock(self):
+        """Halting on the cap must leave `now` at the last fired event,
+        or pending events would later run time backwards."""
+        kernel = EventKernel()
+        kernel.schedule_at(1.0, EventKind.TICK, lambda k, e: None)
+        kernel.schedule_at(2.0, EventKind.TICK, lambda k, e: None)
+        kernel.run(until=10.0, max_events=1)
+        assert kernel.now == 1.0
+        kernel.schedule_at(3.0, EventKind.TICK, lambda k, e: None)  # legal
+        kernel.run(until=10.0)
+        assert kernel.now == 10.0
+        assert kernel.processed == 3
+
+
+class TestPopRandom:
+    def test_matches_pop_randrange_reference(self):
+        """The helper must preserve the exact draw semantics the churn
+        digests were frozen with: pop(randrange(len)), order kept."""
+        ours, theirs = list("abcdefgh"), list("abcdefgh")
+        rng_a, rng_b = random.Random(42), random.Random(42)
+        while ours:
+            assert pop_random(rng_a, ours) == theirs.pop(
+                rng_b.randrange(len(theirs))
+            )
+            assert ours == theirs
+
+    def test_raises_on_empty(self):
+        with pytest.raises(ValueError):
+            pop_random(random.Random(0), [])
+
+
+class TestArrivalProcesses:
+    def test_poisson_mean_interarrival(self):
+        process = PoissonProcess(rate=4.0)
+        rng = random.Random(1)
+        draws = [process.next_interarrival(rng) for _ in range(4000)]
+        assert all(gap > 0 for gap in draws)
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx(0.25, rel=0.1)
+        assert process.mean_rate() == 4.0
+
+    def test_poisson_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(0.0)
+
+    def test_mmpp_mean_rate_is_dwell_weighted(self):
+        process = MMPPProcess(((2.0, 10.0), (0.0, 30.0)))
+        assert process.mean_rate() == pytest.approx(0.5)
+
+    def test_mmpp_long_run_rate(self):
+        process = MMPPProcess(((3.0, 5.0), (0.2, 5.0)))
+        rng = random.Random(7)
+        total = sum(process.next_interarrival(rng) for _ in range(4000))
+        observed_rate = 4000 / total
+        assert observed_rate == pytest.approx(process.mean_rate(), rel=0.15)
+
+    def test_mmpp_silent_phase_advances(self):
+        process = MMPPProcess(((1.0, 1.0), (0.0, 1.0)))
+        rng = random.Random(3)
+        for _ in range(50):
+            assert process.next_interarrival(rng) > 0
+
+    def test_mmpp_validation(self):
+        with pytest.raises(ValueError):
+            MMPPProcess(())
+        with pytest.raises(ValueError):
+            MMPPProcess(((0.0, 1.0),))
+        with pytest.raises(ValueError):
+            MMPPProcess(((1.0, 0.0),))
+
+
+class TestHoldingTimes:
+    def test_exponential_mean(self):
+        holding = ExponentialHolding(mean=8.0)
+        rng = random.Random(2)
+        draws = [holding.sample(rng) for _ in range(4000)]
+        assert sum(draws) / len(draws) == pytest.approx(8.0, rel=0.1)
+
+    def test_lognormal_median_and_mean(self):
+        holding = LognormalHolding(median=10.0, sigma=0.5)
+        rng = random.Random(3)
+        draws = sorted(holding.sample(rng) for _ in range(4001))
+        assert draws[2000] == pytest.approx(10.0, rel=0.15)
+        assert holding.mean > 10.0  # lognormal mean exceeds the median
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialHolding(0.0)
+        with pytest.raises(ValueError):
+            LognormalHolding(median=-1.0)
+
+
+class TestTrafficClasses:
+    def test_pool_is_deterministic(self):
+        first = traffic_pool(4, seed=9)
+        second = traffic_pool(4, seed=9)
+        assert [app.name for app in first] == [app.name for app in second]
+        assert len(first) == 4
+
+    def test_pool_validation(self):
+        with pytest.raises(ValueError):
+            traffic_pool(0, seed=0)
+        with pytest.raises(ValueError):
+            traffic_pool(3, seed=0, internals_low=5, internals_high=2)
+
+    def test_default_classes_shape(self):
+        classes = default_traffic_classes(seed=1, rate_scale=2.0, pool_size=3)
+        names = [cls.name for cls in classes]
+        assert names == ["interactive", "batch", "bursty"]
+        assert all(len(cls.pool) == 3 for cls in classes)
+        priorities = {cls.name: cls.priority for cls in classes}
+        assert priorities["interactive"] > priorities["batch"]
+        for cls in classes:
+            assert cls.offered_load() > 0
+
+    def test_rate_scale_scales_load(self):
+        slow = default_traffic_classes(rate_scale=1.0)
+        fast = default_traffic_classes(rate_scale=3.0)
+        for a, b in zip(slow, fast):
+            assert b.offered_load() == pytest.approx(3 * a.offered_load())
+
+    def test_rate_scale_validation(self):
+        with pytest.raises(ValueError):
+            default_traffic_classes(rate_scale=0.0)
