@@ -1,0 +1,21 @@
+"""Shared environment stanza for the benchmark reports.
+
+Both ``run_admission_bench.py`` and ``run_service_bench.py`` embed the
+same python/platform/timestamp block, produced here, so trajectories
+recorded on different machines stay comparable field-for-field.
+"""
+
+from __future__ import annotations
+
+import platform as platform_module
+import sys
+import time
+
+
+def environment_stanza() -> dict:
+    """The python/platform/timestamp block every BENCH_*.json carries."""
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform_module.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }

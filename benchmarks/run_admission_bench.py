@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform as platform_module
 import sys
 import time
 from pathlib import Path
@@ -49,6 +48,7 @@ from repro.experiments import (  # noqa: E402
     run_admission_churn,
 )
 
+from benchmarks.bench_env import environment_stanza  # noqa: E402
 from benchmarks.seed_reference.kairos import run_seed_churn  # noqa: E402
 
 
@@ -152,11 +152,7 @@ def main() -> int:
                 "ratio_16x16_over_4x4": snapshot_16 / snapshot_4,
             },
         },
-        "environment": {
-            "python": sys.version.split()[0],
-            "platform": platform_module.platform(),
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        },
+        "environment": environment_stanza(),
     }
 
     output = Path(args.output)

@@ -8,28 +8,35 @@ priority, retry-with-backoff), and reports for each:
 
 * sustained kernel throughput (events processed per wall-clock second),
 * admission-wait tail latency (p50/p95/p99 in sim-time),
+* per-phase pipeline wall-clock latency (bind/map/route p50/p95/p99),
 * blocking probability and per-class admission ratios,
 
-plus a record/replay determinism check: the FIFO run's decision trace
-is replayed and must be bit-identical.
+plus a record/replay determinism check (the FIFO run's decision trace
+is replayed and must be bit-identical) and, on full runs, a
+``smoke_reference`` block — the per-policy ``--smoke`` events/sec on
+the same machine, which is what the CI regression gate compares
+against (apples to apples: smoke vs smoke).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_service_bench.py \
-        [--output BENCH_service.json] [--repeats 2] [--smoke]
+        [--output BENCH_service.json] [--repeats 2] [--smoke] \
+        [--check-against BENCH_service.json] [--max-regression 0.30]
 
 ``--smoke`` shrinks the run for CI (correctness + replay only; the
-throughput numbers of a smoke run are not meaningful).
+throughput numbers of a smoke run are not meaningful as absolutes).
+``--check-against`` compares this run's per-policy events/sec to a
+committed report and exits 1 when any policy regresses by more than
+``--max-regression`` (default 30%); smoke runs compare against the
+committed ``smoke_reference`` figures.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import platform as platform_module
 import sys
 import tempfile
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -38,6 +45,7 @@ if str(REPO_ROOT) not in sys.path:
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from benchmarks.bench_env import environment_stanza  # noqa: E402
 from repro.sim import build_recipe, replay_trace, run_recipe  # noqa: E402
 
 POLICIES = ("reject", "fifo", "priority", "retry")
@@ -75,6 +83,9 @@ def bench_policy(policy: str, duration: float, repeats: int) -> dict:
         "admitted": summary["admitted"],
         "blocking_probability": summary["blocking_probability"],
         "admission_wait": summary["admission_wait"],
+        "phase_latency": summary["phase_latency"],
+        "probes_short_circuited": summary["probes_short_circuited"],
+        "fastpath": best.fastpath_stats,
         "per_class_admission_ratio": {
             name: stats["admission_ratio"]
             for name, stats in summary["per_class"].items()
@@ -105,6 +116,46 @@ def replay_check(duration: float) -> dict:
     }
 
 
+def check_regression(
+    report: dict, committed_path: Path, max_regression: float
+) -> list[str]:
+    """Per-policy events/sec regression check against a committed report.
+
+    Smoke runs compare against the committed ``smoke_reference``
+    figures (same duration, same machine class); full runs compare
+    against the committed full-run policy figures.  Returns the list
+    of violations (empty = pass).
+    """
+    committed = json.loads(committed_path.read_text())
+    if report["workload"]["smoke"]:
+        reference = committed.get("smoke_reference")
+        if reference is None:
+            return [
+                f"{committed_path} has no smoke_reference block; "
+                "regenerate it with a full bench run"
+            ]
+    else:
+        reference = {
+            entry["policy"]: entry["events_per_second"]
+            for entry in committed.get("policies", ())
+        }
+    violations = []
+    for entry in report["policies"]:
+        policy = entry["policy"]
+        baseline = reference.get(policy)
+        if baseline is None or baseline <= 0:
+            continue
+        floor = baseline * (1.0 - max_regression)
+        current = entry["events_per_second"]
+        if current < floor:
+            violations.append(
+                f"{policy}: {current:,.0f} events/s is below the "
+                f"{max_regression:.0%}-regression floor {floor:,.0f} "
+                f"(committed {baseline:,.0f})"
+            )
+    return violations
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -115,9 +166,41 @@ def main() -> int:
         "--smoke", action="store_true",
         help="short CI run: correctness and replay only",
     )
+    parser.add_argument(
+        "--check-against", metavar="PATH",
+        help="committed BENCH_service.json to compare events/sec against "
+             "(exit 1 on a regression beyond --max-regression)",
+    )
+    parser.add_argument(
+        "--check-only", metavar="REPORT",
+        help="skip benchmarking: load an already-written report and run "
+             "only the --check-against comparison",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.30,
+        help="tolerated fractional events/sec regression (default 0.30)",
+    )
     args = parser.parse_args()
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
+    if not 0 <= args.max_regression < 1:
+        parser.error("--max-regression must be in [0, 1)")
+    if args.check_only:
+        if not args.check_against:
+            parser.error("--check-only requires --check-against")
+        report = json.loads(Path(args.check_only).read_text())
+        violations = check_regression(
+            report, Path(args.check_against), args.max_regression
+        )
+        for line in violations:
+            print(f"THROUGHPUT REGRESSION: {line}", file=sys.stderr)
+        if not violations:
+            print(
+                f"throughput within {args.max_regression:.0%} of "
+                f"{args.check_against} for every policy",
+                file=sys.stderr,
+            )
+        return 1 if violations else 0
 
     duration = SMOKE_DURATION if args.smoke else DURATION
     repeats = 1 if args.smoke else args.repeats
@@ -136,21 +219,41 @@ def main() -> int:
         },
         "policies": policies,
         "replay": replay,
-        "environment": {
-            "python": sys.version.split()[0],
-            "platform": platform_module.platform(),
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        },
+        "environment": environment_stanza(),
     }
+    if not args.smoke:
+        # record the same machine's smoke-length throughput so the CI
+        # smoke gate has an apples-to-apples baseline
+        report["smoke_reference"] = {
+            entry["policy"]: entry["events_per_second"]
+            for entry in (
+                bench_policy(p, SMOKE_DURATION, 1) for p in POLICIES
+            )
+        }
 
     output = Path(args.output)
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     print(f"\nwritten to {output}", file=sys.stderr)
+    status = 0
     if not replay["identical"]:
         print("REPLAY DIVERGED — determinism regression", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    if args.check_against:
+        violations = check_regression(
+            report, Path(args.check_against), args.max_regression
+        )
+        for line in violations:
+            print(f"THROUGHPUT REGRESSION: {line}", file=sys.stderr)
+        if violations:
+            status = 1
+        else:
+            print(
+                f"throughput within {args.max_regression:.0%} of "
+                f"{args.check_against} for every policy",
+                file=sys.stderr,
+            )
+    return status
 
 
 if __name__ == "__main__":

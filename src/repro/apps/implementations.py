@@ -64,15 +64,17 @@ class Implementation:
             raise ImplementationError(
                 f"implementation {self.name!r} has negative cost"
             )
-        # memos for runs_on / compatible_on: the answers are static per
-        # element (resp. platform), but the binder and mapper ask them
-        # inside platform-wide scans on every admission.  Keyed by
-        # object identity; the references in the values keep ids
-        # stable.  Both caches are bounded (cleared on overflow) so an
-        # implementation reused across many platforms cannot pin
-        # retired platforms in memory forever.
+        # memos for runs_on / compatible_on / compatible_positions: the
+        # answers are static per element (resp. platform), but the
+        # binder and mapper ask them inside platform-wide scans on
+        # every admission.  Keyed by object identity; the references in
+        # the values keep ids stable.  All caches are bounded (cleared
+        # on overflow) so an implementation reused across many
+        # platforms cannot pin retired platforms in memory forever.
         object.__setattr__(self, "_compat", {})
         object.__setattr__(self, "_platform_compat", {})
+        object.__setattr__(self, "_platform_positions", {})
+        object.__setattr__(self, "_platform_nodes", {})
 
     def runs_on(self, element: ProcessingElement) -> bool:
         """Static compatibility: type/pin match and capacity is sufficient.
@@ -120,6 +122,48 @@ class Implementation:
         if len(self._platform_compat) >= _PLATFORM_CACHE_LIMIT:
             self._platform_compat.clear()
         self._platform_compat[id(platform)] = (platform, pairs)
+        return pairs
+
+    def compatible_positions(self, platform) -> frozenset[int]:
+        """Positions of :meth:`compatible_on` as a frozen set.
+
+        The GAP solver and the mapping layer's availability probe test
+        (task, element) compatibility once per candidate element per
+        layer; a static membership set turns each test into one hash
+        probe of an int.
+        """
+        cached = self._platform_positions.get(id(platform))
+        if cached is not None and cached[0] is platform:
+            return cached[1]
+        positions = frozenset(
+            position for position, _element in self.compatible_on(platform)
+        )
+        if not platform.frozen:
+            return positions  # mutable platform: the set may still grow
+        if len(self._platform_positions) >= _PLATFORM_CACHE_LIMIT:
+            self._platform_positions.clear()
+        self._platform_positions[id(platform)] = (platform, positions)
+        return positions
+
+    def compatible_nodes(self, platform) -> tuple[tuple[int, object], ...]:
+        """:meth:`compatible_on` with interned node ids instead of
+        positions — ``(node_id, element)`` pairs, for scans that index
+        the allocation ledgers directly."""
+        cached = self._platform_nodes.get(id(platform))
+        if cached is not None and cached[0] is platform:
+            return cached[1]
+        if not platform.frozen:
+            raise ImplementationError(
+                "compatible_nodes requires a frozen platform"
+            )
+        element_ids = platform._element_ids
+        pairs = tuple(
+            (element_ids[position], element)
+            for position, element in self.compatible_on(platform)
+        )
+        if len(self._platform_nodes) >= _PLATFORM_CACHE_LIMIT:
+            self._platform_nodes.clear()
+        self._platform_nodes[id(platform)] = (platform, pairs)
         return pairs
 
     @property

@@ -17,6 +17,7 @@ library.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
@@ -143,6 +144,8 @@ class Application:
         structure.
         """
         self._incidence_cache = None
+        self._digest_cache = None
+        self._ordered_channels_cache = None
 
     def connect(
         self,
@@ -216,6 +219,20 @@ class Application:
         }
         self._incidence_cache = (signature, index)
         return index
+
+    def channels_by_bandwidth(self) -> tuple[Channel, ...]:
+        """Channels ordered fattest-first, name-tie-broken — the
+        routing phase's processing order, cached like the incidence
+        index (same count-signature guard)."""
+        signature = (len(self.tasks), len(self.channels))
+        cached = getattr(self, "_ordered_channels_cache", None)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        ordered = tuple(sorted(
+            self.channels.values(), key=lambda c: (-c.bandwidth, c.name)
+        ))
+        self._ordered_channels_cache = (signature, ordered)
+        return ordered
 
     def successors(self, task: Task | str) -> tuple[str, ...]:
         name = self._task_name(task)
@@ -318,6 +335,57 @@ class Application:
         if name not in self.tasks:
             raise TaskGraphError(f"unknown task {name!r}")
         return name
+
+    def digest(self) -> str:
+        """Stable structural digest of the specification (SHA-256 hex).
+
+        Two applications with equal digests are indistinguishable to
+        the admission pipeline: same tasks, implementations (including
+        requirements, timings, costs and targets), channels and
+        constraint descriptions.  The fast path keys its negative-
+        result memo on ``(digest, state.epoch)`` — see
+        :mod:`repro.manager.kairos`.
+
+        The value is cached with the same count-signature guard as the
+        incidence index: the construction API invalidates it, and
+        in-place *replacements* of tasks or channels need an explicit
+        :meth:`invalidate_graph_cache`.
+        """
+        signature = (
+            len(self.tasks), len(self.channels), len(self.constraints)
+        )
+        cached = getattr(self, "_digest_cache", None)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        # every free-form field goes through repr(), whose quoting
+        # escapes the delimiters — two structurally different specs
+        # can therefore never serialize identically (a digest
+        # collision would let the negative-result memo replay a wrong
+        # rejection)
+        parts = [repr(self.name)]
+        for name in sorted(self.tasks):
+            task = self.tasks[name]
+            parts.append(f"T{name!r}|{task.role!r}")
+            for impl in task.implementations:
+                requirement = repr(sorted(impl.requirement.items()))
+                parts.append(
+                    f"I{impl.name!r}|{requirement}|{impl.execution_time!r}|"
+                    f"{impl.cost!r}|"
+                    f"{impl.target_kind.value if impl.target_kind else ''}|"
+                    f"{impl.target_element!r}"
+                )
+        for name in sorted(self.channels):
+            channel = self.channels[name]
+            parts.append(
+                f"C{name!r}|{channel.source!r}|{channel.target!r}|"
+                f"{channel.bandwidth!r}|{channel.tokens_per_firing}|"
+                f"{channel.initial_tokens}"
+            )
+        for constraint in self.constraints:
+            parts.append(f"K{constraint.describe()!r}")
+        value = hashlib.sha256("\n".join(parts).encode()).hexdigest()
+        self._digest_cache = (signature, value)
+        return value
 
     def validate(self) -> None:
         """Sanity-check the specification before it enters the manager.

@@ -27,6 +27,7 @@ from repro.arch.resources import (
     fraction_of,
     vector_sum,
 )
+from repro.arch.scratch import ScratchPool
 from repro.arch.state import (
     AllocationError,
     AllocationState,
@@ -47,6 +48,7 @@ __all__ = [
     "ResourceError",
     "ResourceVector",
     "Router",
+    "ScratchPool",
     "TopologyError",
     "ZERO",
     "crisp",

@@ -1,0 +1,211 @@
+"""Generation-stamped scratch buffers for the admission hot loops.
+
+Every allocation attempt used to rebuild its working arrays from
+scratch: the BFS router allocated a fresh ``parents`` list per channel,
+the ring search a visited byte-mask per origin per layer, Dijkstra a
+distance dict per path.  Under admission churn those allocations (and
+the garbage they feed the collector) are a measurable fraction of a
+*failed* attempt's cost — exactly the case the fast path wants cheap.
+
+A :class:`ScratchPool` hands out preallocated arrays with **lazy
+clearing**: instead of resetting ``n`` cells per use, each array
+carries a parallel ``stamp`` array and a generation counter.  A cell
+is valid only when ``stamp[i] == generation``; acquiring the array
+bumps the generation, which invalidates every cell in O(1).  This is
+the array-reuse analogue of the allocation state's capacity epochs —
+stale data is never cleared, only outdated.
+
+Concurrency contract: a pool belongs to one
+:class:`~repro.arch.state.AllocationState` (one manager), whose
+allocation pipeline runs one search at a time.  Callers that cannot
+guarantee exclusive, non-interleaved use of a named scratch (e.g. two
+incremental searches advanced in lockstep) must fall back to fresh
+arrays — :class:`~repro.core.search.RingSearch` only opts in when the
+mapping phase drives it.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import deque
+
+#: zero-fill templates above this size are built ad hoc instead of
+#: being memoized (platforms are small; this only guards pathology)
+_ZERO_CACHE_LIMIT = 1 << 16
+
+
+@functools.lru_cache(maxsize=32)
+def _zeros(size: int) -> bytes:
+    return bytes(size)
+
+
+class StampedArrays:
+    """A family of reusable arrays invalidated wholesale per acquire.
+
+    ``acquire(size)`` returns ``(data, stamp, generation)``; a cell
+    ``data[i]`` is meaningful only while ``stamp[i] == generation``.
+    Callers write ``stamp[i] = generation`` together with ``data[i]``.
+    Generations are plain ints (never wrap), so a stale stamp can
+    never collide with a live generation.
+    """
+
+    __slots__ = ("data", "stamp", "generation")
+
+    def __init__(self) -> None:
+        self.data: list[int] = []
+        self.stamp: list[int] = []
+        self.generation = 0
+
+    def acquire(self, size: int) -> tuple[list, list[int], int]:
+        if len(self.data) < size:
+            grow = size - len(self.data)
+            self.data.extend([0] * grow)
+            self.stamp.extend([-1] * grow)
+        self.generation += 1
+        return self.data, self.stamp, self.generation
+
+
+class ScratchPool:
+    """Named scratch buffers shared by the allocation hot loops.
+
+    One pool per allocation state; every named scratch is exclusive to
+    one call site (the name *is* the reservation).  Flavours:
+
+    * :meth:`stamped` — one :class:`StampedArrays` per name (router
+      parents/dist arrays);
+    * :meth:`zeroed_bytes` / :meth:`zeroed_bytes_family` — recycled
+      byte masks, zeroed on acquire (the ring search's per-origin
+      visited masks);
+    * :meth:`row` — plain reusable ``list`` rows refilled from a
+      cached fill template (for arrays whose cells must all be
+      readable without a stamp check, e.g. distance rows);
+    * :meth:`plain` / :meth:`list` / :meth:`deque` — reusable
+      containers (uncleaned, cleared, cleared respectively).
+    """
+
+    __slots__ = ("_stamped", "_rows", "_row_cursor",
+                 "_fill_templates", "_deques", "_lists", "_plain",
+                 "_bytearrays", "_byte_families", "objects")
+
+    def __init__(self) -> None:
+        self._stamped: dict[str, StampedArrays] = {}
+        self._rows: list[list[int]] = []
+        self._row_cursor = 0
+        self._fill_templates: dict[tuple[int, int], list[int]] = {}
+        self._deques: dict[str, deque] = {}
+        self._lists: dict[str, list] = {}
+        self._plain: dict[str, list] = {}
+        self._bytearrays: dict[str, bytearray] = {}
+        self._byte_families: dict[str, list[bytearray]] = {}
+        #: free-form per-call-site object cache (e.g. the binder's
+        #: reusable provisional capacity pool)
+        self.objects: dict[str, object] = {}
+
+    # -- stamped arrays -----------------------------------------------------
+
+    def stamped(self, name: str, size: int) -> tuple[list, list[int], int]:
+        scratch = self._stamped.get(name)
+        if scratch is None:
+            scratch = self._stamped[name] = StampedArrays()
+        return scratch.acquire(size)
+
+    # -- plain reusable rows ------------------------------------------------
+
+    def begin_rows(self) -> None:
+        """Start a fresh row lease cycle (earlier leases become reusable).
+
+        Rows are handed out cursor-wise; callers must not retain a row
+        across ``begin_rows`` boundaries (copy it out instead, as
+        ``SparseDistanceMatrix.merge`` does).
+        """
+        self._row_cursor = 0
+
+    def row(self, size: int, fill: int = -1) -> list[int]:
+        """A reusable row of ``size`` cells, every cell reset to ``fill``."""
+        template = self._fill_templates.get((size, fill))
+        if template is None:
+            template = self._fill_templates[(size, fill)] = [fill] * size
+        cursor = self._row_cursor
+        if cursor < len(self._rows):
+            row = self._rows[cursor]
+            if len(row) != size:
+                row = self._rows[cursor] = [fill] * size
+            else:
+                row[:] = template
+        else:
+            row = [fill] * size
+            self._rows.append(row)
+        self._row_cursor = cursor + 1
+        return row
+
+    # -- pooled zeroed byte masks -------------------------------------------
+
+    def zeroed_bytes(self, name: str, size: int) -> bytearray:
+        """A reusable bytearray of ``size``, zeroed on every acquire.
+
+        Zeroing is one C-level slice write (a few hundred bytes for
+        realistic platforms) — the reuse avoids the allocation and the
+        collector churn, not the memset.
+        """
+        mask = self._bytearrays.get(name)
+        if mask is None or len(mask) != size:
+            mask = self._bytearrays[name] = bytearray(size)
+        else:
+            mask[:] = bytes(size) if size > _ZERO_CACHE_LIMIT else _zeros(size)
+        return mask
+
+    def zeroed_bytes_family(
+        self, name: str, count: int, size: int
+    ) -> list[bytearray]:
+        """``count`` independent zeroed byte masks under one name."""
+        family = self._byte_families.get(name)
+        if family is None:
+            family = self._byte_families[name] = []
+        masks: list[bytearray] = []
+        for index in range(count):
+            if index < len(family) and len(family[index]) == size:
+                mask = family[index]
+                mask[:] = bytes(size) if size > _ZERO_CACHE_LIMIT else _zeros(size)
+            else:
+                mask = bytearray(size)
+                if index < len(family):
+                    family[index] = mask
+                else:
+                    family.append(mask)
+            masks.append(mask)
+        return masks
+
+    # -- reusable containers ------------------------------------------------
+
+    def plain(self, name: str, size: int) -> list:
+        """A reusable uncleaned list of at least ``size`` cells.
+
+        Cell contents are whatever the previous use left — only for
+        call sites whose algorithm provably writes a cell before any
+        read (e.g. Dijkstra parents, whose reads walk the just-found
+        path).
+        """
+        buffer = self._plain.get(name)
+        if buffer is None:
+            buffer = self._plain[name] = [0] * size
+        elif len(buffer) < size:
+            buffer.extend([0] * (size - len(buffer)))
+        return buffer
+
+    def deque(self, name: str) -> deque:
+        """A cleared, reusable deque (BFS frontier queues)."""
+        queue = self._deques.get(name)
+        if queue is None:
+            queue = self._deques[name] = deque()
+        else:
+            queue.clear()
+        return queue
+
+    def list(self, name: str) -> list:
+        """A cleared, reusable list (heaps, frontier buffers)."""
+        buffer = self._lists.get(name)
+        if buffer is None:
+            buffer = self._lists[name] = []
+        else:
+            buffer.clear()
+        return buffer

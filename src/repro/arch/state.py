@@ -28,6 +28,15 @@ as platforms grow.  Use::
 Within a transaction, :meth:`savepoint` / :meth:`rollback_to` provide
 partial undo (used by the exhaustive baseline's branch-and-bound).
 
+The state also maintains **capacity epochs** for the admission fast
+path (see :mod:`repro.manager.kairos`): a monotonic mutation counter
+(:attr:`epoch`) bumped by every committed mutation, plus per-resource-
+kind aggregate free counters — platform-wide and per element class —
+updated incrementally by occupy/vacate/fail/heal.  Both are journaled
+like every other ledger, so a rolled-back attempt restores them
+bit-exactly; equal epochs therefore certify identical allocation
+state, which is what makes negative-result memoization sound.
+
 The legacy :meth:`snapshot` / :meth:`restore` pair — a full O(platform)
 copy of every ledger — is kept as a compatibility wrapper; new code
 should prefer transactions.
@@ -52,6 +61,7 @@ from dataclasses import dataclass
 
 from repro.arch.elements import Node, ProcessingElement
 from repro.arch.resources import ResourceError, ResourceVector
+from repro.arch.scratch import ScratchPool
 from repro.arch.topology import Platform, TopologyError
 
 
@@ -95,6 +105,161 @@ _OP_HEAL_LINK = 7
 #: below this magnitude a drained bandwidth ledger snaps back to zero,
 #: so float accumulation drift cannot shadow a fully free link
 _BW_EPSILON = 1e-9
+
+
+class AvailabilityCache:
+    """Epoch-stamped per-implementation availability summaries.
+
+    Several callers ask the same question about the same specification
+    pool many times per admission attempt: *which elements can host
+    this implementation right now?*  The admission gate needs "at
+    least one", the mapping phase's anchor detection needs "exactly
+    one, and which".  Both are answered by one platform scan whose
+    result is a pure function of (implementation, allocation state) —
+    so the scan is cached and keyed by the capacity epoch: any
+    mutation invalidates wholesale, and within one epoch (one gate
+    check plus the binding phase, which never mutates state) every
+    repeat is O(1).
+
+    ``summary(impl)`` returns ``(count, first)`` where ``count`` is
+    0, 1 or 2 (2 meaning *two or more*) and ``first`` is the first
+    available element in platform scan order (None when count is 0).
+    ``best_fit(impl)`` returns the binder's best-fit answer over the
+    raw state — ``(element, slack)`` with minimal leftover on the
+    bottleneck resource, name-tie-broken — which the binding phase's
+    provisional pool reuses for its pristine (pre-reservation) round.
+    Both come from one platform scan.
+    """
+
+    __slots__ = ("_state", "_epoch", "_summaries", "memo")
+
+    def __init__(self, state: "AllocationState") -> None:
+        self._state = state
+        self._epoch = -1
+        #: id(impl) -> (impl, count, first, best, best_slack) — impl
+        #: kept in the value so a recycled id can never alias a dead
+        #: object
+        self._summaries: dict[int, tuple] = {}
+        #: free-form epoch-scoped memo for callers whose derived values
+        #: are pure functions of (their key, allocation state) — e.g.
+        #: the mapping phase's anchor-element choice.  Cleared together
+        #: with the summaries whenever the epoch moves.
+        self.memo: dict = {}
+
+    def summary(self, impl) -> tuple[int, ProcessingElement | None]:
+        entry = self._entry(impl)
+        return entry[1], entry[2]
+
+    def best_fit(self, impl) -> tuple[ProcessingElement | None, float]:
+        entry = self._entry(impl)
+        return entry[3], entry[4]
+
+    def available(self, impl) -> tuple:
+        """All currently available elements, in platform scan order."""
+        return self._entry(impl)[5]
+
+    def epoch_memo(self) -> dict:
+        """The epoch-scoped free-form memo (cleared on any mutation)."""
+        if self._epoch != self._state._epoch:
+            self._summaries.clear()
+            self.memo.clear()
+            self._epoch = self._state._epoch
+        return self.memo
+
+    def _entry(self, impl) -> tuple:
+        state = self._state
+        epoch = state._epoch
+        if self._epoch != epoch:
+            self._summaries.clear()
+            self.memo.clear()
+            self._epoch = epoch
+        key = id(impl)
+        cached = self._summaries.get(key)
+        if cached is not None and cached[0] is impl:
+            return cached
+        entry = self._scan(impl)
+        self._summaries[key] = entry
+        return entry
+
+    def _scan(self, impl) -> tuple:
+        state = self._state
+        platform = state.platform
+        requirement_items = tuple(impl.requirement._data.items())
+        failed = state._failed_elements
+        count = 0
+        first: ProcessingElement | None = None
+        best: ProcessingElement | None = None
+        best_slack = float("inf")
+        available_elements: list = []
+        # fits + bottleneck fused over the state's per-kind free
+        # arrays: identical comparisons and divisions (in the same
+        # order) as ResourceVector.fits_in / .bottleneck, but each
+        # probe is one flat-array read; the one- and two-kind
+        # requirement shapes (virtually every generated implementation)
+        # skip the inner loop entirely.  A requirement kind no element
+        # ever offered has no array — nothing can fit.
+        free_arrays = state._free_arrays
+        arity = len(requirement_items)
+        array_a = array_b = None
+        quantity_a = quantity_b = None
+        if arity == 1:
+            ((kind_a, quantity_a),) = requirement_items
+            array_a = free_arrays.get(kind_a)
+            if array_a is None:
+                return (impl, 0, None, None, best_slack, ())
+        elif arity == 2:
+            (kind_a, quantity_a), (kind_b, quantity_b) = requirement_items
+            array_a = free_arrays.get(kind_a)
+            array_b = free_arrays.get(kind_b)
+            if array_a is None or array_b is None:
+                return (impl, 0, None, None, best_slack, ())
+        for element_id, element in impl.compatible_nodes(platform):
+            if failed and element_id in failed:
+                continue
+            if arity == 1:
+                have = array_a[element_id]
+                if quantity_a > have:
+                    continue
+                worst = quantity_a / have
+            elif arity == 2:
+                have = array_a[element_id]
+                if quantity_a > have:
+                    continue
+                worst = quantity_a / have
+                have = array_b[element_id]
+                if quantity_b > have:
+                    continue
+                ratio = quantity_b / have
+                if ratio > worst:
+                    worst = ratio
+            else:
+                available = state._free[element_id]._data
+                worst = 0.0
+                for kind, quantity in requirement_items:
+                    have = available.get(kind)
+                    if have is None or quantity > have:
+                        worst = -1.0
+                        break
+                    ratio = quantity / have
+                    if ratio > worst:
+                        worst = ratio
+                if worst < 0.0:
+                    continue
+            if count == 0:
+                first = element
+                count = 1
+            elif count == 1:
+                count = 2
+            available_elements.append(element)
+            slack = 1.0 - worst
+            if slack < best_slack or (
+                slack == best_slack
+                and best is not None and element.name < best.name
+            ):
+                best = element
+                best_slack = slack
+        return (impl, count, first, best, best_slack,
+                tuple(available_elements))
 
 
 class _Transaction:
@@ -150,9 +315,33 @@ class AllocationState:
             e.capacity.total() for e in platform.elements
         )
         self._allocated_total: float = 0
+        # capacity epochs: every committed mutation bumps the counter;
+        # rollback restores it, so equal epochs mean identical state
+        self._epoch = 0
+        #: element kind per node id (None for routers), for the
+        #: per-class aggregate updates on the occupy/vacate hot path
+        self._kind_by_id = [
+            node.kind if mask[index] else None
+            for index, node in enumerate(platform._nodes_by_id)
+        ]
+        # aggregate free counters over NON-FAILED elements: platform
+        # totals per resource kind, and the same split per element kind
+        self._agg_free: dict = {}
+        self._agg_free_kind: dict = {}
+        self._recompute_aggregates()
+        # per-kind mirror of the free vectors (node-id-indexed flat
+        # arrays, zero for missing kinds): the platform-wide scans of
+        # the availability cache and the mapping probes index these
+        # instead of hashing into each element's component dict.
+        # Maintained by occupy/vacate (and their undos) cell-exactly —
+        # every write copies the value the vector ledger carries.
+        self._free_arrays: dict = {}
+        self._rebuild_free_arrays()
         # transaction journal: None when no transaction is open
         self._journal: list[tuple] | None = None
         self._tx_depth = 0
+        self._scratch: ScratchPool | None = None
+        self._availability: AvailabilityCache | None = None
 
     # -- transactions ------------------------------------------------------
 
@@ -181,6 +370,15 @@ class AllocationState:
             raise AllocationError("rollback_to() requires an open transaction")
         while len(journal) > mark:
             self._undo(journal.pop())
+        # a later committed mutation will re-reach the epoch values this
+        # rolled-back span used, so any cache entries stamped with an
+        # uncommitted (greater) epoch must not survive — they observed
+        # state that no longer exists.  Entries stamped at or before
+        # the restored epoch observed exactly the restored state and
+        # stay valid.
+        cache = self._availability
+        if cache is not None and cache._epoch > self._epoch:
+            cache._epoch = -1
 
     def _tx_begin(self) -> int:
         if self._journal is None:
@@ -208,18 +406,23 @@ class AllocationState:
         # snapshot restore.
         op = entry[0]
         if op == _OP_OCCUPY:
-            _op, element_id, key, old_free, old_allocated = entry
-            self._occupants[element_id].pop()
+            _op, element_id, key, old_free, old_allocated, agg = entry
+            occupant = self._occupants[element_id].pop()
             self._free[element_id] = old_free
             del self._placements[key]
             self._wear[element_id] -= 1
             self._allocated_total = old_allocated
+            self._agg_restore(element_id, agg)
+            self._mirror_free(element_id, occupant.requirement._data)
         elif op == _OP_VACATE:
-            _op, element_id, key, occupant, index, old_free, old_allocated = entry
+            (_op, element_id, key, occupant, index,
+             old_free, old_allocated, agg) = entry
             self._occupants[element_id].insert(index, occupant)
             self._free[element_id] = old_free
             self._placements[key] = element_id
             self._allocated_total = old_allocated
+            self._agg_restore(element_id, agg)
+            self._mirror_free(element_id, occupant.requirement._data)
         elif op == _OP_RESERVE:
             _op, key, old_bws = entry
             self._reservations.pop(key)
@@ -239,13 +442,15 @@ class AllocationState:
                 vc_used[slot] += 1
                 bw_used[slot] = old_bws[position]
         elif op == _OP_FAIL_ELEMENT:
-            _op, element_id, was_failed = entry
+            _op, element_id, was_failed, agg = entry
             if not was_failed:
                 self._failed_elements.discard(element_id)
+                self._agg_restore(element_id, agg)
         elif op == _OP_HEAL_ELEMENT:
-            _op, element_id, was_failed = entry
+            _op, element_id, was_failed, agg = entry
             if was_failed:
                 self._failed_elements.add(element_id)
+                self._agg_restore(element_id, agg)
         elif op == _OP_FAIL_LINK:
             _op, link_id, was_failed = entry
             if not was_failed:
@@ -256,6 +461,121 @@ class AllocationState:
                 self._failed_links.add(link_id)
         else:  # pragma: no cover - defensive
             raise AssertionError(f"unknown journal op {op}")
+        # every journaled mutation bumped the epoch by exactly one, so
+        # undoing one entry rewinds it by exactly one — after a full
+        # rollback the epoch (an int) matches its pre-transaction value
+        # bit-exactly, and the negative-result memo stays sound
+        self._epoch -= 1
+
+    # -- capacity epochs and aggregate free counters -----------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter (the fast path's cache key).
+
+        Every committed mutation bumps it; rollback restores it along
+        with the ledgers, so two observations with equal epochs are
+        guaranteed to see identical allocation state.  It never
+        decreases below a previously *committed* value — only a
+        rollback can rewind it, and a rollback rewinds the state too.
+        """
+        return self._epoch
+
+    @property
+    def scratch(self) -> ScratchPool:
+        """Per-state scratch buffers shared by the allocation hot loops."""
+        if self._scratch is None:
+            self._scratch = ScratchPool()
+        return self._scratch
+
+    @property
+    def availability(self) -> AvailabilityCache:
+        """Epoch-cached implementation availability (see the class doc)."""
+        if self._availability is None:
+            self._availability = AvailabilityCache(self)
+        return self._availability
+
+    def aggregate_free(self) -> dict:
+        """Total free per resource kind over non-failed elements (copy)."""
+        return dict(self._agg_free)
+
+    def aggregate_free_by_kind(self) -> dict:
+        """Per-element-kind split of :meth:`aggregate_free` (copies)."""
+        return {
+            kind: dict(values)
+            for kind, values in self._agg_free_kind.items()
+        }
+
+    def _agg_entries(self, element_id: int, vector: ResourceVector) -> tuple:
+        """Pre-mutation aggregate values touched by ``vector`` (undo data)."""
+        by_kind = self._agg_free_kind.setdefault(
+            self._kind_by_id[element_id], {}
+        )
+        agg = self._agg_free
+        return tuple(
+            (resource, agg.get(resource, 0), by_kind.get(resource, 0))
+            for resource in vector._data
+        )
+
+    def _agg_apply(
+        self, element_id: int, vector: ResourceVector, sign: int
+    ) -> None:
+        by_kind = self._agg_free_kind.setdefault(
+            self._kind_by_id[element_id], {}
+        )
+        agg = self._agg_free
+        for resource, quantity in vector._data.items():
+            delta = quantity if sign > 0 else -quantity
+            agg[resource] = agg.get(resource, 0) + delta
+            by_kind[resource] = by_kind.get(resource, 0) + delta
+
+    def _agg_restore(self, element_id: int, entries: tuple) -> None:
+        by_kind = self._agg_free_kind.setdefault(
+            self._kind_by_id[element_id], {}
+        )
+        agg = self._agg_free
+        for resource, total, per_kind in entries:
+            agg[resource] = total
+            by_kind[resource] = per_kind
+
+    def _rebuild_free_arrays(self) -> None:
+        arrays: dict = {}
+        node_count = self.platform.node_count
+        for element_id in self.platform.element_ids:
+            for kind, quantity in self._free[element_id]._data.items():
+                array = arrays.get(kind)
+                if array is None:
+                    array = arrays[kind] = [0] * node_count
+                array[element_id] = quantity
+        self._free_arrays = arrays
+
+    def _mirror_free(self, element_id: int, kinds) -> None:
+        """Copy the named components of ``_free[element_id]`` into the
+        per-kind arrays (called after every free-vector update)."""
+        data = self._free[element_id]._data
+        arrays = self._free_arrays
+        for kind in kinds:
+            array = arrays.get(kind)
+            if array is None:
+                array = arrays[kind] = [0] * self.platform.node_count
+            array[element_id] = data.get(kind, 0)
+
+    def _recompute_aggregates(self) -> None:
+        agg: dict = {}
+        agg_kind: dict = {}
+        failed = self._failed_elements
+        for element_id in self.platform.element_ids:
+            if element_id in failed:
+                continue
+            kind = self._kind_by_id[element_id]
+            by_kind = agg_kind.get(kind)
+            if by_kind is None:
+                by_kind = agg_kind[kind] = {}
+            for resource, quantity in self._free[element_id]._data.items():
+                agg[resource] = agg.get(resource, 0) + quantity
+                by_kind[resource] = by_kind.get(resource, 0) + quantity
+        self._agg_free = agg
+        self._agg_free_kind = agg_kind
 
     def _unapply_slots(self, slots: tuple[int, ...], bandwidth: float) -> None:
         vc_used, bw_used = self._vc_used, self._bw_used
@@ -312,8 +632,12 @@ class AllocationState:
         self._allocated_total = old_allocated + requirement.total()
         if self._journal is not None:
             self._journal.append(
-                (_OP_OCCUPY, element_id, key, old_free, old_allocated)
+                (_OP_OCCUPY, element_id, key, old_free, old_allocated,
+                 self._agg_entries(element_id, requirement))
             )
+        self._agg_apply(element_id, requirement, -1)
+        self._mirror_free(element_id, requirement._data)
+        self._epoch += 1
 
     def vacate(self, app_id: str, task_id: str) -> None:
         """Release the resources a task held."""
@@ -334,11 +658,21 @@ class AllocationState:
                 self._allocated_total = (
                     old_allocated - occupant.requirement.total()
                 )
+                # a failed element's free capacity is excluded from the
+                # aggregates, so vacating a task stranded on one must
+                # not add its share back
+                failed = element_id in self._failed_elements
                 if self._journal is not None:
                     self._journal.append(
                         (_OP_VACATE, element_id, key, occupant, index,
-                         old_free, old_allocated)
+                         old_free, old_allocated,
+                         () if failed else self._agg_entries(
+                             element_id, occupant.requirement))
                     )
+                if not failed:
+                    self._agg_apply(element_id, occupant.requirement, 1)
+                self._mirror_free(element_id, occupant.requirement._data)
+                self._epoch += 1
                 return
         raise AssertionError("placement table and occupant list disagree")
 
@@ -444,10 +778,18 @@ class AllocationState:
         key = (app_id, channel_id)
         if key in self._reservations:
             raise AllocationError(f"channel {channel_id!r} already routed")
-        directed_slot = self.platform.directed_slot
-        slots = tuple(
-            directed_slot(a, b) for a, b in zip(id_path, id_path[1:])
-        )
+        directed = self.platform._directed_slots
+        try:
+            slots = tuple(
+                directed[(a, b)] for a, b in zip(id_path, id_path[1:])
+            )
+        except KeyError:
+            # re-resolve through the validating accessor for the
+            # canonical TopologyError on a non-adjacent pair
+            slots = tuple(
+                self.platform.directed_slot(a, b)
+                for a, b in zip(id_path, id_path[1:])
+            )
         for slot in slots:
             if not self.can_traverse_slot(slot, bandwidth):
                 link = self.platform.link_by_id(slot >> 1)
@@ -473,6 +815,7 @@ class AllocationState:
         self._res_slots[key] = slots
         if journal is not None:
             journal.append((_OP_RESERVE, key, tuple(old_bws)))
+        self._epoch += 1
         return reservation
 
     def release_route(self, app_id: str, channel_id: str) -> None:
@@ -490,6 +833,7 @@ class AllocationState:
         self._unapply_slots(slots, reservation.bandwidth)
         if journal is not None:
             journal.append((_OP_RELEASE, key, reservation, slots, old_bws))
+        self._epoch += 1
 
     def reservation(self, app_id: str, channel_id: str) -> ChannelReservation | None:
         return self._reservations.get((app_id, channel_id))
@@ -518,21 +862,33 @@ class AllocationState:
         :mod:`repro.arch.faults`).
         """
         element_id = self._element_id(element)
+        was_failed = element_id in self._failed_elements
+        agg = () if was_failed else self._agg_entries(
+            element_id, self._free[element_id]
+        )
         if self._journal is not None:
             self._journal.append(
-                (_OP_FAIL_ELEMENT, element_id,
-                 element_id in self._failed_elements)
+                (_OP_FAIL_ELEMENT, element_id, was_failed, agg)
             )
+        if not was_failed:
+            self._agg_apply(element_id, self._free[element_id], -1)
         self._failed_elements.add(element_id)
+        self._epoch += 1
 
     def heal_element(self, element: ProcessingElement | str) -> None:
         element_id = self._element_id(element)
+        was_failed = element_id in self._failed_elements
+        agg = self._agg_entries(
+            element_id, self._free[element_id]
+        ) if was_failed else ()
         if self._journal is not None:
             self._journal.append(
-                (_OP_HEAL_ELEMENT, element_id,
-                 element_id in self._failed_elements)
+                (_OP_HEAL_ELEMENT, element_id, was_failed, agg)
             )
+        if was_failed:
+            self._agg_apply(element_id, self._free[element_id], 1)
         self._failed_elements.discard(element_id)
+        self._epoch += 1
 
     def fail_link(self, a: Node | str, b: Node | str) -> None:
         slot = self.platform.directed_slot(  # validates link existence
@@ -544,6 +900,7 @@ class AllocationState:
                 (_OP_FAIL_LINK, link_id, link_id in self._failed_links)
             )
         self._failed_links.add(link_id)
+        self._epoch += 1
 
     def heal_link(self, a: Node | str, b: Node | str) -> None:
         pair = (self._node_id(a), self._node_id(b))
@@ -556,6 +913,7 @@ class AllocationState:
                 (_OP_HEAL_LINK, link_id, link_id in self._failed_links)
             )
         self._failed_links.discard(link_id)
+        self._epoch += 1
 
     def is_failed(self, element: ProcessingElement | str) -> bool:
         return self._element_id(element) in self._failed_elements
@@ -652,6 +1010,14 @@ class AllocationState:
             # float the journal path carries (recomputing could differ
             # in the last bit and desynchronize the two strategies)
             "allocated_total": self._allocated_total,
+            # epoch and aggregates are captured verbatim for the same
+            # reason: a restore must be indistinguishable from rollback
+            "epoch": self._epoch,
+            "agg_free": dict(self._agg_free),
+            "agg_free_kind": {
+                kind: dict(values)
+                for kind, values in self._agg_free_kind.items()
+            },
         }
 
     def restore(self, snapshot: dict) -> None:
@@ -694,6 +1060,25 @@ class AllocationState:
             for pair in snapshot["failed_links"]
         }
         self._allocated_total = snapshot["allocated_total"]
+        agg = snapshot.get("agg_free")
+        if agg is None:  # pre-epoch snapshot dict: rebuild from ledgers
+            self._recompute_aggregates()
+        else:
+            self._agg_free = dict(agg)
+            self._agg_free_kind = {
+                kind: dict(values)
+                for kind, values in snapshot["agg_free_kind"].items()
+            }
+        epoch = snapshot.get("epoch")
+        # an epoch-less snapshot cannot prove the state unchanged, so
+        # conservatively advance (stale memo entries self-invalidate)
+        self._epoch = self._epoch + 1 if epoch is None else epoch
+        self._rebuild_free_arrays()
+        # restore() may install state from another timeline (foreign
+        # snapshot dicts are accepted), so cached scans are dropped
+        # wholesale rather than trusting epoch equality
+        if self._availability is not None:
+            self._availability._epoch = -1
 
     # -- helpers ------------------------------------------------------------
 

@@ -113,6 +113,7 @@ class Platform:
         self._slot_bw: tuple[float, ...] = ()
         self._is_element_mask: tuple[bool, ...] = ()
         self._element_ids: tuple[int, ...] = ()
+        self._element_position: dict[int, int] = {}
         self._elements_tuple: tuple[ProcessingElement, ...] = ()
         self._routers_tuple: tuple[Router, ...] = ()
         self._element_neighbor_ids: dict[str, tuple[int, ...]] = {}
@@ -182,6 +183,14 @@ class Platform:
         self._routers_tuple = tuple(
             node for node in self._nodes_by_id if not is_element(node)
         )
+        # position of each element object in ``elements`` (identity-
+        # keyed: the tuple holds the references, so ids stay valid) —
+        # lets hot loops map an element back to its scan position
+        # without hashing its name
+        self._element_position = {
+            id(element): position
+            for position, element in enumerate(self._elements_tuple)
+        }
         self._links_by_id = tuple(self._links.values())
         slot_vc: list[int] = []
         slot_bw: list[float] = []

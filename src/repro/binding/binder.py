@@ -30,6 +30,11 @@ from repro.arch.state import AllocationState
 #: they are bound first, before any flexible task eats their capacity.
 SINGLE_OPTION_REGRET = float("inf")
 
+#: bound of the per-application sorted-options cache kept on the
+#: state's scratch; cleared wholesale on overflow (it is a cache — a
+#: fresh Application per request must not accumulate forever)
+_OPTIONS_CACHE_LIMIT = 4096
+
 
 class BindingError(RuntimeError):
     """The binding phase found no feasible implementation for a task."""
@@ -72,19 +77,49 @@ class _CapacityPool:
 
     def __init__(self, state: AllocationState):
         self.platform = state.platform
-        elements = state.platform.elements
         #: provisional free capacity indexed like ``platform.elements``
         #: (None marks failed elements), so the per-implementation
         #: static compatibility lists can index it directly
-        self._free: list[ResourceVector | None] = [
-            None if state.is_failed(e) else state.free(e) for e in elements
-        ]
-        #: id(element) -> position in ``platform.elements``
-        self._position: dict[int, int] = {
-            id(e): index for index, e in enumerate(elements)
-        }
+        self._free: list[ResourceVector | None] = []
+        #: id(element) -> position in ``platform.elements`` — the
+        #: platform's interned table (static per frozen platform)
+        self._position: dict[int, int] = state.platform._element_position
         #: id(impl) -> (impl, best element, best slack) or (impl, None, 0.0)
         self._best: dict[int, tuple[Implementation, ProcessingElement | None, float]] = {}
+        self._availability = state.availability
+        #: True until the first provisional reservation: while pristine
+        #: the pool's free vectors equal the raw state's, so best-fit
+        #: scans are delegated to the state's epoch-stamped
+        #: availability cache (one shared scan per implementation per
+        #: epoch across the gate, the anchors and this pool)
+        self._pristine = True
+        self.reset(state)
+
+    def reset(self, state: AllocationState) -> None:
+        """Refill from the live ledgers (id-indexed, no name hashing).
+
+        The pool object itself is reused across binding runs via the
+        state's scratch cache — the free list and the best-fit cache's
+        hash table are recycled storage, their *contents* always come
+        from the current allocation state.
+        """
+        free_by_node = state._free
+        failed = state._failed_elements
+        element_ids = state.platform.element_ids
+        pool_free = self._free
+        pool_free.clear()
+        if failed:
+            pool_free.extend(
+                None if element_id in failed else free_by_node[element_id]
+                for element_id in element_ids
+            )
+        else:
+            pool_free.extend(
+                free_by_node[element_id] for element_id in element_ids
+            )
+        self._best.clear()
+        self._availability = state.availability
+        self._pristine = True
 
     def _slack(self, impl: Implementation, position: int) -> float | None:
         """Best-fit score of the element at ``position``; None when unfit.
@@ -105,12 +140,27 @@ class _CapacityPool:
         best: ProcessingElement | None = None
         best_slack = float("inf")
         free = self._free
-        requirement = impl.requirement
+        # fits_in + bottleneck fused into one pass over the component
+        # dicts: same comparisons, same float divisions in the same
+        # order, one traversal instead of two method calls per element
+        requirement_items = tuple(impl.requirement._data.items())
         for position, element in impl.compatible_on(self.platform):
             available = free[position]
-            if available is None or not requirement.fits_in(available):
+            if available is None:
                 continue
-            slack = 1.0 - requirement.bottleneck(available)
+            data = available._data
+            worst = 0.0
+            for kind, quantity in requirement_items:
+                have = data.get(kind)
+                if have is None or quantity > have:
+                    worst = -1.0
+                    break
+                ratio = quantity / have
+                if ratio > worst:
+                    worst = ratio
+            if worst < 0.0:
+                continue
+            slack = 1.0 - worst
             if slack < best_slack or (
                 slack == best_slack and best is not None and element.name < best.name
             ):
@@ -123,12 +173,18 @@ class _CapacityPool:
         key = id(impl)
         cached = self._best.get(key)
         if cached is None:
-            best, best_slack = self._scan(impl)
+            if self._pristine:
+                # no provisional reservations yet: the answer over the
+                # raw state is shared via the availability cache
+                best, best_slack = self._availability.best_fit(impl)
+            else:
+                best, best_slack = self._scan(impl)
             self._best[key] = (impl, best, best_slack)
             return best
         return cached[1]
 
     def reserve(self, element: ProcessingElement, impl: Implementation) -> None:
+        self._pristine = False
         position = self._position[id(element)]
         self._free[position] = self._free[position] - impl.requirement
         for key, (cached_impl, best, best_slack) in list(self._best.items()):
@@ -160,12 +216,57 @@ def bind(
     Raises :class:`BindingError` naming the first task that has no
     feasible implementation left.
     """
-    pool = _CapacityPool(state)
+    # the provisional pool's storage is recycled across binding runs
+    # (one bind at a time per state); its contents are reset from the
+    # live ledgers on every acquisition
+    scratch_objects = state.scratch.objects
+    pool = scratch_objects.get("binder.pool")
+    if pool is None or pool.platform is not state.platform:
+        pool = _CapacityPool(state)
+        scratch_objects["binder.pool"] = pool
+    else:
+        pool.reset(state)
     result = BindingResult(choice={})
     unbound = sorted(app.tasks)
 
     def score(impl: Implementation) -> float:
         return impl.cost + quality_weight * impl.execution_time
+
+    # implementations pre-sorted by (score, name) once per application
+    # (static given the quality weight): the regret of a round needs
+    # only the two cheapest *feasible* options, which filtering a
+    # sorted list yields without re-sorting per round
+    options_key = ("binder.options", id(app), quality_weight)
+    if len(scratch_objects) >= _OPTIONS_CACHE_LIMIT:
+        # a cache, not state: callers minting a fresh Application per
+        # request must not pin every one of them for the state's life
+        pool_entry = scratch_objects.get("binder.pool")
+        scratch_objects.clear()
+        if pool_entry is not None:
+            scratch_objects["binder.pool"] = pool_entry
+    # guarded by the identity of every Task object: in-place task
+    # replacement (the documented mutation pattern of
+    # Application.invalidate_graph_cache) swaps frozen Task instances,
+    # so a stale options list can never be served
+    task_signature = tuple(map(id, app.tasks.values()))
+    cached_options = scratch_objects.get(options_key)
+    if cached_options is not None and cached_options[0] is app and (
+        cached_options[1] == task_signature
+    ):
+        task_options = cached_options[3]
+    else:
+        task_options = {
+            task: sorted(
+                ((score(impl), impl)
+                 for impl in app.task(task).implementations),
+                key=lambda item: (item[0], item[1].name),
+            )
+            for task in unbound
+        }
+        scratch_objects[options_key] = (
+            # the Task tuple keeps the signature ids alive
+            app, task_signature, tuple(app.tasks.values()), task_options,
+        )
 
     while unbound:
         # evaluate regret for every unbound task against the current pool
@@ -174,25 +275,30 @@ def bind(
         best_option: tuple[Implementation, ProcessingElement] | None = None
         infeasible_task: str | None = None
         for task in unbound:
-            options: list[tuple[float, Implementation, ProcessingElement]] = []
-            for impl in app.task(task).implementations:
+            first: tuple | None = None
+            second_score: float | None = None
+            for impl_score, impl in task_options[task]:
                 element = pool.feasible_element(impl)
-                if element is not None:
-                    options.append((score(impl), impl, element))
-            if not options:
+                if element is None:
+                    continue
+                if first is None:
+                    first = (impl_score, impl, element)
+                else:
+                    second_score = impl_score
+                    break
+            if first is None:
                 infeasible_task = task
                 break
-            options.sort(key=lambda item: (item[0], item[1].name))
-            if len(options) == 1:
+            if second_score is None:
                 regret = SINGLE_OPTION_REGRET
             else:
-                regret = options[1][0] - options[0][0]
+                regret = second_score - first[0]
             if regret > best_regret or (
                 regret == best_regret and (best_task is None or task < best_task)
             ):
                 best_task = task
                 best_regret = regret
-                best_option = (options[0][1], options[0][2])
+                best_option = (first[1], first[2])
         if infeasible_task is not None:
             raise BindingError(
                 f"task {infeasible_task!r} of {app.name!r} has no feasible "

@@ -104,6 +104,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the decision trace as JSONL (replayable)")
     sim.add_argument("--replay", metavar="PATH",
                      help="re-run a recorded trace and verify bit-identity")
+    sim.add_argument("--profile", action="store_true",
+                     help="print per-phase wall-clock latency percentiles "
+                          "(bind/map/route/validate, p50/p95/p99)")
 
     for name, description in (
         ("table1", "Table I — failure distribution per phase"),
@@ -279,6 +282,17 @@ def _cmd_sim(args) -> int:
         faults = summary["faults"]
         print(f"  faults           : {faults['injected']} injected, "
               f"{faults['recovered']} recovered, {faults['lost']} lost")
+    if args.profile:
+        print()
+        print("per-phase wall-clock latency (ms per attempt):")
+        print(f"  {'phase':<12} {'count':>7} {'p50':>9} {'p95':>9} "
+              f"{'p99':>9} {'total':>10}")
+        for phase, row in summary["phase_latency"].items():
+            print(f"  {phase:<12} {row['count']:>7} "
+                  f"{row['p50_ms']:>9.3f} {row['p95_ms']:>9.3f} "
+                  f"{row['p99_ms']:>9.3f} {row['total_ms']:>10.1f}")
+        print(f"  short-circuited probes: "
+              f"{summary['probes_short_circuited']}")
     if args.record:
         print(f"  trace            : {len(result.trace)} records -> "
               f"{args.record}")

@@ -103,25 +103,123 @@ class MappingCost:
         state: AllocationState,
         placement: dict[str, str],
         distances: SparseDistanceMatrix,
+        _comm_peers: tuple | None = None,
+        _frag_peers: frozenset | None = None,
     ) -> float:
         """Cost of mapping ``task`` onto ``element``; lower is better.
 
         ``placement`` maps already-mapped task names of this
         application to element names; ``distances`` is the sparse
-        matrix accumulated by the platform search.
+        matrix accumulated by the platform search.  ``_comm_peers`` /
+        ``_frag_peers`` optionally carry the mapped peers pre-resolved
+        to interned node ids (the mapping layer hoists them — the
+        placement cannot change while one layer's GAP runs).
         """
         if self.weights.disabled:
             return 0.0
         cost = 0.0
+        if _comm_peers is not None and _frag_peers is not None:
+            if self.weights.communication and _comm_peers:
+                cost += self.weights.communication * self._communication_ids(
+                    element, distances, _comm_peers
+                )
+            if self.weights.fragmentation:
+                cost -= self.weights.fragmentation * self._fragmentation_ids(
+                    app_id, element, state, _frag_peers
+                )
+            return cost
+        # one incidence lookup feeds both terms (they are evaluated for
+        # every (task, element) pair of every layer)
+        entry = app._incidence().get(task)
+        channels, neighbors = entry if entry is not None else ((), ())
         if self.weights.communication:
             cost += self.weights.communication * self.communication_term(
-                app, task, element, placement, distances
+                app, task, element, placement, distances,
+                _channels=channels,
             )
         if self.weights.fragmentation:
             cost -= self.weights.fragmentation * self.fragmentation_bonus(
-                app, app_id, task, element, state, placement
+                app, app_id, task, element, state, placement,
+                _neighbors=neighbors,
             )
         return cost
+
+    def _communication_ids(
+        self,
+        element: ProcessingElement,
+        distances: SparseDistanceMatrix,
+        peer_ids: tuple,
+    ) -> float:
+        """Id-resolved :meth:`communication_term` (one row fetch per
+        evaluation; identical arithmetic)."""
+        # only ever called with the mapping layer's own search matrix:
+        # platform-bound (node_ids present) and fallback-free, because
+        # RingSearch populates rows directly and never records names
+        node_ids = distances._node_ids
+        element_id = node_ids.get(element.name)
+        penalty = self.distance_penalty
+        if element_id is None:  # pragma: no cover - defensive
+            return penalty * float(len(peer_ids))
+        rows = distances._rows
+        total = 0.0
+        row_e = rows.get(element_id)
+        for peer_id in peer_ids:
+            if peer_id == element_id:
+                continue  # same element: distance 0
+            if peer_id < 0:
+                total += penalty
+                continue
+            best = -1
+            if row_e is not None:
+                known = row_e[peer_id]
+                if known >= 0:
+                    best = known
+            row_p = rows.get(peer_id)
+            if row_p is not None:
+                known = row_p[element_id]
+                if 0 <= known and (best < 0 or known < best):
+                    best = known
+            total += penalty if best < 0 else best
+        return total
+
+    def _fragmentation_ids(
+        self,
+        app_id: str,
+        element: ProcessingElement,
+        state: AllocationState,
+        peer_element_ids: frozenset,
+    ) -> float:
+        """Id-resolved :meth:`fragmentation_bonus` body."""
+        platform = state.platform
+        bonus = 0.0
+        all_occupants = state._occupants
+        neighbor_ids = platform.element_neighbor_ids(element)
+        for neighbor_id in neighbor_ids:
+            if neighbor_id in peer_element_ids:
+                bonus += BONUS_PEER
+                continue
+            occupants = all_occupants[neighbor_id]
+            if not occupants:
+                continue
+            for occupant in occupants:
+                if occupant.app_id == app_id:
+                    bonus += BONUS_SAME_APP
+                    break
+            else:
+                bonus += BONUS_OTHER_APP
+        platform_key = id(platform)
+        max_connectivity = self._max_connectivity.get(platform_key)
+        if max_connectivity is None:
+            max_connectivity = max(
+                (
+                    platform.element_connectivity(e)
+                    for e in platform.elements
+                ),
+                default=0,
+            )
+            self._max_connectivity[platform_key] = max_connectivity
+        bonus += BONUS_BORDER * (max_connectivity - len(neighbor_ids))
+        return bonus
 
     # -- objective terms ---------------------------------------------------
 
@@ -132,6 +230,7 @@ class MappingCost:
         element: ProcessingElement,
         placement: dict[str, str],
         distances: SparseDistanceMatrix,
+        _channels: tuple | None = None,
     ) -> float:
         """Total estimated route length to already-mapped peers.
 
@@ -143,15 +242,48 @@ class MappingCost:
         are left out.
         """
         total = 0.0
-        for channel in app.incident_channels(task):
+        channels = (
+            app.incident_channels(task) if _channels is None else _channels
+        )
+        if not channels:
+            return total
+        # symmetric distance lookup inlined over interned ids (one
+        # element-id resolution per call instead of two name hashes
+        # per channel); the name path serves platform-less matrices
+        node_ids = distances._node_ids
+        rows = distances._rows
+        element_id = (
+            node_ids.get(element.name) if node_ids is not None else None
+        )
+        fallback = distances._fallback
+        penalty = self.distance_penalty
+        for channel in channels:
             peer = channel.target if channel.source == task else channel.source
             peer_element = placement.get(peer)
             if peer_element is None:
                 continue
-            distance = distances.get(element.name, peer_element)
-            if distance is None:
-                distance = self.distance_penalty
-            total += distance
+            if element_id is None or fallback:
+                distance = distances.get(element.name, peer_element)
+                total += penalty if distance is None else distance
+                continue
+            peer_id = node_ids.get(peer_element)
+            if peer_id is None:
+                total += penalty
+                continue
+            if peer_id == element_id:
+                continue  # distance 0
+            best = -1
+            row = rows.get(element_id)
+            if row is not None:
+                known = row[peer_id]
+                if known >= 0:
+                    best = known
+            row = rows.get(peer_id)
+            if row is not None:
+                known = row[element_id]
+                if 0 <= known and (best < 0 or known < best):
+                    best = known
+            total += penalty if best < 0 else best
         return total
 
     def fragmentation_bonus(
@@ -162,6 +294,7 @@ class MappingCost:
         element: ProcessingElement,
         state: AllocationState,
         placement: dict[str, str],
+        _neighbors: tuple[str, ...] | None = None,
     ) -> float:
         """Graded neighbourhood bonuses plus the border bonus.
 
@@ -172,20 +305,32 @@ class MappingCost:
         low-connectivity elements: filling the chip from its edges
         inward keeps the contiguous free area compact.
         """
-        peers = set(app.neighbors(task))
-        peer_elements = {placement[p] for p in peers if p in placement}
-        bonus = 0.0
         platform = state.platform
-        nodes = platform._nodes_by_id
-        for neighbor_id in platform.element_neighbor_ids(element):
-            if nodes[neighbor_id].name in peer_elements:
+        node_ids = platform._node_ids
+        # peer elements as interned ids: the neighbourhood loop then
+        # compares ints instead of hashing node names per neighbour
+        peer_element_ids = set()
+        task_peers = app.neighbors(task) if _neighbors is None else _neighbors
+        for peer in task_peers:
+            placed = placement.get(peer)
+            if placed is not None:
+                peer_id = node_ids.get(placed)
+                if peer_id is not None:
+                    peer_element_ids.add(peer_id)
+        bonus = 0.0
+        all_occupants = state._occupants
+        neighbor_ids = platform.element_neighbor_ids(element)
+        for neighbor_id in neighbor_ids:
+            if neighbor_id in peer_element_ids:
                 bonus += BONUS_PEER
                 continue
-            occupants = state.occupants_id(neighbor_id)
+            occupants = all_occupants[neighbor_id]
             if not occupants:
                 continue
-            if any(o.app_id == app_id for o in occupants):
-                bonus += BONUS_SAME_APP
+            for occupant in occupants:
+                if occupant.app_id == app_id:
+                    bonus += BONUS_SAME_APP
+                    break
             else:
                 bonus += BONUS_OTHER_APP
         platform_key = id(state.platform)
@@ -199,6 +344,7 @@ class MappingCost:
                 default=0,
             )
             self._max_connectivity[platform_key] = max_connectivity
-        connectivity = state.platform.element_connectivity(element)
-        bonus += BONUS_BORDER * (max_connectivity - connectivity)
+        # element_connectivity(element) is by definition the length of
+        # the adjacency list already in hand
+        bonus += BONUS_BORDER * (max_connectivity - len(neighbor_ids))
         return bonus

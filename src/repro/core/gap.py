@@ -88,6 +88,39 @@ class GapSolver:
         if missing:
             raise ValueError(f"no requirement for tasks {missing}")
         self.requirements = requirements
+        #: per-task requirement components, hoisted once — the
+        #: capacity check runs per (task, element) pair per layer
+        self._requirement_items = {
+            task: tuple(requirements[task]._data.items())
+            for task in self.tasks
+        }
+        #: componentwise minimum over the layer's requirements: a lower
+        #: bound on what *any* task needs, so an element that cannot
+        #: even host the minimum skips the whole task loop (on a busy
+        #: platform that is most elements)
+        minimums: dict = {}
+        first = True
+        for task in self.tasks:
+            data = requirements[task]._data
+            if first:
+                minimums.update(data)
+                first = False
+            else:
+                for kind in list(minimums):
+                    quantity = data.get(kind)
+                    if quantity is None:
+                        del minimums[kind]
+                    elif quantity < minimums[kind]:
+                        minimums[kind] = quantity
+        self._min_requirement_items = tuple(minimums.items())
+        #: the minimums paired with the state's per-kind free arrays
+        #: (mutated in place by occupy/vacate, so the references stay
+        #: current); a kind no element offers has no array — no element
+        #: can ever host the layer then
+        self._min_checks = tuple(
+            (state._free_arrays.get(kind), quantity)
+            for kind, quantity in minimums.items()
+        )
         self.compatible = compatible
         self.pair_cost = pair_cost
         self.state = state
@@ -120,7 +153,20 @@ class GapSolver:
 
     def free_capacity(self, element: ProcessingElement) -> ResourceVector:
         """Element capacity available to this layer right now."""
-        free = self.state.free(element)
+        state = self.state
+        platform = state.platform
+        # elements come from the platform's own interned tables, so the
+        # identity-keyed position lookup avoids hashing the name; the
+        # name path remains for foreign element objects (tests)
+        position = platform._element_position.get(id(element))
+        if position is None:
+            free = state.free(element)
+        else:
+            element_id = platform._element_ids[position]
+            if element_id in state._failed_elements:
+                free = ResourceVector()
+            else:
+                free = state._free[element_id]
         load = self._load.get(element.name)
         if load is not None:
             free = free - load
@@ -131,37 +177,94 @@ class GapSolver:
     def solve(self, new_elements: Iterable[ProcessingElement]) -> GapAssignment:
         """Process newly discovered elements, one knapsack each.
 
-        Elements already processed in earlier invocations are skipped;
-        their contribution is encoded in ``c1`` / ``element_of``.
+        Elements already processed in earlier invocations are skipped,
+        as are elements that cannot host even the layer's componentwise
+        minimum requirement (a pure lower-bound capacity check — on a
+        busy platform that is most candidates, and skipping them leaves
+        every observable of the solver untouched).
         """
+        state = self.state
+        platform = state.platform
+        element_position = platform._element_position
+        element_ids = platform._element_ids
+        failed = state._failed_elements
+        free = state._free
+        load = self._load
+        seen = self._elements_seen
+        min_checks = self._min_checks
         for element in new_elements:
-            if element.name in self._elements_seen:
+            name = element.name
+            if name in seen:
                 continue
-            self._elements_seen.add(element.name)
-            self._process_element(element)
+            seen.add(name)
+            # lower-bound prefilter over the state's per-kind free
+            # arrays (unloaded elements need no capacity vector)
+            position = element_position.get(id(element))
+            capacity = None
+            if position is not None and name not in load:
+                element_id = element_ids[position]
+                if element_id in failed:
+                    if self._min_requirement_items:
+                        continue  # zero capacity hosts no minimum
+                    capacity = ResourceVector()
+                else:
+                    fits = True
+                    for array, quantity in min_checks:
+                        if array is None or quantity > array[element_id]:
+                            fits = False
+                            break
+                    if not fits:
+                        continue
+                    capacity = free[element_id]
+            else:
+                capacity = self.free_capacity(element)
+                capacity_data = capacity._data
+                fits = True
+                for kind, quantity in self._min_requirement_items:
+                    have = capacity_data.get(kind)
+                    if have is None or quantity > have:
+                        fits = False
+                        break
+                if not fits:
+                    continue
+            self._process_element(element, capacity)
         return self.assignment()
 
-    def _process_element(self, element: ProcessingElement) -> None:
-        capacity = self.free_capacity(element)
+    def _process_element(
+        self, element: ProcessingElement, capacity: ResourceVector
+    ) -> None:
+        capacity_data = capacity._data
         items: list[KnapsackItem] = []
         costs: dict[str, float] = {}
+        element_name = element.name
+        element_of = self.element_of
+        compatible = self.compatible
+        requirements = self.requirements
+        requirement_items = self._requirement_items
+        pair_cost = self.pair_cost
+        c1 = self.c1
         for task in self.tasks:
-            if self.element_of.get(task) == element.name:
+            if element_of.get(task) == element_name:
                 continue  # already living here
-            if not self.compatible(task, element):
+            if not compatible(task, element):
                 continue
-            requirement = self.requirements[task]
-            if not requirement.fits_in(capacity):
+            fits = True
+            for kind, quantity in requirement_items[task]:
+                have = capacity_data.get(kind)
+                if have is None or quantity > have:
+                    fits = False
+                    break
+            if not fits:
                 # Note: a task evicted from here by a later swap is not
                 # reconsidered — matches the single-pass structure of [15].
                 continue
-            cost = self.pair_cost(task, element)
+            cost = pair_cost(task, element)
             self.evaluations += 1
-            reduction = self.c1[task] - cost
+            reduction = c1[task] - cost
             if reduction <= 0:
                 continue  # only remap on a positive cost reduction
             costs[task] = cost
-            items.append(KnapsackItem(task, reduction, requirement))
+            items.append(KnapsackItem(task, reduction, requirements[task]))
         if not items:
             return
         solution = self.knapsack(items, capacity)

@@ -95,26 +95,13 @@ def available_elements(
 
     This is the paper's ``{e | av(e, t)}``: static compatibility of the
     implementation and sufficient free resources in the current state.
+    Served from the state's epoch-stamped availability cache — the
+    admission gate and the anchor detection scanned the same
+    implementations at the same epoch.
     """
-    return list(_iter_available(implementation, state))
+    return list(state.availability.available(implementation))
 
 
-def _iter_available(
-    implementation: Implementation,
-    state: AllocationState,
-):
-    """Yield available elements in platform scan order (the single
-    definition of ``av(e, t)`` shared by candidate enumeration and
-    anchor detection)."""
-    platform = state.platform
-    requirement = implementation.requirement
-    free = state._free
-    failed = state._failed_elements
-    element_ids = platform.element_ids
-    for position, element in implementation.compatible_on(platform):
-        element_id = element_ids[position]
-        if element_id not in failed and requirement.fits_in(free[element_id]):
-            yield element
 
 
 def _single_available_element(
@@ -124,14 +111,14 @@ def _single_available_element(
     """The element of a single-option task, or None when 0 or >= 2 fit.
 
     Anchor detection only needs to know whether *exactly one* element
-    is available, so it stops pulling candidates at the second hit
-    (pinned I/O tasks aside, most tasks have many options).
+    is available, so it asks the state's epoch-stamped
+    :class:`~repro.arch.state.AvailabilityCache` — the admission gate
+    already scanned for these implementations at the same epoch (the
+    binding phase makes no state mutations), so the common case is a
+    dictionary hit instead of a platform scan.
     """
-    candidates = _iter_available(implementation, state)
-    first = next(candidates, None)
-    if first is None or next(candidates, None) is not None:
-        return None
-    return first
+    count, first = state.availability.summary(implementation)
+    return first if count == 1 else None
 
 
 def map_application(
@@ -160,8 +147,21 @@ def map_application(
     if bind_requirements is not None:
         bind_requirements(requirements)
 
+    # static compatibility as platform-position sets: one membership
+    # probe per (task, element) query instead of a runs_on call — the
+    # GAP solver asks this for every task on every candidate element
+    element_position = state.platform._element_position
+    platform = state.platform
+    positions_of = {
+        task: binding[task].compatible_positions(platform)
+        for task in app.tasks
+    }
+
     def compatible(task: str, element: ProcessingElement) -> bool:
-        return binding[task].runs_on(element)
+        position = element_position.get(id(element))
+        if position is None:  # foreign element object: fall back
+            return binding[task].runs_on(element)
+        return position in positions_of[task]
 
     result = MappingResult(placement={}, anchors={})
 
@@ -175,18 +175,72 @@ def map_application(
     # ---- empty M0: anchor the minimum-degree task (lines 3-4) ------------
     if not anchor_pairs:
         t0 = min(app.min_degree_tasks())
-        candidates = available_elements(t0, binding[t0], state)
-        if not candidates:
-            raise MappingError(f"no available element for starting task {t0!r}")
-        empty_distances = SparseDistanceMatrix(state.platform)
-        e0 = min(
-            candidates,
-            key=lambda e: (
-                cost(app, app_id, t0, e, state, {}, empty_distances),
-                e.name,
-            ),
-        )
-        anchor_pairs.append((t0, e0))
+        impl0 = binding[t0]
+        # With an empty placement the stock cost function is a pure
+        # function of (element, allocation state): the communication
+        # term is zero (no mapped peers yet) and the fragmentation
+        # bonus can never match the fresh app_id.  The chosen anchor
+        # is therefore shared across attempts at the same epoch —
+        # restricted to exactly MappingCost, because custom cost
+        # callables may read anything at all.
+        memo = key = None
+        if type(cost) is MappingCost:
+            memo = state.availability.epoch_memo()
+            key = ("anchor", id(cost), id(impl0))
+            cached = memo.get(key)
+            if cached is not None and cached[0] is impl0 and cached[1] is cost:
+                e0 = cached[2]
+                if e0 is None:
+                    raise MappingError(
+                        f"no available element for starting task {t0!r}"
+                    )
+                anchor_pairs.append((t0, e0))
+        if not anchor_pairs:
+            candidates = available_elements(t0, impl0, state)
+            if not candidates:
+                if memo is not None:
+                    memo[key] = (impl0, cost, None)
+                raise MappingError(
+                    f"no available element for starting task {t0!r}"
+                )
+            empty_distances = SparseDistanceMatrix(state.platform)
+            if memo is not None:
+                # the per-element anchor cost is likewise a pure
+                # function of (element, state) for the stock cost, so
+                # the evaluations are shared across *different* specs
+                # probing at the same epoch (consecutive rejected
+                # arrivals between two capacity events)
+                table_entry = memo.get(("anchor_costs", id(cost)))
+                if table_entry is None or table_entry[0] is not cost:
+                    table_entry = (cost, {})
+                    memo[("anchor_costs", id(cost))] = table_entry
+                table = table_entry[1]
+
+                def anchor_key(e):
+                    value = table.get(id(e))
+                    if value is None:
+                        # empty placement: no communication peers, no
+                        # fragmentation peers — the stock cost takes
+                        # the pre-resolved-id path with empty contexts
+                        value = cost(
+                            app, app_id, t0, e, state, {}, empty_distances,
+                            _comm_peers=(), _frag_peers=frozenset(),
+                        )
+                        table[id(e)] = value
+                    return (value, e.name)
+
+                e0 = min(candidates, key=anchor_key)
+            else:
+                e0 = min(
+                    candidates,
+                    key=lambda e: (
+                        cost(app, app_id, t0, e, state, {}, empty_distances),
+                        e.name,
+                    ),
+                )
+            if memo is not None:
+                memo[key] = (impl0, cost, e0)
+            anchor_pairs.append((t0, e0))
 
     # commit the anchors
     for task, element in anchor_pairs:
@@ -252,25 +306,105 @@ def _map_layer(
         # elements of the previous layer / anchors
         origins = sorted(set(result.placement.values()))
 
-    search = RingSearch(state, origins, options.respect_congestion)
+    search = RingSearch(
+        state, origins, options.respect_congestion,
+        scratch=state.scratch,
+    )
 
-    def pair_cost(task: str, element: ProcessingElement) -> float:
-        return cost(
-            app, app_id, task, element, state, result.placement,
-            search.distances,
-        )
+    if type(cost) is MappingCost:
+        # the committed placement is frozen while this layer's GAP
+        # runs, so each task's peer lookups intern to ids once; the
+        # stock cost function accepts them pre-resolved (custom cost
+        # callables keep the plain signature)
+        node_ids = state.platform._node_ids
+        placement_now = result.placement
+        cost_context: dict[str, tuple] = {}
+
+        def _task_context(task: str) -> tuple:
+            comm_peers = []
+            for channel in app.incident_channels(task):
+                peer = (
+                    channel.target if channel.source == task
+                    else channel.source
+                )
+                placed = placement_now.get(peer)
+                if placed is not None:
+                    comm_peers.append(node_ids.get(placed, -1))
+            frag_peers = set()
+            for peer in app.neighbors(task):
+                placed = placement_now.get(peer)
+                if placed is not None:
+                    peer_id = node_ids.get(placed)
+                    if peer_id is not None:
+                        frag_peers.add(peer_id)
+            return (tuple(comm_peers), frozenset(frag_peers))
+
+        def pair_cost(task: str, element: ProcessingElement) -> float:
+            context = cost_context.get(task)
+            if context is None:
+                context = cost_context[task] = _task_context(task)
+            return cost(
+                app, app_id, task, element, state, placement_now,
+                search.distances,
+                _comm_peers=context[0], _frag_peers=context[1],
+            )
+    else:
+        def pair_cost(task: str, element: ProcessingElement) -> float:
+            return cost(
+                app, app_id, task, element, state, result.placement,
+                search.distances,
+            )
 
     gap = GapSolver(
         tasks, requirements, compatible, pair_cost, state,
         knapsack=options.knapsack,
     )
 
+    element_position = state.platform._element_position
+    element_ids = state.platform.element_ids
+    free_by_node = state._free
+    failed_elements = state._failed_elements
+    #: per-task static position set + requirement components, hoisted
+    #: so each candidate probe is hash-probe + a couple of compares
+    task_checks = tuple(
+        (compatible, task, requirements[task]._data)
+        for task in tasks
+    )
+    # the componentwise layer-minimum lower bound and its pairing with
+    # the state's per-kind free arrays are the GapSolver's — one
+    # computation, one source of truth for the soundness argument
+    layer_minimums = dict(gap._min_requirement_items)
+    layer_minimum_checks = gap._min_checks
+
     def availability(element: ProcessingElement) -> bool:
-        free = state.free(element)
-        return any(
-            compatible(task, element) and requirements[task].fits_in(free)
-            for task in tasks
-        )
+        # id-indexed free lookup with the fits check inlined — this
+        # probe runs per candidate element per gathered ring
+        position = element_position.get(id(element))
+        if position is None or element_ids[position] in failed_elements:
+            # foreign element object or failed element (zero vector):
+            # generic dict path keeps the free()-semantics exact
+            free_data = state.free(element)._data
+            for kind, quantity in layer_minimums.items():
+                have = free_data.get(kind)
+                if have is None or quantity > have:
+                    return False
+        else:
+            element_id = element_ids[position]
+            for array, quantity in layer_minimum_checks:
+                if array is None or quantity > array[element_id]:
+                    return False  # cannot host any task of the layer
+            free_data = free_by_node[element_id]._data
+        for is_compatible, task, requirement_data in task_checks:
+            if is_compatible(task, element):
+                fits = True
+                for kind, quantity in requirement_data.items():
+                    have = free_data.get(kind)
+                    if have is None or quantity > have:
+                        fits = False
+                        break
+                if fits:
+                    return True
+        return False
 
     candidates_found = 0
     gap_invocations = 0

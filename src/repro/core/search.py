@@ -50,22 +50,32 @@ class SparseDistanceMatrix:
     tests and callers working.
     """
 
-    __slots__ = ("_platform", "_node_ids", "_rows", "_fallback")
+    __slots__ = ("_platform", "_node_ids", "_rows", "_fallback", "_pool")
 
-    def __init__(self, platform: Platform | None = None) -> None:
+    def __init__(self, platform: Platform | None = None, pool=None) -> None:
         self._platform = platform
         self._node_ids = platform._node_ids if platform is not None else None
         #: origin node id -> per-node distance row (-1 = unknown)
         self._rows: dict[int, list[int]] = {}
         #: legacy symmetric name-keyed store (no-platform mode)
         self._fallback: dict[tuple[str, str], int] = {}
+        #: optional scratch pool lending reusable row storage; pooled
+        #: rows are transient — :meth:`merge` copies them out, so only
+        #: provably short-lived matrices (the mapping phase's per-layer
+        #: searches) opt in
+        self._pool = pool
 
     def row(self, origin_id: int) -> list[int]:
         """The (mutable) distance row of ``origin_id`` (hot path)."""
         rows = self._rows
         row = rows.get(origin_id)
         if row is None:
-            row = rows[origin_id] = [-1] * self._platform.node_count
+            if self._pool is not None:
+                row = rows[origin_id] = self._pool.row(
+                    self._platform.node_count, -1
+                )
+            else:
+                row = rows[origin_id] = [-1] * self._platform.node_count
         return row
 
     def record(self, origin: str, node: str, distance: int) -> None:
@@ -169,11 +179,17 @@ class RingSearch:
         state: AllocationState,
         origins: Iterable[ProcessingElement | str],
         respect_congestion: bool = True,
+        scratch=None,
     ) -> None:
+        """``scratch`` (a :class:`~repro.arch.scratch.ScratchPool`)
+        opts into reusable visited masks and distance rows.  Only pass
+        it when this search provably cannot interleave with another
+        scratch-backed search on the same state — the mapping phase
+        (one search per layer, strictly sequential) qualifies; ad-hoc
+        or concurrent searches must use the default fresh arrays."""
         self.state = state
         self.platform = state.platform
         self.respect_congestion = respect_congestion
-        self.distances = SparseDistanceMatrix(self.platform)
         node_ids = self.platform._node_ids
         origin_ids: list[int] = []
         origin_names: list[str] = []
@@ -186,16 +202,27 @@ class RingSearch:
             raise ValueError("RingSearch needs at least one origin element")
         self.origins = tuple(origin_names)
         self._origin_ids = tuple(origin_ids)
-        # per-origin BFS state: byte visited masks and id frontiers
+        # per-origin BFS state: byte visited masks and id frontiers,
+        # pooled (zeroed on acquire) when a scratch pool is provided
         node_count = self.platform.node_count
-        self._visited: list[bytearray] = []
+        if scratch is not None:
+            scratch.begin_rows()
+            self.distances = SparseDistanceMatrix(self.platform, pool=scratch)
+            self._visited = scratch.zeroed_bytes_family(
+                "ring.visited", len(origin_ids), node_count
+            )
+            self._seen_elements = scratch.zeroed_bytes("ring.seen", node_count)
+        else:
+            self.distances = SparseDistanceMatrix(self.platform)
+            self._visited = [
+                bytearray(node_count) for _ in origin_ids
+            ]
+            self._seen_elements = bytearray(node_count)
         self._frontier: list[list[int]] = []
-        self._seen_elements = bytearray(node_count)
+        self._exhausted = False  # maintained by advance()
         self._ring = 0
-        for origin_id in origin_ids:
-            visited = bytearray(node_count)
-            visited[origin_id] = 1
-            self._visited.append(visited)
+        for index, origin_id in enumerate(origin_ids):
+            self._visited[index][origin_id] = 1
             self._frontier.append([origin_id])
             self._seen_elements[origin_id] = 1
             self.distances.row(origin_id)[origin_id] = 0
@@ -208,7 +235,7 @@ class RingSearch:
     @property
     def exhausted(self) -> bool:
         """True when no origin has frontier nodes left to expand."""
-        return all(not frontier for frontier in self._frontier)
+        return self._exhausted
 
     def _traversable(self, slot: int) -> bool:
         """Can the search step across the link owning directed ``slot``?
@@ -232,7 +259,7 @@ class RingSearch:
 
     def advance(self) -> list[ProcessingElement]:
         """Expand one ring; return globally new candidate elements."""
-        if self.exhausted:
+        if self._exhausted:
             return []
         self._ring += 1
         ring = self._ring
@@ -243,7 +270,14 @@ class RingSearch:
         is_element = platform._is_element_mask
         seen = self._seen_elements
         respect_congestion = self.respect_congestion
+        # the congestion wall test (see _traversable) inlined: these
+        # four ledger arrays are read per candidate hop
+        state = self.state
+        failed_links = state._failed_links
+        vc_used = state._vc_used
+        slot_vc = platform._slot_vc
         new_elements: list[ProcessingElement] = []
+        any_frontier = False
         for index, origin_id in enumerate(self._origin_ids):
             frontier = self._frontier[index]
             if not frontier:
@@ -254,21 +288,29 @@ class RingSearch:
             for node_id in frontier:
                 ids = neighbor_ids[node_id]
                 slots = neighbor_slots[node_id]
-                for position, neighbor_id in enumerate(ids):
+                for neighbor_id, slot in zip(ids, slots):
                     if visited[neighbor_id]:
                         continue
-                    if respect_congestion and not self._traversable(
-                        slots[position]
-                    ):
-                        continue
+                    if respect_congestion:
+                        if failed_links and (slot >> 1) in failed_links:
+                            continue
+                        if vc_used[slot] >= slot_vc[slot]:
+                            reverse = slot ^ 1
+                            if vc_used[reverse] >= slot_vc[reverse]:
+                                continue
                     visited[neighbor_id] = 1
                     next_frontier.append(neighbor_id)
-                    if row[neighbor_id] < 0 or ring < row[neighbor_id]:
-                        row[neighbor_id] = ring
+                    # first visit of this (origin, node) pair — the
+                    # visited mask guarantees the cell is still unset,
+                    # so the minimum-keeping compare is unnecessary
+                    row[neighbor_id] = ring
                     if is_element[neighbor_id] and not seen[neighbor_id]:
                         seen[neighbor_id] = 1
                         new_elements.append(nodes[neighbor_id])
             self._frontier[index] = next_frontier
+            if next_frontier:
+                any_frontier = True
+        self._exhausted = not any_frontier
         return new_elements
 
     def gather(

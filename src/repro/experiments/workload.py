@@ -291,6 +291,7 @@ def run_admission_churn(
     config: ChurnConfig = ChurnConfig(),
     weights: CostWeights = BOTH,
     rollback: str = "transaction",
+    fastpath: bool = True,
 ) -> ChurnResult:
     """Sustained allocate/release churn against one Kairos instance.
 
@@ -307,7 +308,8 @@ def run_admission_churn(
         raise ValueError("churn pool must not be empty")
     rng = random.Random(config.seed)
     manager = Kairos(
-        platform, weights=weights, validation_mode="skip", rollback=rollback
+        platform, weights=weights, validation_mode="skip",
+        rollback=rollback, fastpath=fastpath,
     )
     result = ChurnResult()
     resident: list[str] = []

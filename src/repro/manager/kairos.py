@@ -17,6 +17,15 @@ for comparison benchmarks (see ``benchmarks/run_admission_bench.py``).
 The manager also provides release (applications leaving the system)
 and fault recovery (re-allocating applications stranded by element or
 link failures), the run-time capabilities motivating the paper.
+
+On top of the atomic pipeline sits the **admission fast path**
+(:class:`AdmissionGate`, enabled by default): a sound pre-pipeline
+feasibility gate over the state's aggregate free counters plus a
+negative-result memo keyed on ``(spec digest, capacity epoch)``, so
+attempts destined to fail — and re-probes of identical specs against
+unchanged state, the backfill pattern of :mod:`repro.sim.service` —
+are rejected without touching the binder.  See the "Fast path"
+section of ``docs/performance.md`` for the soundness argument.
 """
 
 from __future__ import annotations
@@ -46,6 +55,206 @@ VALIDATION_MODES = ("enforce", "report", "skip")
 
 #: failed-attempt rollback strategies (see class docstring)
 ROLLBACK_STRATEGIES = ("transaction", "snapshot")
+
+#: negative-result memo size bound; on overflow the memo is cleared
+#: wholesale (it is a cache keyed by spec digest — long-running
+#: services cycle a bounded spec pool, so this is a safety net only)
+_MEMO_LIMIT = 65536
+
+#: relative slack of the aggregate-capacity rejection threshold — wide
+#: enough to absorb float ULP drift of the incremental counters, far
+#: below any integer-quantity difference
+_AGG_SLACK = 1e-9
+
+
+class AdmissionGate:
+    """The admission fast path: feasibility gate + negative-result memo.
+
+    Soundness contract: **every rejection raised here would also be
+    raised by the full pipeline against the same state** — the gate
+    only proves infeasibility, it never guesses.  Three layers, from
+    cheapest to dearest:
+
+    1. **Negative-result memo** — rejections are remembered keyed on
+       ``(spec digest, state.epoch)``.  A re-probe of an identical
+       specification against an unchanged epoch (the backfill loops of
+       :mod:`repro.sim.service`) replays the recorded rejection in
+       O(1).  Sound because equal epochs certify bit-identical
+       allocation state (see :class:`~repro.arch.state.AllocationState`)
+       and the pipeline is deterministic in (spec, state).
+    2. **Aggregate-capacity checks** — per resource kind, the sum over
+       tasks of the componentwise *minimum* requirement across each
+       task's implementations is a lower bound on what any binding
+       consumes; if it exceeds the platform-wide (or, for tasks whose
+       implementations all target one element class, the per-class)
+       aggregate free counter, the binder's provisional pool cannot
+       possibly fit the application, so binding must fail.
+    3. **Per-implementation feasible-element checks** — a task none of
+       whose implementations has *any* element with sufficient free
+       capacity right now fails the binder's very first regret round.
+       Answered by the state's epoch-stamped
+       :class:`~repro.arch.state.AvailabilityCache`, which the mapping
+       phase's anchor detection shares: binding performs no state
+       mutations, so a surviving attempt re-reads the gate's scans for
+       free instead of rescanning the platform.
+
+    Layers 2 and 3 reject exactly where the ungated pipeline would:
+    in the **binding** phase.  Results that survive the gate run the
+    pipeline unchanged, so gated and ungated managers produce
+    bit-identical layouts and decisions (asserted by
+    ``tests/test_fastpath.py``).
+    """
+
+    __slots__ = (
+        "state", "platform", "memo_hits", "gate_rejections", "gate_passes",
+        "_memo", "_demand",
+    )
+
+    def __init__(self, state: AllocationState) -> None:
+        self.state = state
+        self.platform = state.platform
+        #: digest -> (epoch, Phase, reason); entries self-invalidate
+        #: when the epoch moves on and are pruned on mismatch
+        self._memo: dict[str, tuple[int, Phase, str]] = {}
+        #: digest -> (app, total demand, per-element-class demand);
+        #: demands are platform-static per specification
+        self._demand: dict[str, tuple] = {}
+        self.memo_hits = 0
+        self.gate_rejections = 0
+        self.gate_passes = 0
+
+    # -- the memo -----------------------------------------------------------
+
+    def check_memo(self, digest: str, app_id: str) -> None:
+        """Replay a remembered rejection if the epoch still matches."""
+        entry = self._memo.get(digest)
+        if entry is None:
+            return
+        epoch, phase, reason = entry
+        if epoch != self.state._epoch:
+            del self._memo[digest]  # stale: capacity changed since
+            return
+        self.memo_hits += 1
+        # the recorded reason is replayed verbatim for this (possibly
+        # different) app_id — reasons are diagnostics, and no pipeline
+        # reason embeds the attempt id (they name app/task/channel)
+        failure = AllocationFailure(phase, app_id, reason)
+        failure.memoized = True
+        raise failure
+
+    def remember(self, digest: str, failure: AllocationFailure) -> None:
+        """Record a rejection against the current (restored) epoch."""
+        if len(self._memo) >= _MEMO_LIMIT:
+            self._memo.clear()
+        self._memo[digest] = (
+            self.state._epoch, failure.phase, failure.reason
+        )
+
+    # -- the feasibility gate ----------------------------------------------
+
+    def check_feasible(self, app: Application, digest: str, app_id: str) -> None:
+        """Raise (and memoize) iff the spec is provably inadmissible."""
+        reason = self._infeasible_reason(app, digest)
+        if reason is None:
+            self.gate_passes += 1
+            return
+        self.gate_rejections += 1
+        failure = AllocationFailure(Phase.BINDING, app_id, reason)
+        failure.gated = True
+        self.remember(digest, failure)
+        raise failure
+
+    def _infeasible_reason(self, app: Application, digest: str) -> str | None:
+        state = self.state
+        total, by_class = self._demand_of(app, digest)
+        agg = state._agg_free
+        # the incremental aggregate counters can drift from the ledger
+        # sum by float ULPs under churn with float quantities, so the
+        # rejection threshold carries a tiny slack — integer workloads
+        # (where differences are >= 1) are unaffected, and a slack-wide
+        # miss merely defers the rejection to the binder
+        for resource, needed in total.items():
+            have = agg.get(resource, 0)
+            if needed > have and needed - have > _AGG_SLACK * (1.0 + abs(have)):
+                return (
+                    f"aggregate demand exceeds free capacity: needs "
+                    f"{needed:g} {resource}, platform has {have:g} free"
+                )
+        agg_kind = state._agg_free_kind
+        for kind, demand in by_class.items():
+            bucket = agg_kind.get(kind)
+            for resource, needed in demand.items():
+                have = bucket.get(resource, 0) if bucket else 0
+                if needed > have and (
+                    needed - have > _AGG_SLACK * (1.0 + abs(have))
+                ):
+                    return (
+                        f"aggregate demand exceeds free {kind.value} "
+                        f"capacity: needs {needed:g} {resource}, "
+                        f"{have:g} free"
+                    )
+        availability = state.availability
+        for name in sorted(app.tasks):
+            task = app.tasks[name]
+            for impl in task.implementations:
+                if availability.summary(impl)[0]:
+                    break
+            else:
+                # the binder's first regret round evaluates every task
+                # against the raw free state, so it fails on exactly
+                # this task, with exactly this message
+                return (
+                    f"task {name!r} of {app.name!r} has no feasible "
+                    "implementation (insufficient platform resources)"
+                )
+        return None
+
+    def _demand_of(self, app: Application, digest: str) -> tuple[dict, dict]:
+        cached = self._demand.get(digest)
+        if cached is not None:
+            return cached[1], cached[2]
+        if len(self._demand) >= _MEMO_LIMIT:
+            self._demand.clear()  # cache, not state — like the memo
+        total: dict = {}
+        by_class: dict = {}
+        for task in app.tasks.values():
+            mins: dict = {}
+            kinds = set()
+            first = True
+            for impl in task.implementations:
+                kinds.add(self._impl_class(impl))
+                data = impl.requirement._data
+                if first:
+                    mins.update(data)
+                    first = False
+                else:
+                    # componentwise min; a kind absent from any
+                    # implementation has minimum zero and drops out
+                    for resource in list(mins):
+                        quantity = data.get(resource)
+                        if quantity is None:
+                            del mins[resource]
+                        elif quantity < mins[resource]:
+                            mins[resource] = quantity
+            for resource, quantity in mins.items():
+                total[resource] = total.get(resource, 0) + quantity
+            if len(kinds) == 1:
+                kind = next(iter(kinds))
+                if kind is not None:
+                    bucket = by_class.setdefault(kind, {})
+                    for resource, quantity in mins.items():
+                        bucket[resource] = bucket.get(resource, 0) + quantity
+        self._demand[digest] = (app, total, by_class)
+        return total, by_class
+
+    def _impl_class(self, impl):
+        """Element class an implementation charges, or None if unknown."""
+        if impl.target_kind is not None:
+            return impl.target_kind
+        node_id = self.platform._node_ids.get(impl.target_element)
+        if node_id is None or not self.platform._is_element_mask[node_id]:
+            return None
+        return self.platform._nodes_by_id[node_id].kind
 
 
 @dataclass
@@ -84,6 +293,16 @@ class Kairos:
         ``"transaction"`` (default) undoes a failed attempt via the
         state's journal, O(mutations); ``"snapshot"`` restores a full
         pre-attempt ledger copy, O(platform) — kept for comparison.
+    fastpath:
+        ``True`` (default) enables the :class:`AdmissionGate`:
+        epoch-keyed negative-result memoization plus a sound
+        pre-pipeline feasibility gate, so attempts destined to fail
+        are rejected in microseconds instead of after a full
+        bind→map→route→validate run.  Decisions and layouts are
+        bit-identical either way; disable it only for comparison
+        runs, or when using a custom cost callable that reads mutable
+        state outside the :class:`AllocationState` ledgers (the memo
+        assumes the pipeline is a pure function of spec and state).
     """
 
     def __init__(
@@ -97,6 +316,7 @@ class Kairos:
         validation_max_firings: int | None = None,
         validation_method: str = "simulation",
         rollback: str = "transaction",
+        fastpath: bool = True,
     ) -> None:
         if validation_mode not in VALIDATION_MODES:
             raise ValueError(
@@ -126,6 +346,8 @@ class Kairos:
         self.validation_max_firings = validation_max_firings
         self.validation_method = validation_method
         self.rollback = rollback
+        self.fastpath = bool(fastpath)
+        self._gate = AdmissionGate(self.state) if self.fastpath else None
         self.admitted: dict[str, ExecutionLayout] = {}
         #: original specifications of admitted applications, kept so
         #: fault recovery can re-allocate without the caller having to
@@ -141,33 +363,79 @@ class Kairos:
         """Run one atomic allocation attempt; returns the layout.
 
         Raises :class:`AllocationFailure` with the failing phase; the
-        allocation state is untouched in that case.
+        allocation state is untouched in that case.  With the fast
+        path enabled, attempts the :class:`AdmissionGate` can prove
+        inadmissible (or has already seen fail against this exact
+        state) are rejected before the pipeline runs — same phase,
+        same decision, none of the cost.
         """
         app_id = app_id or f"{app.name}#{next(self._counter)}"
         if app_id in self.admitted:
             raise ValueError(f"app_id {app_id!r} already admitted")
+        gate = self._gate
+        digest = None
+        if gate is not None:
+            gate_started = time.perf_counter()
+            digest = app.digest()
+            # a memo hit replays a failure whose phases ran on an
+            # earlier attempt — no phase ran now, so no timings are
+            # attached and the latency histograms stay honest
+            gate.check_memo(digest, app_id)
         try:
             app.validate()
         except TaskGraphError as exc:
-            raise AllocationFailure(Phase.BINDING, app_id, str(exc)) from exc
+            failure = AllocationFailure(Phase.BINDING, app_id, str(exc))
+            if gate is not None:
+                gate.remember(digest, failure)
+            raise failure from exc
 
         timings = PhaseTimings()
-        if self.rollback == "snapshot":
-            # legacy strategy: full ledger copy up front, restore on failure
-            snapshot = self.state.snapshot()
+        if gate is not None:
             try:
-                layout = self._run_phases(app, app_id, timings)
-            except AllocationFailure:
-                self.state.restore(snapshot)
+                gate.check_feasible(app, digest, app_id)
+            except AllocationFailure as failure:
+                timings.record(
+                    Phase.BINDING, time.perf_counter() - gate_started
+                )
+                failure.timings = timings
                 raise
-        else:
-            # journal strategy: any exception (phase failure or bug)
-            # rolls back exactly the mutations this attempt made
-            with self.state.transaction():
-                layout = self._run_phases(app, app_id, timings)
+        try:
+            if self.rollback == "snapshot":
+                # legacy strategy: full ledger copy up front, restore
+                # on failure (epoch and aggregates restore with it)
+                snapshot = self.state.snapshot()
+                try:
+                    layout = self._run_phases(app, app_id, timings)
+                except AllocationFailure:
+                    self.state.restore(snapshot)
+                    raise
+            else:
+                # journal strategy: any exception (phase failure or bug)
+                # rolls back exactly the mutations this attempt made
+                with self.state.transaction():
+                    layout = self._run_phases(app, app_id, timings)
+        except AllocationFailure as failure:
+            failure.timings = timings
+            if gate is not None:
+                # the rollback already restored the pre-attempt epoch,
+                # so the memo entry certifies this exact state
+                gate.remember(digest, failure)
+            raise
         self.admitted[app_id] = layout
         self.specifications[app_id] = app
         return layout
+
+    @property
+    def fastpath_stats(self) -> dict:
+        """Observability counters of the admission gate (zeros if off)."""
+        gate = self._gate
+        if gate is None:
+            return {"memo_hits": 0, "gate_rejections": 0, "gate_passes": 0}
+        return {
+            "memo_hits": gate.memo_hits,
+            "gate_rejections": gate.gate_rejections,
+            "gate_passes": gate.gate_passes,
+        }
 
     def _run_phases(
         self, app: Application, app_id: str, timings: PhaseTimings

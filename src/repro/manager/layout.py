@@ -36,7 +36,11 @@ class AllocationFailure(RuntimeError):
     """An allocation attempt was rejected in ``phase``.
 
     The allocation state has already been rolled back when this is
-    raised by the manager.
+    raised by the manager.  ``timings`` (when the manager attaches
+    them) hold the wall-clock cost of the phases that actually ran
+    before the rejection; ``memoized``/``gated`` flag rejections the
+    fast path served without running the pipeline (the decision is
+    identical either way — see :mod:`repro.manager.kairos`).
     """
 
     def __init__(self, phase: Phase, app_id: str, reason: str):
@@ -44,6 +48,9 @@ class AllocationFailure(RuntimeError):
         self.phase = phase
         self.app_id = app_id
         self.reason = reason
+        self.timings: "PhaseTimings | None" = None
+        self.memoized = False
+        self.gated = False
 
 
 @dataclass
@@ -54,6 +61,10 @@ class PhaseTimings:
     mapping: float = 0.0
     routing: float = 0.0
     validation: float = 0.0
+    #: phases :meth:`record` was actually called for — distinguishes a
+    #: phase that ran (even in ~0 time) from one never reached, so the
+    #: latency histograms only aggregate real phase executions
+    _recorded: set = field(default_factory=set, repr=False, compare=False)
 
     @property
     def total(self) -> float:
@@ -64,6 +75,15 @@ class PhaseTimings:
 
     def record(self, phase: Phase, seconds: float) -> None:
         setattr(self, phase.value, seconds)
+        self._recorded.add(phase)
+
+    def recorded_items(self) -> tuple[tuple[str, float], ...]:
+        """``(phase name, seconds)`` for phases that actually ran."""
+        return tuple(
+            (phase.value, getattr(self, phase.value))
+            for phase in Phase
+            if phase in self._recorded
+        )
 
     def as_milliseconds(self) -> dict[str, float]:
         return {

@@ -22,7 +22,6 @@ the public ``find_path`` wrapper and the reservations they return.
 from __future__ import annotations
 
 import heapq
-from collections import deque
 from dataclasses import dataclass, field
 
 from repro.apps.taskgraph import Application, Channel
@@ -74,12 +73,52 @@ class BaseRouter:
         responsible for transaction/rollback on failure.
         """
         app_id = app_id or app.name
-        node_ids = state.platform._node_ids
+        platform = state.platform
+        node_ids = platform._node_ids
         result = RoutingResult()
         local: list[str] = []
-        ordered = sorted(
-            app.channels.values(), key=lambda c: (-c.bandwidth, c.name)
-        )
+        ordered = app.channels_by_bandwidth()
+        # Saturation fast-fail: a channel whose mapped source element
+        # cannot emit one more virtual channel (or whose target cannot
+        # absorb one) is unroutable whatever the path search does, so
+        # the attempt is rejected before any BFS runs or reservations
+        # are made.  Purely a necessary condition — surviving channels
+        # still go through the full search below.  Note the failure
+        # *reason* may name a different channel than the sequential
+        # search would (a later locally-saturated channel is detected
+        # before an earlier mid-mesh dead end); the decision and its
+        # phase are identical either way.
+        neighbor_slots = platform._neighbor_slots
+        slot_vc, slot_bw = platform._slot_vc, platform._slot_bw
+        vc_used, bw_used = state._vc_used, state._bw_used
+        failed_links = state._failed_links
+        for channel in ordered:
+            source = placement.get(channel.source)
+            target = placement.get(channel.target)
+            if source is None or target is None:
+                break  # the main loop raises the unmapped-endpoint error
+            if source == target:
+                continue
+            bandwidth = channel.bandwidth
+            for endpoint, reverse in (
+                (node_ids[source], 0), (node_ids[target], 1)
+            ):
+                for slot in neighbor_slots[endpoint]:
+                    if reverse:
+                        slot ^= 1
+                    if (
+                        vc_used[slot] < slot_vc[slot]
+                        and slot_bw[slot] - bw_used[slot] >= bandwidth
+                        and not (
+                            failed_links and (slot >> 1) in failed_links
+                        )
+                    ):
+                        break
+                else:
+                    raise RoutingError(
+                        f"no route for channel {channel.name!r} "
+                        f"({source} -> {target}, bw {bandwidth:g})"
+                    )
         for channel in ordered:
             source = placement.get(channel.source)
             target = placement.get(channel.target)
@@ -154,27 +193,40 @@ class BfsRouter(BaseRouter):
         slot_vc, slot_bw = platform.slot_vc, platform.slot_bw
         vc_used, bw_used = state._vc_used, state._bw_used
         failed_links = state._failed_links
-        # parent ids; -1 marks the root, -2 unvisited
-        parents = [-2] * platform.node_count
-        parents[source_id] = -1
-        queue: deque[int] = deque([source_id])
+        # parent ids with generation-stamped lazy clearing: a cell is
+        # visited iff its stamp equals this call's generation, so the
+        # per-call O(nodes) rebuild is one counter bump instead
+        scratch = state.scratch
+        parents, stamp, generation = scratch.stamped(
+            "router.bfs", platform.node_count
+        )
+        parents[source_id] = -1  # -1 marks the root
+        stamp[source_id] = generation
+        if source_id == target_id:
+            return _unwind(parents, target_id)
+        queue = scratch.deque("router.bfs.queue")
+        queue.append(source_id)
         while queue:
             current = queue.popleft()
-            if current == target_id:
-                return _unwind(parents, target_id)
             ids = neighbor_ids[current]
             slots = neighbor_slots[current]
-            for position, neighbor in enumerate(ids):
-                if parents[neighbor] != -2:
+            for neighbor, slot in zip(ids, slots):
+                if stamp[neighbor] == generation:
                     continue
-                slot = slots[position]
                 if vc_used[slot] >= slot_vc[slot]:
                     continue
                 if slot_bw[slot] - bw_used[slot] < bandwidth:
                     continue
                 if failed_links and (slot >> 1) in failed_links:
                     continue
+                stamp[neighbor] = generation
                 parents[neighbor] = current
+                if neighbor == target_id:
+                    # the BFS parent of a node is fixed at discovery,
+                    # so returning here yields the exact path the
+                    # dequeue-time check would — minus expanding the
+                    # rest of the frontier
+                    return _unwind(parents, target_id)
                 queue.append(neighbor)
         return None
 
@@ -208,27 +260,38 @@ class DijkstraRouter(BaseRouter):
         failed_links = state._failed_links
         nodes = platform.nodes
         congestion_weight = self.congestion_weight
-        best: dict[int, float] = {source_id: 0.0}
-        parents = [-2] * platform.node_count
+        infinity = float("inf")
+        # dist/parent/done arrays with generation-stamped lazy clearing
+        scratch = state.scratch
+        node_count = platform.node_count
+        # parents needs no stamp: cells are written on discovery and
+        # read only along the found path, every node of which was
+        # discovered this call
+        parents = scratch.plain("router.dijkstra.parents", node_count)
+        best, best_stamp, best_generation = scratch.stamped(
+            "router.dijkstra.best", node_count
+        )
+        _done, done_stamp, done_generation = scratch.stamped(
+            "router.dijkstra.done", node_count
+        )
         parents[source_id] = -1
+        best[source_id] = 0.0
+        best_stamp[source_id] = best_generation
         # ties broken by node *name* to keep historical determinism
-        heap: list[tuple[float, str, int]] = [
-            (0.0, nodes[source_id].name, source_id)
-        ]
-        done = bytearray(platform.node_count)
+        heap = scratch.list("router.dijkstra.heap")
+        heap.append((0.0, nodes[source_id].name, source_id))
         while heap:
             cost, _name, current = heapq.heappop(heap)
-            if done[current]:
+            if done_stamp[current] == done_generation:
                 continue
-            done[current] = 1
+            done_stamp[current] = done_generation
             if current == target_id:
                 return _unwind(parents, target_id)
             ids = neighbor_ids[current]
             slots = neighbor_slots[current]
-            for position, neighbor in enumerate(ids):
-                if done[neighbor]:
+            for neighbor, slot in zip(ids, slots):
+                if done_stamp[neighbor] == done_generation:
                     continue
-                slot = slots[position]
                 if vc_used[slot] >= slot_vc[slot]:
                     continue
                 capacity = slot_bw[slot]
@@ -238,8 +301,13 @@ class DijkstraRouter(BaseRouter):
                     continue
                 edge = 1.0 + congestion_weight * (bw_used[slot] / capacity)
                 candidate = cost + edge
-                if candidate < best.get(neighbor, float("inf")):
+                known = (
+                    best[neighbor]
+                    if best_stamp[neighbor] == best_generation else infinity
+                )
+                if candidate < known:
                     best[neighbor] = candidate
+                    best_stamp[neighbor] = best_generation
                     parents[neighbor] = current
                     heapq.heappush(
                         heap, (candidate, nodes[neighbor].name, neighbor)

@@ -70,10 +70,17 @@ class ServiceMetrics:
     departed: int = 0
     retries: int = 0
     queued: int = 0
+    #: probes skipped because the capacity epoch was unchanged since
+    #: the request's last failed attempt (the outcome is replayed from
+    #: the recorded failure — same decision, none of the pipeline cost)
+    probes_short_circuited: int = 0
     #: drop reason -> count ("rejected", "queue_full", "timeout",
     #: "retries_exhausted", "drained")
     drops: dict[str, int] = field(default_factory=dict)
     rejections_by_phase: dict[str, int] = field(default_factory=dict)
+    #: wall-clock seconds per pipeline phase, one sample per attempt in
+    #: which the phase actually ran (admitted and rejected alike)
+    phase_latencies: dict[str, list[float]] = field(default_factory=dict)
     #: admission wait (admit sim-time minus arrival sim-time), admitted only
     waits: list[float] = field(default_factory=list)
     per_class: dict[str, ClassStats] = field(default_factory=dict)
@@ -103,6 +110,36 @@ class ServiceMetrics:
         self.rejections_by_phase[phase] = (
             self.rejections_by_phase.get(phase, 0) + 1
         )
+
+    def on_attempt_timings(self, timings) -> None:
+        """Record one attempt's per-phase wall-clock seconds.
+
+        ``timings`` is a :class:`~repro.manager.layout.PhaseTimings`;
+        only phases that actually ran contribute a sample, so a
+        binding-gated rejection does not pollute the mapping histogram
+        with zeros.
+        """
+        if timings is None:
+            return
+        latencies = self.phase_latencies
+        for phase, seconds in timings.recorded_items():
+            bucket = latencies.get(phase)
+            if bucket is None:
+                bucket = latencies[phase] = []
+            bucket.append(seconds)
+
+    def phase_latency_summary(self) -> dict:
+        """Per-phase wall-clock p50/p95/p99 (milliseconds) + counts."""
+        summary = {}
+        for phase, samples in sorted(self.phase_latencies.items()):
+            summary[phase] = {
+                "count": len(samples),
+                "p50_ms": percentile(samples, 50) * 1000.0,
+                "p95_ms": percentile(samples, 95) * 1000.0,
+                "p99_ms": percentile(samples, 99) * 1000.0,
+                "total_ms": sum(samples) * 1000.0,
+            }
+        return summary
 
     def _class(self, name: str) -> ClassStats:
         if name not in self.per_class:
@@ -149,6 +186,8 @@ class ServiceMetrics:
             ),
             "queued": self.queued,
             "retries": self.retries,
+            "probes_short_circuited": self.probes_short_circuited,
+            "phase_latency": self.phase_latency_summary(),
             "blocking_probability": self.blocking_probability,
             "admission_wait": {
                 key: (None if math.isnan(value) else value)

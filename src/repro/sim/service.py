@@ -69,6 +69,12 @@ class AdmissionRequest:
     attempts: int = 0
     enqueued_at: float | None = None
     timeout_event: Event | None = None
+    #: capacity epoch at the last failed probe plus the phase it failed
+    #: in — when the epoch is unchanged, a re-probe is provably
+    #: identical, so the service replays the outcome without running
+    #: the pipeline (see :meth:`AdmissionService.try_admit`)
+    last_failed_epoch: int | None = None
+    last_failed_phase: str | None = None
 
 
 # -- queue policies ---------------------------------------------------------
@@ -391,6 +397,18 @@ class AdmissionService:
         Never recurses into the policy — backfill hooks call this
         directly so a failed backfill probe leaves the request where
         it is.
+
+        Epoch short-circuit: when the state's capacity epoch is
+        unchanged since this request's last failed probe, the state is
+        bit-identical and the deterministic pipeline would fail in the
+        same phase for the same reason — the recorded outcome is
+        replayed in O(1).  This works with the manager's fast path
+        disabled too (it is the queue-policy-level half of the fast
+        path: the FIFO timeout re-probe and the priority policy's
+        greedy scan hit it constantly).  Attempt accounting and the
+        per-phase rejection counters advance exactly as if the
+        pipeline had run, so decisions, traces and metrics are
+        unchanged.
         """
         if request.holding is None and request.cls is None:
             # checked before allocate: admitting an app we could never
@@ -400,11 +418,20 @@ class AdmissionService:
                 "a traffic class to sample one from"
             )
         request.attempts += 1
-        try:
-            self.manager.allocate(request.app, request.app_id)
-        except AllocationFailure as failure:
-            self.metrics.on_phase_rejection(failure.phase.value)
+        epoch = self.manager.state.epoch
+        if request.last_failed_epoch == epoch:
+            self.metrics.probes_short_circuited += 1
+            self.metrics.on_phase_rejection(request.last_failed_phase)
             return False
+        try:
+            layout = self.manager.allocate(request.app, request.app_id)
+        except AllocationFailure as failure:
+            request.last_failed_epoch = epoch
+            request.last_failed_phase = failure.phase.value
+            self.metrics.on_phase_rejection(failure.phase.value)
+            self.metrics.on_attempt_timings(failure.timings)
+            return False
+        self.metrics.on_attempt_timings(layout.timings)
         wait = now - request.arrival_time
         self.metrics.on_admitted(request.class_name, wait)
         if request.holding is not None:
@@ -530,6 +557,8 @@ class SimulationResult:
     wall_seconds: float = 0.0
     events_processed: int = 0
     post_drain_utilization: float | None = None
+    #: the manager's gate/memo counters (zeros when fastpath is off)
+    fastpath_stats: dict | None = None
 
     @property
     def events_per_second(self) -> float:
@@ -545,13 +574,17 @@ def run_simulation(
     config: SimulationConfig = SimulationConfig(),
     faults: tuple[tuple[float, Fault], ...] = (),
     weights: CostWeights = BOTH,
+    fastpath: bool = True,
 ) -> SimulationResult:
     """Run one continuous-time admission-service simulation.
 
     Deterministic for a given (platform, classes, policy, config,
     faults): all randomness flows from seeded RNGs — the kernel RNG
     (holding times) and one stream per traffic class (arrivals),
-    seeded from ``config.seed`` and the class name.  Stateful arrival
+    seeded from ``config.seed`` and the class name.  ``fastpath``
+    toggles the manager's admission gate and negative-result memo;
+    decisions and traces are bit-identical either way (asserted by
+    ``tests/test_fastpath.py``) — only the wall-clock changes.  Stateful arrival
     processes (MMPP) are reset at start-up so traffic classes can be
     reused across runs; the *policy* must be fresh — its queue holds
     requests bound to one run's kernel, so reuse is rejected.
@@ -572,7 +605,10 @@ def run_simulation(
             reset()
 
     kernel = EventKernel(seed=config.seed)
-    manager = Kairos(platform, weights=weights, validation_mode="skip")
+    manager = Kairos(
+        platform, weights=weights, validation_mode="skip",
+        fastpath=fastpath,
+    )
     service = AdmissionService(manager, policy, kernel)
     cursors = {cls.name: 0 for cls in classes}
     arrival_rngs = {
@@ -651,6 +687,7 @@ def run_simulation(
         duration=config.duration,
         wall_seconds=wall,
         events_processed=kernel.processed,
+        fastpath_stats=manager.fastpath_stats,
     )
     if config.drain:
         policy.flush(service, kernel.now)

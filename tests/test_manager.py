@@ -121,8 +121,10 @@ class TestRelease:
         layout = manager.allocate(diamond_app())
         manager.release(layout.app_id)
         after = manager.state.snapshot()
-        after.pop("wear")   # the odometer intentionally survives release
+        after.pop("wear")   # wear and epoch odometers survive release
         baseline.pop("wear")
+        after.pop("epoch")
+        baseline.pop("epoch")
         assert after == baseline
         assert manager.admitted == {}
 
@@ -146,8 +148,10 @@ class TestRelease:
             layout = manager.allocate(diamond_app())
             manager.release(layout.app_id)
         after = manager.state.snapshot()
-        after.pop("wear")   # the odometer intentionally survives release
+        after.pop("wear")   # wear and epoch odometers survive release
         baseline.pop("wear")
+        after.pop("epoch")
+        baseline.pop("epoch")
         assert after == baseline
 
 

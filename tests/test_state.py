@@ -132,10 +132,13 @@ class TestReleaseApplication:
         )
         state3x3.release_application("a")
         after = state3x3.snapshot()
-        # the wear odometer intentionally survives releases
+        # the wear and epoch odometers intentionally survive releases
         wear = after.pop("wear")
         baseline.pop("wear")
+        epoch = after.pop("epoch")
+        baseline.pop("epoch")
         assert after == baseline
+        assert epoch == 6  # 2 occupies + 1 reserve + 2 vacates + 1 release
         assert wear["dsp_0_0"] == 1 and wear["dsp_0_1"] == 1
 
     def test_release_is_per_application(self, state3x3):
