@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Emit ``BENCH_mapping.json`` — the mapping-phase / distance-field bench.
+
+Measures the incremental distance-field engine (PR 4) against the live
+ring search on three workloads, reporting wall-clock plus the engine's
+own accounting (hit/repair/miss rates, ring reuse ratio, bypasses):
+
+* **probe** — the backfill pattern: one spec repeatedly bound+mapped
+  and rolled back against *unchanging* platform state (the regime
+  between two capacity events, where every field replays),
+* **churn** — the canonical 12x12 admission churn (fill + release/admit
+  steps; link traversability oscillates around saturation),
+* **service** — a short overloaded FIFO service run, with the mapping
+  phase's total_ms share of the pipeline before/after.
+
+Decisions are bit-identical in both modes (asserted here per workload
+on top of the lockstep suite in ``tests/test_distfield.py``); this
+bench is honest about where replay pays and where the engine's
+adaptive bypass hands the search back to the live path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_mapping_bench.py \
+        [--output BENCH_mapping.json] [--repeats 3] [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.apps.generator import GeneratorConfig, generate  # noqa: E402
+from repro.arch.builders import mesh  # noqa: E402
+from repro.arch.elements import ElementType  # noqa: E402
+from repro.binding.binder import bind  # noqa: E402
+from repro.core.mapping import map_application  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    CHURN_BENCH_CONFIG,
+    CHURN_BENCH_POOL_SIZE,
+    ChurnConfig,
+    churn_pool,
+    run_admission_churn,
+)
+from repro.manager.kairos import Kairos  # noqa: E402
+from repro.sim import build_recipe, run_recipe  # noqa: E402
+
+from benchmarks.bench_env import environment_stanza  # noqa: E402
+
+
+class _Probe(Exception):
+    """Sentinel: roll the probe's transaction back."""
+
+
+def probe_workload(incremental: bool, probes: int, repeats: int) -> dict:
+    """Repeated bind+map+rollback of one spec on frozen state."""
+    manager = Kairos(
+        mesh(12, 12), validation_mode="skip",
+        incremental=incremental, fastpath=False,
+    )
+    pool = [
+        generate(
+            GeneratorConfig(
+                inputs=1, internals=4, outputs=1,
+                target_kinds=((ElementType.DSP, 1.0),),
+            ),
+            seed=index,
+        )
+        for index in range(6)
+    ]
+    for index, app in enumerate(pool):
+        manager.allocate(app, f"fill{index}")
+    app = pool[0]
+    placements = set()
+    best = float("inf")
+    for repeat in range(repeats):
+        started = time.perf_counter()
+        for index in range(probes):
+            try:
+                with manager.state.transaction():
+                    binding = bind(app, manager.state)
+                    result = map_application(
+                        app, binding.choice, manager.state,
+                        cost=manager.cost, app_id=f"p{repeat}_{index}",
+                        engine=manager._distfield,
+                    )
+                    placements.add(tuple(sorted(result.placement.items())))
+                    raise _Probe()
+            except _Probe:
+                pass
+        best = min(best, time.perf_counter() - started)
+    assert len(placements) == 1, "probes must be deterministic"
+    return {
+        "seconds": best,
+        "probes": probes,
+        "placement_digest": hash(next(iter(placements))) & 0xFFFFFFFF,
+        "distfield": manager.distfield_stats,
+    }
+
+
+def churn_workload(incremental: bool, config: ChurnConfig, repeats: int):
+    pool = churn_pool(count=CHURN_BENCH_POOL_SIZE, seed=0)
+    best = None
+    for _ in range(repeats):
+        result = run_admission_churn(
+            pool, mesh(12, 12), config, incremental=incremental
+        )
+        if best is None or result.elapsed_seconds < best.elapsed_seconds:
+            best = result
+    return best
+
+
+def service_workload(incremental: bool, duration: float, repeats: int):
+    recipe = build_recipe(
+        platform="12x12", duration=duration, seed=0, policy="fifo",
+        rate_scale=8.0, sample_interval=5.0,
+    )
+    best = None
+    for _ in range(repeats):
+        result = run_recipe(recipe, incremental=incremental)
+        if best is None or result.wall_seconds < best.wall_seconds:
+            best = result
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_mapping.json")
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short CI run: correctness + accounting only",
+    )
+    args = parser.parse_args()
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    repeats = 1 if args.smoke else args.repeats
+    probes = 40 if args.smoke else 300
+    churn_config = (
+        ChurnConfig(steps=30, target_utilization=0.8, seed=0)
+        if args.smoke else CHURN_BENCH_CONFIG
+    )
+    service_duration = 10.0 if args.smoke else 60.0
+
+    report: dict = {
+        "workload": {
+            "platform": "mesh_12x12",
+            "smoke": args.smoke,
+            "probes": probes,
+            "churn_steps": churn_config.steps,
+            "service_duration": service_duration,
+        },
+    }
+
+    # -- probe: the stable-state replay regime -----------------------------
+    probe_inc = probe_workload(True, probes, repeats)
+    probe_live = probe_workload(False, probes, repeats)
+    assert probe_inc["placement_digest"] == probe_live["placement_digest"]
+    report["probe"] = {
+        "incremental_seconds": probe_inc["seconds"],
+        "live_seconds": probe_live["seconds"],
+        "speedup": probe_live["seconds"] / probe_inc["seconds"],
+        "distfield": probe_inc["distfield"],
+    }
+
+    # -- churn: saturation-boundary oscillation ----------------------------
+    churn_inc = churn_workload(True, churn_config, repeats)
+    churn_live = churn_workload(False, churn_config, repeats)
+    report["churn"] = {
+        "incremental_seconds": churn_inc.elapsed_seconds,
+        "live_seconds": churn_live.elapsed_seconds,
+        "speedup": churn_live.elapsed_seconds / churn_inc.elapsed_seconds,
+        "layouts_identical": churn_inc.layouts == churn_live.layouts,
+        "distfield": churn_inc.distfield_stats,
+    }
+
+    # -- service: mapping share of the overloaded fifo pipeline ------------
+    service_inc = service_workload(True, service_duration, repeats)
+    service_live = service_workload(False, service_duration, repeats)
+    assert service_inc.trace == service_live.trace, "decision divergence"
+
+    def mapping_share(result) -> dict:
+        latency = result.metrics.summary()["phase_latency"]
+        total = sum(row["total_ms"] for row in latency.values())
+        mapping = latency.get("mapping", {}).get("total_ms", 0.0)
+        return {
+            "events_per_second": result.events_per_second,
+            "mapping_total_ms": mapping,
+            "pipeline_total_ms": total,
+            "mapping_share": mapping / total if total else 0.0,
+        }
+
+    report["service_fifo"] = {
+        "incremental": {
+            **mapping_share(service_inc),
+            "distfield": service_inc.distfield_stats,
+        },
+        "live": mapping_share(service_live),
+    }
+    report["environment"] = environment_stanza()
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {output}", file=sys.stderr)
+    status = 0
+    if not report["churn"]["layouts_identical"]:
+        print("CHURN LAYOUTS DIVERGED — bit-identity regression",
+              file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

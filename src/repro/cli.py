@@ -100,6 +100,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="sim-time between utilization samples")
     sim.add_argument("--faults", type=int, default=0,
                      help="random element faults spread over the run")
+    sim.add_argument("--warmup", type=float, default=0.0,
+                     help="SLA warmup window in sim-time: requests "
+                          "resolved earlier are excluded from the "
+                          "steady-state blocking/wait figures "
+                          "(metrics only; decisions are unaffected)")
+    sim.add_argument("--no-incremental", action="store_true",
+                     help="disable the incremental distance-field "
+                          "engine (comparison runs; decisions are "
+                          "bit-identical either way)")
     sim.add_argument("--record", metavar="PATH",
                      help="write the decision trace as JSONL (replayable)")
     sim.add_argument("--replay", metavar="PATH",
@@ -251,9 +260,13 @@ def _cmd_sim(args) -> int:
         pool_size=args.pool_size,
         sample_interval=args.sample_interval,
         faults=args.faults,
+        warmup=args.warmup,
     )
     try:
-        result = run_recipe(recipe, trace_path=args.record)
+        result = run_recipe(
+            recipe, trace_path=args.record,
+            incremental=not args.no_incremental,
+        )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -275,6 +288,15 @@ def _cmd_sim(args) -> int:
           ))
     print(f"  mean utilization : {summary['mean_utilization']:.3f} "
           f"(peak queue depth {summary['peak_queue_depth']})")
+    if args.warmup:
+        steady = summary["steady_state"]
+        steady_waits = ", ".join(
+            f"{key} {value:.3f}" if value is not None else f"{key} n/a"
+            for key, value in steady["admission_wait"].items()
+        )
+        print(f"  steady state     : blocking "
+              f"{steady['blocking_probability']:.3f}, wait {steady_waits} "
+              f"(warmup {steady['warmup']:g} excluded)")
     for name, stats in summary["per_class"].items():
         print(f"  class {name:<12}: {stats['admitted']}/{stats['offered']} "
               f"admitted ({stats['admission_ratio']:.2%})")
@@ -293,6 +315,14 @@ def _cmd_sim(args) -> int:
                   f"{row['p99_ms']:>9.3f} {row['total_ms']:>10.1f}")
         print(f"  short-circuited probes: "
               f"{summary['probes_short_circuited']}")
+        stats = result.distfield_stats
+        if stats and stats.get("fetches"):
+            print(f"  distance fields  : {stats['fetches']} fetches, "
+                  f"{stats['hit_rate']:.0%} hit / "
+                  f"{stats['repair_rate']:.0%} repair / "
+                  f"{stats['miss_rate']:.0%} miss, "
+                  f"ring reuse {stats['ring_reuse_ratio']:.0%}, "
+                  f"{stats['bypasses']} bypasses")
     if args.record:
         print(f"  trace            : {len(result.trace)} records -> "
               f"{args.record}")

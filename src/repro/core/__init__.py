@@ -14,6 +14,11 @@ from repro.core.cost import (
     CostWeights,
     MappingCost,
 )
+from repro.core.distfield import (
+    DistanceField,
+    DistanceFieldEngine,
+    FieldStats,
+)
 from repro.core.gap import UNMAPPED_COST, GapAssignment, GapSolver
 from repro.core.objectives import (
     CommunicationObjective,
@@ -47,7 +52,10 @@ __all__ = [
     "CommunicationObjective",
     "CompositeCost",
     "CostWeights",
+    "DistanceField",
+    "DistanceFieldEngine",
     "EnergyObjective",
+    "FieldStats",
     "FRAGMENTATION",
     "FragmentationObjective",
     "LoadBalancingObjective",

@@ -105,6 +105,7 @@ class MappingCost:
         distances: SparseDistanceMatrix,
         _comm_peers: tuple | None = None,
         _frag_peers: frozenset | None = None,
+        _frag_status: dict | None = None,
     ) -> float:
         """Cost of mapping ``task`` onto ``element``; lower is better.
 
@@ -112,7 +113,8 @@ class MappingCost:
         application to element names; ``distances`` is the sparse
         matrix accumulated by the platform search.  ``_comm_peers`` /
         ``_frag_peers`` optionally carry the mapped peers pre-resolved
-        to interned node ids (the mapping layer hoists them — the
+        to interned node ids, and ``_frag_status`` a per-layer
+        neighbour-status memo (the mapping layer hoists them — the
         placement cannot change while one layer's GAP runs).
         """
         if self.weights.disabled:
@@ -125,7 +127,7 @@ class MappingCost:
                 )
             if self.weights.fragmentation:
                 cost -= self.weights.fragmentation * self._fragmentation_ids(
-                    app_id, element, state, _frag_peers
+                    app_id, element, state, _frag_peers, _frag_status
                 )
             return cost
         # one incidence lookup feeds both terms (they are evaluated for
@@ -161,6 +163,10 @@ class MappingCost:
         if element_id is None:  # pragma: no cover - defensive
             return penalty * float(len(peer_ids))
         rows = distances._rows
+        # cells of engine-served rows are visible only up to the
+        # search's current ring — a capped miss must stay a miss (the
+        # live search would not have filled the cell yet)
+        cap = distances._cap
         total = 0.0
         row_e = rows.get(element_id)
         for peer_id in peer_ids:
@@ -172,12 +178,16 @@ class MappingCost:
             best = -1
             if row_e is not None:
                 known = row_e[peer_id]
-                if known >= 0:
+                if known >= 0 and (cap is None or known <= cap):
                     best = known
             row_p = rows.get(peer_id)
             if row_p is not None:
                 known = row_p[element_id]
-                if 0 <= known and (best < 0 or known < best):
+                if (
+                    0 <= known
+                    and (cap is None or known <= cap)
+                    and (best < 0 or known < best)
+                ):
                     best = known
             total += penalty if best < 0 else best
         return total
@@ -188,25 +198,55 @@ class MappingCost:
         element: ProcessingElement,
         state: AllocationState,
         peer_element_ids: frozenset,
+        status: dict | None = None,
     ) -> float:
-        """Id-resolved :meth:`fragmentation_bonus` body."""
+        """Id-resolved :meth:`fragmentation_bonus` body.
+
+        ``status`` optionally carries a per-layer neighbour-status
+        memo (neighbour id -> occupant bonus): the bonus is a pure
+        function of (neighbour, app_id, allocation state), and one GAP
+        layer evaluates the same neighbourhoods for every (task,
+        element) pair while the epoch is frozen, so the mapping layer
+        hoists one dict per layer instead of re-walking occupant lists
+        per evaluation.
+        """
         platform = state.platform
         bonus = 0.0
         all_occupants = state._occupants
         neighbor_ids = platform.element_neighbor_ids(element)
-        for neighbor_id in neighbor_ids:
-            if neighbor_id in peer_element_ids:
-                bonus += BONUS_PEER
-                continue
-            occupants = all_occupants[neighbor_id]
-            if not occupants:
-                continue
-            for occupant in occupants:
-                if occupant.app_id == app_id:
-                    bonus += BONUS_SAME_APP
-                    break
-            else:
-                bonus += BONUS_OTHER_APP
+        if status is None:
+            for neighbor_id in neighbor_ids:
+                if neighbor_id in peer_element_ids:
+                    bonus += BONUS_PEER
+                    continue
+                occupants = all_occupants[neighbor_id]
+                if not occupants:
+                    continue
+                for occupant in occupants:
+                    if occupant.app_id == app_id:
+                        bonus += BONUS_SAME_APP
+                        break
+                else:
+                    bonus += BONUS_OTHER_APP
+        else:
+            for neighbor_id in neighbor_ids:
+                if neighbor_id in peer_element_ids:
+                    bonus += BONUS_PEER
+                    continue
+                cached = status.get(neighbor_id)
+                if cached is None:
+                    occupants = all_occupants[neighbor_id]
+                    if not occupants:
+                        cached = 0.0
+                    else:
+                        for occupant in occupants:
+                            if occupant.app_id == app_id:
+                                cached = BONUS_SAME_APP
+                                break
+                        else:
+                            cached = BONUS_OTHER_APP
+                    status[neighbor_id] = cached
+                bonus += cached
         platform_key = id(platform)
         max_connectivity = self._max_connectivity.get(platform_key)
         if max_connectivity is None:
@@ -252,6 +292,7 @@ class MappingCost:
         # per channel); the name path serves platform-less matrices
         node_ids = distances._node_ids
         rows = distances._rows
+        cap = distances._cap
         element_id = (
             node_ids.get(element.name) if node_ids is not None else None
         )
@@ -276,12 +317,16 @@ class MappingCost:
             row = rows.get(element_id)
             if row is not None:
                 known = row[peer_id]
-                if known >= 0:
+                if known >= 0 and (cap is None or known <= cap):
                     best = known
             row = rows.get(peer_id)
             if row is not None:
                 known = row[element_id]
-                if 0 <= known and (best < 0 or known < best):
+                if (
+                    0 <= known
+                    and (cap is None or known <= cap)
+                    and (best < 0 or known < best)
+                ):
                     best = known
             total += penalty if best < 0 else best
         return total

@@ -1,0 +1,668 @@
+"""Incremental per-origin distance fields for the mapping phase.
+
+PR 3's phase-latency histograms show the mapping phase owning roughly
+two thirds of pipeline time under queueing policies, and almost all of
+it is the Section III-B ring search: every attempt re-runs a
+breadth-first exploration of the platform from scratch even though
+consecutive attempts observe nearly identical platform state.  This
+module makes that exploration *incremental*: a
+:class:`DistanceFieldEngine` keeps one persistent
+:class:`DistanceField` per search origin — the distance row plus the
+**ordered ring lists** of the breadth-first traversal, grown lazily to
+the depth searches actually request — and serves it across attempts
+and epochs, invalidating by *deltas* instead of recomputing.
+
+What a field depends on
+-----------------------
+
+A congestion-respecting ring search treats a link as a wall exactly
+when it is failed or offers no free virtual channel in either
+direction (:class:`~repro.core.search.RingSearch`'s traversability
+predicate).  A per-origin BFS is therefore a pure function of
+
+* the frozen platform adjacency (node order and per-node neighbour
+  order — both immutable after ``freeze()``), and
+* the **traversability bit of every link**, which changes only when a
+  reservation consumes a link's last free virtual channel, a release
+  returns it, or the link fails/heals.  Element occupancy, element
+  faults and bandwidth levels are invisible to the search.
+
+:class:`~repro.arch.state.AllocationState` records exactly those
+changes in its append-only *link-traversability flip log*: one link id
+per committed flip, with journal undo appending the *reversing* flip
+rather than erasing history.  A field stamped with the log position at
+validation time (its *mark*) is valid at a later position iff every
+link has an even number of log entries in between — the odd ones are
+the net-dirty links.
+
+Serving, repairing, extending
+-----------------------------
+
+``field(origin_id)`` revalidates (or creates) a field in O(dirty):
+
+1. **Hit** — no net-dirty link touches the explored prefix (links
+   whose endpoints both carry no cached distance are incident to no
+   explored ring, so they cannot alter one).  The cached rings are
+   served as-is.
+2. **Repair** — some net-dirty link touches an explored node.  Let
+   ``r_stop`` be the minimum cached distance over the touched
+   endpoints.  Ring ``j`` of a BFS is generated purely from ring
+   ``j-1``'s ordered nodes and the traversability of their incident
+   links, so by induction every ring up to ``r_stop`` is unchanged —
+   those are kept verbatim and the deeper rings are discarded
+   (distance cells reset).  No recomputation happens here: cost is
+   bounded by the *discarded* region, and rebuilding is deferred.
+3. **Miss** — cold origin, a trimmed log, or a ``restore()``
+   timeline break: a fresh one-ring field (the origin itself).
+
+``ring(field, j)`` then serves ring ``j``, **extending the field by
+breadth-first expansion against the live ledgers** only when the
+caller asks past the cached prefix.  The first search from an origin
+therefore pays exactly the BFS it would have paid anyway (plus the
+cache write); repeated searches replay ring lists; a repaired field
+re-expands only as deep as the next search actually looks.  Between a
+``field()`` fetch and the last ``ring()`` call of the same search the
+caller must not flip link traversability — the mapping phase
+satisfies this trivially (layer searches only read; layer commits
+occupy elements, which never flips a link).
+
+Bit-identity
+------------
+
+The mapping phase is sensitive not only to the distances but to the
+**discovery order** of candidate elements (the GAP solver breaks ties
+in presentation order).  The ring lists preserve it exactly: in the
+lockstep multi-origin search each origin's BFS is independent of the
+others (they share only the *reporting* mask), so a cached solo-BFS
+ring equals the per-origin ring of the live search, node for node, in
+the same order — the induction above covers order as well as
+membership, because ring ``j``'s order is a function of ring
+``j-1``'s order and the interned adjacency lists.
+:mod:`tests.test_distfield` asserts lockstep equality of layouts,
+churn digests and service traces with the engine on and off.
+
+The engine also serves the routing phase: a clean, *complete* field
+(one whose expansion exhausted the reachable component — exactly what
+a failed layer search leaves behind on a congested platform) answers
+"is the target reachable from the source over any traversable links
+at all?", which is a **sound route-length lower bound** (unreachable
+= infinite): every directed route hop needs a free virtual channel
+and is therefore traversable.  :meth:`unreachable` only ever probes
+clean complete fields — it never computes, repairs or extends — so
+the router's fast-fail costs nothing when the cache cannot prove
+anything.
+
+Lifecycle: the engine belongs to one manager
+(:class:`~repro.manager.kairos.Kairos` owns one when constructed with
+``incremental=True``, the default); ``recover()`` resets it at fault
+boundaries and ``restore()`` invalidates it wholesale through the log
+base.  Fields read inside a transaction that later rolls back stay
+sound automatically: the rollback appends reversing flips, so a field
+that observed the rolled-back traversability reads as dirty and is
+truncated back to the unaffected prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.state import AllocationState
+
+
+@dataclass
+class FieldStats:
+    """Observability counters of one engine (all monotone)."""
+
+    #: field revalidations served without discarding anything
+    hits: int = 0
+    #: revalidations that truncated a dirty suffix (prefix kept)
+    repairs: int = 0
+    #: cold fetches: new origin, trimmed log, or a broken timeline
+    misses: int = 0
+    #: ring requests served from the cached prefix
+    rings_reused: int = 0
+    #: rings built (or rebuilt) by live BFS expansion
+    rings_recomputed: int = 0
+    #: rings discarded by repairs (the re-expansion is lazy, so this
+    #: bounds repair cost; it is *not* added to rings_recomputed until
+    #: a search actually asks for the depth again)
+    rings_discarded: int = 0
+    #: routing-phase probes answered "unreachable" without a path search
+    route_fastfails: int = 0
+    #: fetch cycles served live because repairs would have discarded
+    #: more than they kept — the fields are left untouched so that
+    #: oscillating links (a release whose capacity the next admission
+    #: re-takes) can cancel out by parity and re-validate them
+    bypasses: int = 0
+    #: whole-cache invalidations (fault recovery / explicit reset)
+    resets: int = 0
+    #: safety-net wholesale evictions (cache overflow)
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-able summary with the derived rates the benches report."""
+        fetches = self.hits + self.repairs + self.misses
+        rings = self.rings_reused + self.rings_recomputed
+        return {
+            "hits": self.hits,
+            "repairs": self.repairs,
+            "misses": self.misses,
+            "fetches": fetches,
+            "hit_rate": self.hits / fetches if fetches else 0.0,
+            "repair_rate": self.repairs / fetches if fetches else 0.0,
+            "miss_rate": self.misses / fetches if fetches else 0.0,
+            "rings_reused": self.rings_reused,
+            "rings_recomputed": self.rings_recomputed,
+            "rings_discarded": self.rings_discarded,
+            "ring_reuse_ratio": self.rings_reused / rings if rings else 0.0,
+            "route_fastfails": self.route_fastfails,
+            "bypasses": self.bypasses,
+            "resets": self.resets,
+            "evictions": self.evictions,
+        }
+
+
+class DistanceField:
+    """One origin's persistent, lazily-grown BFS state.
+
+    ``row[node_id]`` is the hop distance from the origin over
+    traversable links for every node in the explored prefix (-1 =
+    not explored yet, or unreachable once ``complete``); ``rings[j]``
+    is the ordered list of node ids at distance ``j`` (``rings[0]`` is
+    the origin itself); ``complete`` is set when an expansion step
+    found the frontier empty, i.e. the whole reachable component is in
+    ``rings``.  ``mark`` is the link-flip-log position the field was
+    last validated against.  The arrays are owned by the engine —
+    callers treat them as read-only and must not hold them across
+    another ``field()`` fetch for the same origin.
+    """
+
+    __slots__ = (
+        "origin_id", "respect_congestion", "mark", "row", "rings",
+        "element_rings", "parent", "complete", "plan_end", "plan_r_stop",
+        "stale",
+    )
+
+    def __init__(
+        self,
+        origin_id: int,
+        respect_congestion: bool,
+        node_count: int,
+    ) -> None:
+        self.origin_id = origin_id
+        self.respect_congestion = respect_congestion
+        self.mark = 0
+        self.row = [-1] * node_count
+        self.row[origin_id] = 0
+        self.rings: list[list[int]] = [[origin_id]]
+        #: per ring, the processing elements among its nodes as
+        #: ``(node id, element)`` pairs, in discovery order — replaying
+        #: searches report candidates from these without touching the
+        #: ring's router nodes at all
+        self.element_rings: list[list] = [[]]
+        #: discovering parent per explored node (-1 for the origin;
+        #: meaningful only while ``row[node] >= 0``) — lets the
+        #: validity check tell BFS *tree* edges from never-used ones
+        self.parent = [-1] * node_count
+        self.complete = False
+        #: memoized revalidation plan: while the flip log still ends at
+        #: ``plan_end`` and the field is untouched, ``plan_r_stop`` is
+        #: its dirty frontier (None = clean).  Bypassed cycles leave
+        #: fields as they are, so consecutive searches against a quiet
+        #: log replan for free.
+        self.plan_end = -1
+        self.plan_r_stop: int | None = None
+        #: consecutive fetch cycles this field was seen dirty without
+        #: being repaired (waiting for parity to cancel the flips);
+        #: past a small bound the oscillation bet is off and the next
+        #: cycle repairs it for real
+        self.stale = 0
+
+
+#: flip-log length that triggers trimming (drops the oldest half; any
+#: field older than the cut becomes a miss — a memory bound, not state)
+_FLIP_LOG_LIMIT = 4096
+
+#: cached-field count that triggers a wholesale eviction.  Keys are
+#: (origin node id, congestion flag), so a platform can populate at
+#: most ``2 * node_count`` entries — this is a safety net for callers
+#: cycling many platforms through one engine, not a tuning knob.
+_FIELD_LIMIT = 8192
+
+#: how many consecutive dirty sightings a field survives un-repaired
+#: before the parity-convergence bet is abandoned and it is truncated
+#: for real (see :meth:`DistanceFieldEngine.acquire`)
+_STALE_LIMIT = 4
+
+#: repair-pressure hysteresis: consecutive repair-voting cycles drive
+#: the pressure up, clean ones drive it down; at or above the high
+#: water mark the engine stops even *planning* (serving only every
+#: :data:`_PROBE_INTERVAL`-th cycle to notice the regime changing),
+#: and re-engages below the low water mark
+_PRESSURE_HIGH = 4
+_PRESSURE_LOW = 0
+_PRESSURE_MAX = 8
+_PROBE_INTERVAL = 32
+
+
+class DistanceFieldEngine:
+    """Persistent, delta-invalidated per-origin BFS distance fields.
+
+    One engine per :class:`~repro.arch.state.AllocationState` (one
+    manager): fields read the state's live ledgers when they extend,
+    and the state's link-flip log when they validate.  The engine
+    performs no locking and no defensive copies — the same
+    single-pipeline exclusivity contract as the state's scratch pool.
+    """
+
+    __slots__ = (
+        "state", "platform", "stats", "_fields", "_link_ends",
+        "_dirty_memo", "_cycle", "_pressure", "_dormant",
+    )
+
+    def __init__(self, state: AllocationState) -> None:
+        self.state = state
+        self.platform = state.platform
+        self.stats = FieldStats()
+        #: (origin id, respect_congestion) -> DistanceField
+        self._fields: dict[tuple[int, bool], DistanceField] = {}
+        #: link id -> (node id, node id), built on first validity check
+        self._link_ends: list[tuple[int, int]] | None = None
+        #: parity scans shared across fields and extended incrementally:
+        #: start mark -> [log position consumed so far, odd-parity set].
+        #: Fields fetched at the same mark share one entry, and when the
+        #: log grows the entry absorbs only the *new* flips instead of
+        #: rescanning its whole suffix.
+        self._dirty_memo: dict[int, list] = {}
+        #: global repair-pressure controller (see :meth:`acquire`)
+        self._cycle = 0
+        self._pressure = 0
+        self._dormant = False
+
+    # -- fetch: revalidate or create ---------------------------------------
+
+    def acquire(
+        self,
+        origin_ids,
+        respect_congestion: bool = True,
+        force: bool = False,
+    ) -> list[DistanceField] | None:
+        """Fields for one search's origins, or None to run it live.
+
+        The engine first *plans* the cycle: per origin it classifies
+        the cached field as clean, repairable at some ring, or cold —
+        without touching anything.  Clean fields replay and cold
+        origins build lazily (an investment that costs one live BFS
+        and pays back on every later hit).  A field that needs repair
+        instead votes to **bypass**: the caller runs its ordinary
+        live search, and the fields are left exactly as they are.
+        That is more than damage control — under admission churn the
+        same links oscillate around their saturation boundary (a
+        departure frees the virtual channel the next admission
+        re-takes), so a field that looks dirty right now often
+        re-validates *by parity* a few events later; eager truncation
+        would destroy precisely the rings about to become serveable
+        again.  Only when a field stays dirty for
+        :data:`_STALE_LIMIT` consecutive sightings is the bet
+        abandoned and the repair committed.
+
+        A hysteresis controller sits above the per-cycle rule: when
+        repair votes dominate recent cycles (sustained saturation,
+        where field reuse is structurally impossible), the engine goes
+        **dormant** — it stops even planning, answering None at the
+        cost of one counter check, and probes every
+        :data:`_PROBE_INTERVAL`-th cycle to notice the regime calming
+        down.  Worst case the engine therefore costs a couple of
+        integer compares per search; best case the whole mapping
+        phase replays from cache.
+        """
+        if not force:
+            self._cycle += 1
+            if self._dormant and self._cycle % _PROBE_INTERVAL:
+                self.stats.bypasses += 1
+                return None
+        state = self.state
+        flips = state._link_flips
+        if len(flips) > _FLIP_LOG_LIMIT:
+            self._trim_log()
+            flips = state._link_flips
+        mark_now = state._flip_base + len(flips)
+        fields = self._fields
+        plan: list = []
+        fresh_repairs = False
+        for origin_id in origin_ids:
+            key = (origin_id, respect_congestion)
+            cached = fields.get(key)
+            if cached is None:
+                plan.append((key, None, None))
+                continue
+            if not respect_congestion:
+                # topology-only field: the frozen platform cannot change
+                plan.append((key, cached, -1))
+                continue
+            if cached.plan_end == mark_now:
+                r_stop = cached.plan_r_stop
+            else:
+                dirty = self._net_dirty_links(cached)
+                if dirty is None:  # unverifiable: treat as cold
+                    plan.append((key, None, None))
+                    continue
+                r_stop = self._dirty_frontier(cached, dirty)
+                cached.plan_end = mark_now
+                cached.plan_r_stop = r_stop
+            if r_stop is None:
+                plan.append((key, cached, -1))
+            else:
+                if cached.stale < _STALE_LIMIT:
+                    fresh_repairs = True
+                plan.append((key, cached, r_stop))
+        if not force:
+            if fresh_repairs:
+                if self._pressure < _PRESSURE_MAX:
+                    self._pressure += 1
+                if self._pressure >= _PRESSURE_HIGH:
+                    self._dormant = True
+            else:
+                if self._pressure > 0:
+                    self._pressure -= 1
+                if self._pressure <= _PRESSURE_LOW:
+                    self._dormant = False
+            if fresh_repairs:
+                self.stats.bypasses += 1
+                for _key, cached, r_stop in plan:
+                    if (
+                        cached is not None
+                        and r_stop is not None and r_stop >= 0
+                    ):
+                        cached.stale += 1
+                return None
+        acquired: list[DistanceField] = []
+        for key, cached, r_stop in plan:
+            if cached is None:
+                cached = DistanceField(
+                    key[0], key[1], self.platform.node_count
+                )
+                if len(fields) >= _FIELD_LIMIT:
+                    fields.clear()
+                    self.stats.evictions += 1
+                fields[key] = cached
+                self.stats.misses += 1
+            elif r_stop is not None and r_stop >= 0:
+                self._truncate(cached, r_stop)
+                self.stats.repairs += 1
+            else:
+                self.stats.hits += 1
+            cached.mark = mark_now
+            cached.plan_end = mark_now
+            cached.plan_r_stop = None
+            cached.stale = 0
+            acquired.append(cached)
+        return acquired
+
+    def field(
+        self, origin_id: int, respect_congestion: bool = True
+    ) -> DistanceField:
+        """One origin's field, revalidated unconditionally (no bypass)."""
+        return self.acquire((origin_id,), respect_congestion, force=True)[0]
+
+    def ring(self, field: DistanceField, index: int) -> list[int] | None:
+        """Ring ``index`` of a fetched field, or None past exhaustion.
+
+        Serves the cached prefix and extends by live BFS expansion on
+        demand.  Only legal between the ``field()`` fetch and the end
+        of the same search, with no link-traversability change in
+        between (see the module doc) — which is exactly how
+        :class:`~repro.core.search.RingSearch` drives it.
+        """
+        rings = field.rings
+        if index < len(rings):
+            self.stats.rings_reused += 1
+            return rings[index]
+        while not field.complete and len(rings) <= index:
+            self._expand_one(field)
+        if index < len(rings):
+            return rings[index]
+        return None
+
+    def unreachable(self, source_id: int, target_id: int) -> bool:
+        """Probe-only route fast-fail: provably no traversable path?
+
+        Consults a cached congestion field for either endpoint only
+        when it is *current* (its mark equals the flip log's position,
+        i.e. link traversability has not changed since it was served —
+        true whenever this attempt's reservations saturated nothing)
+        and never computes, repairs, extends or even parity-scans one:
+        a cold or possibly-stale cache answers False (unknown) at the
+        cost of two integer compares.  True — which needs a *complete*
+        field, the kind an exhausted layer search leaves behind on a
+        congested platform — is sound for the routers: every directed
+        route hop needs a free virtual channel, hence is traversable,
+        hence a route implies field-reachability, and unreachability
+        implies the path search would return empty-handed.
+        """
+        state = self.state
+        mark_now = state._flip_base + len(state._link_flips)
+        fields = self._fields
+        for origin, other in ((source_id, target_id), (target_id, source_id)):
+            field = fields.get((origin, True))
+            if field is None or field.mark != mark_now:
+                # cold or possibly stale: deciding would cost a parity
+                # scan (and maybe a repair) per channel — this is a
+                # best-effort probe, so only the free case answers
+                continue
+            if field.row[other] < 0:
+                if not field.complete:
+                    continue  # deciding would mean extending: skip
+                self.stats.route_fastfails += 1
+                return True
+            return False  # reachable by traversable links: must search
+        return False
+
+    def reset(self) -> None:
+        """Drop every cached field (fault-recovery boundary)."""
+        self._fields.clear()
+        self._dirty_memo.clear()
+        self._pressure = 0
+        self._dormant = False
+        self.stats.resets += 1
+
+    # -- validity -----------------------------------------------------------
+
+    def _net_dirty_links(self, field: DistanceField):
+        """Link ids with net-changed traversability since ``field.mark``.
+
+        Returns a set (empty = certainly clean) or None when the mark
+        predates the log base, i.e. validity cannot be certified.
+        Parity over the log suffix is exact because undo appends
+        reversing flips: a saturate-then-rollback pair cancels out.
+        """
+        state = self.state
+        base = state._flip_base
+        mark = field.mark
+        if mark < base:
+            return None
+        flips = state._link_flips
+        end = base + len(flips)
+        if mark >= end:
+            return ()
+        memo = self._dirty_memo
+        entry = memo.get(mark)
+        if entry is None:
+            if len(memo) > 256:
+                memo.clear()  # marks are monotone; old entries are dead
+            entry = memo[mark] = [mark, set()]
+        seen, odd = entry
+        if seen < end:
+            for link_id in flips[seen - base:]:
+                if link_id in odd:
+                    odd.discard(link_id)
+                else:
+                    odd.add(link_id)
+            entry[0] = end
+        return odd
+
+    def _dirty_frontier(self, field: DistanceField, dirty) -> int | None:
+        """First ring the dirty links can influence, or None if none.
+
+        Filters the net-dirty links down to the ones that can actually
+        change the cached prefix:
+
+        * **No explored endpoint** — incident to no cached ring;
+          extensions read live state anyway.  Irrelevant.
+        * **Flipped closed** (traversable at field time, walled now) —
+          the prefix inspected this link, but only its *discovery*
+          consumed it: if it is not the explored child's tree edge
+          (``parent[child] is not the other endpoint``), every
+          inspection found the far side already visited and skipped
+          it, so membership and order are untouched.  Equal endpoint
+          distances mean the same (never a tree edge).  A child beyond
+          the explored prefix means the link was only reachable from
+          the last cached ring, whose expansion has not happened yet.
+          Irrelevant in all three cases; a severed tree edge
+          invalidates from the parent's ring on.
+        * **Flipped open** (walled at field time, traversable now) —
+          equal explored endpoint distances cannot change anything
+          (each side is visited before either side's expansion
+          inspects the edge); any other shape can shorten distances or
+          discover new nodes, and invalidates from the nearest
+          explored endpoint's ring on.
+        """
+        if not dirty:
+            return None
+        row = field.row
+        parent = field.parent
+        state = self.state
+        saturated = state._slot_saturated
+        failed_links = state._failed_links
+        ends = self._link_ends
+        if ends is None:
+            ends = self._build_link_ends()
+        r_stop: int | None = None
+        for link_id in dirty:
+            end_a, end_b = ends[link_id]
+            distance_a = row[end_a]
+            distance_b = row[end_b]
+            if distance_a < 0 and distance_b < 0:
+                continue  # incident to no explored ring
+            slot = link_id << 1
+            if not (
+                (saturated[slot] and saturated[slot | 1])
+                or link_id in failed_links
+            ):
+                # flipped open since the field's mark
+                if distance_a == distance_b:
+                    continue  # both explored, same ring: never used
+                if distance_a < 0:
+                    nearest = distance_b
+                elif distance_b < 0:
+                    nearest = distance_a
+                else:
+                    nearest = (
+                        distance_a if distance_a < distance_b else distance_b
+                    )
+            else:
+                # flipped closed: only a severed tree edge matters
+                if distance_a < 0 or distance_b < 0:
+                    continue  # child beyond the cached prefix
+                if distance_a == distance_b:
+                    continue  # equal rings: never a tree edge
+                if distance_a < distance_b:
+                    if parent[end_b] != end_a:
+                        continue  # non-tree: inspections skipped it
+                    nearest = distance_a
+                else:
+                    if parent[end_a] != end_b:
+                        continue
+                    nearest = distance_b
+            if r_stop is None or nearest < r_stop:
+                r_stop = nearest
+        return r_stop
+
+    def _build_link_ends(self) -> list[tuple[int, int]]:
+        node_ids = self.platform._node_ids
+        self._link_ends = [
+            (node_ids[link.a.name], node_ids[link.b.name])
+            for link in self.platform._links_by_id
+        ]
+        return self._link_ends
+
+    def _trim_log(self) -> None:
+        """Bound the flip log: drop the oldest half, retire stale fields."""
+        state = self.state
+        cut = state._flip_base + len(state._link_flips) - _FLIP_LOG_LIMIT // 2
+        self._fields = {
+            key: field
+            for key, field in self._fields.items()
+            if field.mark >= cut or not key[1]
+        }
+        self._dirty_memo.clear()
+        state.trim_link_flips(cut)
+
+    # -- growth and truncation ---------------------------------------------
+
+    def _truncate(self, field: DistanceField, r_stop: int) -> None:
+        """Discard rings past ``r_stop`` (distance cells reset to -1).
+
+        The distance row doubles as the visited mask during expansion,
+        so after the reset ``row[n] >= 0`` holds exactly for the nodes
+        of the kept prefix — precisely the live search's visited set
+        at that point of its traversal.  Rebuilding is deferred to
+        :meth:`ring`.
+        """
+        rings = field.rings
+        if r_stop + 1 < len(rings):
+            row = field.row
+            for ring_nodes in rings[r_stop + 1:]:
+                self.stats.rings_discarded += 1
+                for node_id in ring_nodes:
+                    row[node_id] = -1
+            del rings[r_stop + 1:]
+            del field.element_rings[r_stop + 1:]
+        field.complete = False
+
+    def _expand_one(self, field: DistanceField) -> None:
+        """Grow the field by one ring of live breadth-first expansion.
+
+        The traversal — frontier nodes in ring order, neighbours in
+        the platform's interned adjacency order, the congestion wall
+        test inlined — replicates
+        :meth:`repro.core.search.RingSearch.advance` cell for cell, so
+        a served ring equals the ring the live search would discover.
+        """
+        platform = self.platform
+        neighbor_ids = platform._neighbor_ids
+        neighbor_slots = platform._neighbor_slots
+        state = self.state
+        failed_links = state._failed_links
+        saturated = state._slot_saturated
+        respect_congestion = field.respect_congestion
+        is_element = platform._is_element_mask
+        nodes = platform._nodes_by_id
+        row = field.row
+        parent = field.parent
+        rings = field.rings
+        ring = len(rings)
+        next_frontier: list[int] = []
+        ring_elements: list = []
+        for node_id in rings[-1]:
+            ids = neighbor_ids[node_id]
+            slots = neighbor_slots[node_id]
+            for neighbor_id, slot in zip(ids, slots):
+                if row[neighbor_id] >= 0:
+                    continue
+                if respect_congestion:
+                    if failed_links and (slot >> 1) in failed_links:
+                        continue
+                    if saturated[slot] and saturated[slot ^ 1]:
+                        continue
+                row[neighbor_id] = ring
+                parent[neighbor_id] = node_id
+                next_frontier.append(neighbor_id)
+                if is_element[neighbor_id]:
+                    ring_elements.append((neighbor_id, nodes[neighbor_id]))
+        if next_frontier:
+            rings.append(next_frontier)
+            field.element_rings.append(ring_elements)
+            self.stats.rings_recomputed += 1
+        else:
+            field.complete = True

@@ -128,6 +128,7 @@ def map_application(
     cost: MappingCost | None = None,
     options: MappingOptions = MappingOptions(),
     app_id: str | None = None,
+    engine=None,
 ) -> MappingResult:
     """Run MapApplication (paper Fig. 5); raises :class:`MappingError`.
 
@@ -135,6 +136,13 @@ def map_application(
     On success the state holds the new placements; on failure the
     state may hold partial placements of this app — callers should
     wrap the attempt in ``state.transaction()`` (the manager does).
+
+    ``engine`` optionally supplies a
+    :class:`~repro.core.distfield.DistanceFieldEngine` bound to
+    ``state``: the per-layer ring searches then replay persistent
+    per-origin distance fields instead of running a fresh BFS each —
+    placements are bit-identical either way (the manager passes its
+    engine when constructed with ``incremental=True``).
     """
     cost = cost or MappingCost()
     app_id = app_id or app.name
@@ -263,7 +271,7 @@ def map_application(
             continue
         trace = _map_layer(
             app, app_id, index, tasks, requirements, compatible,
-            state, cost, options, result,
+            state, cost, options, result, engine,
         )
         result.layers.append(trace)
 
@@ -286,6 +294,7 @@ def _map_layer(
     cost: MappingCost,
     options: MappingOptions,
     result: MappingResult,
+    engine=None,
 ) -> LayerTrace:
     """Map one distance layer ``Ti`` (paper Fig. 5 inner loop)."""
     # E+/E-: elements of mapped tasks with channels into/out of this
@@ -308,7 +317,7 @@ def _map_layer(
 
     search = RingSearch(
         state, origins, options.respect_congestion,
-        scratch=state.scratch,
+        scratch=state.scratch, engine=engine,
     )
 
     if type(cost) is MappingCost:
@@ -319,6 +328,13 @@ def _map_layer(
         node_ids = state.platform._node_ids
         placement_now = result.placement
         cost_context: dict[str, tuple] = {}
+        # per-layer neighbour-status memo for the fragmentation bonus
+        # (epoch-scoped: the layer's GAP runs at a frozen epoch, and
+        # the dict lives in the availability cache's epoch memo so a
+        # later layer at the same epoch keeps sharing it)
+        frag_status = state.availability.epoch_memo().setdefault(
+            ("frag_status", app_id), {}
+        )
 
         def _task_context(task: str) -> tuple:
             comm_peers = []
@@ -347,6 +363,7 @@ def _map_layer(
                 app, app_id, task, element, state, placement_now,
                 search.distances,
                 _comm_peers=context[0], _frag_peers=context[1],
+                _frag_status=frag_status,
             )
     else:
         def pair_cost(task: str, element: ProcessingElement) -> float:

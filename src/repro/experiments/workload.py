@@ -259,6 +259,8 @@ class ChurnResult:
     #: per-admission digest (app_id, placements, route paths) — two
     #: runs are equivalent iff their digests are equal
     layouts: list[tuple] = field(default_factory=list)
+    #: distance-field engine counters (zeros when incremental is off)
+    distfield_stats: dict = field(default_factory=dict)
 
     @property
     def attempts(self) -> int:
@@ -292,6 +294,7 @@ def run_admission_churn(
     weights: CostWeights = BOTH,
     rollback: str = "transaction",
     fastpath: bool = True,
+    incremental: bool = True,
 ) -> ChurnResult:
     """Sustained allocate/release churn against one Kairos instance.
 
@@ -309,7 +312,7 @@ def run_admission_churn(
     rng = random.Random(config.seed)
     manager = Kairos(
         platform, weights=weights, validation_mode="skip",
-        rollback=rollback, fastpath=fastpath,
+        rollback=rollback, fastpath=fastpath, incremental=incremental,
     )
     result = ChurnResult()
     resident: list[str] = []
@@ -360,6 +363,7 @@ def run_admission_churn(
 
     result.final_utilization = manager.utilization()
     result.elapsed_seconds = time.perf_counter() - started
+    result.distfield_stats = manager.distfield_stats
     return result
 
 

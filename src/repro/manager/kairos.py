@@ -39,6 +39,7 @@ from repro.arch.state import AllocationState
 from repro.arch.topology import Platform
 from repro.binding.binder import BindingError, bind
 from repro.core.cost import BOTH, CostWeights, MappingCost
+from repro.core.distfield import DistanceFieldEngine, FieldStats
 from repro.core.mapping import MappingError, MappingOptions, map_application
 from repro.manager.layout import (
     AllocationFailure,
@@ -303,6 +304,17 @@ class Kairos:
         runs, or when using a custom cost callable that reads mutable
         state outside the :class:`AllocationState` ledgers (the memo
         assumes the pipeline is a pure function of spec and state).
+    incremental:
+        ``True`` (default) attaches a
+        :class:`~repro.core.distfield.DistanceFieldEngine` to the
+        state: the mapping phase's ring searches replay persistent
+        per-origin distance fields (invalidated by link-traversability
+        deltas, repaired by bounded re-expansion) instead of running a
+        fresh BFS per attempt, and the routing phase uses the same
+        fields as admissible lower bounds for its unreachable
+        fast-fail.  Layouts and decisions are bit-identical either
+        way (asserted by ``tests/test_distfield.py``); disable only
+        for comparison runs.
     """
 
     def __init__(
@@ -317,6 +329,7 @@ class Kairos:
         validation_method: str = "simulation",
         rollback: str = "transaction",
         fastpath: bool = True,
+        incremental: bool = True,
     ) -> None:
         if validation_mode not in VALIDATION_MODES:
             raise ValueError(
@@ -348,6 +361,10 @@ class Kairos:
         self.rollback = rollback
         self.fastpath = bool(fastpath)
         self._gate = AdmissionGate(self.state) if self.fastpath else None
+        self.incremental = bool(incremental)
+        self._distfield = (
+            DistanceFieldEngine(self.state) if self.incremental else None
+        )
         self.admitted: dict[str, ExecutionLayout] = {}
         #: original specifications of admitted applications, kept so
         #: fault recovery can re-allocate without the caller having to
@@ -437,6 +454,14 @@ class Kairos:
             "gate_passes": gate.gate_passes,
         }
 
+    @property
+    def distfield_stats(self) -> dict:
+        """Counters of the distance-field engine (zeros when off)."""
+        engine = self._distfield
+        if engine is None:
+            return FieldStats().as_dict()
+        return engine.stats.as_dict()
+
     def _run_phases(
         self, app: Application, app_id: str, timings: PhaseTimings
     ) -> ExecutionLayout:
@@ -459,7 +484,7 @@ class Kairos:
             mapping = map_application(
                 app, binding.choice, self.state,
                 cost=self.cost, options=self.mapping_options,
-                app_id=app_id,
+                app_id=app_id, engine=self._distfield,
             )
         except MappingError as exc:
             raise AllocationFailure(Phase.MAPPING, app_id, str(exc)) from exc
@@ -470,7 +495,8 @@ class Kairos:
         started = time.perf_counter()
         try:
             routing = self.router.route_application(
-                app, mapping.placement, self.state, app_id=app_id
+                app, mapping.placement, self.state, app_id=app_id,
+                engine=self._distfield,
             )
         except RoutingError as exc:
             raise AllocationFailure(Phase.ROUTING, app_id, str(exc)) from exc
@@ -562,6 +588,11 @@ class Kairos:
         scratch; irrecoverable ones are reported in ``lost``.
         """
         lookup = self.specifications if applications is None else applications
+        if self._distfield is not None:
+            # fault boundaries churn placements and routes wholesale;
+            # starting the engine cold keeps its flip log short and its
+            # fields honest about the degraded topology
+            self._distfield.reset()
         report = RecoveryReport(stranded=self.stranded_by_faults())
         for app_id in report.stranded:
             if app_id not in lookup:

@@ -64,6 +64,7 @@ class BaseRouter:
         placement: dict[str, str],
         state: AllocationState,
         app_id: str | None = None,
+        engine=None,
     ) -> RoutingResult:
         """Route every channel of ``app``; raises :class:`RoutingError`.
 
@@ -71,6 +72,16 @@ class BaseRouter:
         they have the fewest path options), ties broken by name for
         determinism.  Reservations mutate ``state``; the caller is
         responsible for transaction/rollback on failure.
+
+        ``engine`` optionally supplies the manager's
+        :class:`~repro.core.distfield.DistanceFieldEngine`: its cached
+        congestion fields are admissible route-length lower bounds
+        (every route hop needs a free virtual channel, so a route path
+        is always field-traversable), which lets a channel whose
+        endpoints a clean field proves disconnected fail fast — same
+        exception, same message, no path search.  The probe never
+        computes or repairs a field, so it is free when the cache is
+        cold or stale.
         """
         app_id = app_id or app.name
         platform = state.platform
@@ -89,8 +100,9 @@ class BaseRouter:
         # before an earlier mid-mesh dead end); the decision and its
         # phase are identical either way.
         neighbor_slots = platform._neighbor_slots
-        slot_vc, slot_bw = platform._slot_vc, platform._slot_bw
-        vc_used, bw_used = state._vc_used, state._bw_used
+        slot_bw = platform._slot_bw
+        bw_used = state._bw_used
+        saturated = state._slot_saturated
         failed_links = state._failed_links
         for channel in ordered:
             source = placement.get(channel.source)
@@ -107,7 +119,7 @@ class BaseRouter:
                     if reverse:
                         slot ^= 1
                     if (
-                        vc_used[slot] < slot_vc[slot]
+                        not saturated[slot]
                         and slot_bw[slot] - bw_used[slot] >= bandwidth
                         and not (
                             failed_links and (slot >> 1) in failed_links
@@ -129,9 +141,16 @@ class BaseRouter:
             if source == target:
                 local.append(channel.name)
                 continue
-            id_path = self.find_path_ids(
-                state, node_ids[source], node_ids[target], channel.bandwidth
-            )
+            source_id, target_id = node_ids[source], node_ids[target]
+            if engine is not None and engine.unreachable(source_id, target_id):
+                # provably partitioned by congestion/faults: the path
+                # search below would return None — identical failure,
+                # none of the BFS
+                id_path = None
+            else:
+                id_path = self.find_path_ids(
+                    state, source_id, target_id, channel.bandwidth
+                )
             if id_path is None:
                 raise RoutingError(
                     f"no route for channel {channel.name!r} "
@@ -190,8 +209,9 @@ class BfsRouter(BaseRouter):
         platform = state.platform
         neighbor_ids = platform._neighbor_ids
         neighbor_slots = platform._neighbor_slots
-        slot_vc, slot_bw = platform.slot_vc, platform.slot_bw
-        vc_used, bw_used = state._vc_used, state._bw_used
+        slot_bw = platform.slot_bw
+        bw_used = state._bw_used
+        saturated = state._slot_saturated
         failed_links = state._failed_links
         # parent ids with generation-stamped lazy clearing: a cell is
         # visited iff its stamp equals this call's generation, so the
@@ -213,7 +233,7 @@ class BfsRouter(BaseRouter):
             for neighbor, slot in zip(ids, slots):
                 if stamp[neighbor] == generation:
                     continue
-                if vc_used[slot] >= slot_vc[slot]:
+                if saturated[slot]:
                     continue
                 if slot_bw[slot] - bw_used[slot] < bandwidth:
                     continue
@@ -255,8 +275,9 @@ class DijkstraRouter(BaseRouter):
         platform = state.platform
         neighbor_ids = platform._neighbor_ids
         neighbor_slots = platform._neighbor_slots
-        slot_vc, slot_bw = platform.slot_vc, platform.slot_bw
-        vc_used, bw_used = state._vc_used, state._bw_used
+        slot_bw = platform.slot_bw
+        bw_used = state._bw_used
+        saturated = state._slot_saturated
         failed_links = state._failed_links
         nodes = platform.nodes
         congestion_weight = self.congestion_weight
@@ -292,7 +313,7 @@ class DijkstraRouter(BaseRouter):
             for neighbor, slot in zip(ids, slots):
                 if done_stamp[neighbor] == done_generation:
                     continue
-                if vc_used[slot] >= slot_vc[slot]:
+                if saturated[slot]:
                     continue
                 capacity = slot_bw[slot]
                 if capacity - bw_used[slot] < bandwidth:

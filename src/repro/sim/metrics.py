@@ -63,8 +63,20 @@ class ServiceMetrics:
     horizon), not blocking, and are excluded from the ratio — without
     that, queueing policies would look worse on shorter runs purely
     from truncation.
+
+    ``warmup`` (sim-time) opens an SLA measurement window: requests
+    *resolved* before the warmup instant belong to the fill transient
+    — an empty platform admits nearly everything with zero wait, which
+    biases blocking probability and wait percentiles optimistic on
+    overloaded runs.  The steady-state view (``steady_*`` fields,
+    ``summary()["steady_state"]``) counts only post-warmup
+    resolutions; the raw counters keep covering the whole run, so a
+    warmup of 0 makes both views coincide.  Classification is by
+    resolution time (admit or blocking drop), matching when the wait
+    observation is actually made.
     """
 
+    warmup: float = 0.0
     offered: int = 0
     admitted: int = 0
     departed: int = 0
@@ -88,6 +100,10 @@ class ServiceMetrics:
     faults_injected: int = 0
     recovered: int = 0
     lost: int = 0
+    #: post-warmup resolutions only (see the class docstring)
+    steady_admitted: int = 0
+    steady_blocked: int = 0
+    steady_waits: list[float] = field(default_factory=list)
 
     # -- recording hooks (called by the service) ---------------------------
 
@@ -95,16 +111,27 @@ class ServiceMetrics:
         self.offered += 1
         self._class(class_name).offered += 1
 
-    def on_admitted(self, class_name: str, wait: float) -> None:
+    def on_admitted(
+        self, class_name: str, wait: float, now: float | None = None
+    ) -> None:
         self.admitted += 1
         self.waits.append(wait)
         stats = self._class(class_name)
         stats.admitted += 1
         stats.waits.append(wait)
+        if now is None or now >= self.warmup:
+            self.steady_admitted += 1
+            self.steady_waits.append(wait)
 
-    def on_dropped(self, class_name: str, reason: str) -> None:
+    def on_dropped(
+        self, class_name: str, reason: str, now: float | None = None
+    ) -> None:
         self.drops[reason] = self.drops.get(reason, 0) + 1
         self._class(class_name).dropped += 1
+        # drained drops are censored, not blocking — excluded from the
+        # steady-state ratio exactly as from the overall one
+        if reason != "drained" and (now is None or now >= self.warmup):
+            self.steady_blocked += 1
 
     def on_phase_rejection(self, phase: str) -> None:
         self.rejections_by_phase[phase] = (
@@ -158,11 +185,23 @@ class ServiceMetrics:
         resolved = self.admitted + blocked
         return blocked / resolved if resolved else 0.0
 
+    @property
+    def steady_blocking_probability(self) -> float:
+        resolved = self.steady_admitted + self.steady_blocked
+        return self.steady_blocked / resolved if resolved else 0.0
+
     def wait_percentiles(self) -> dict[str, float]:
         return {
             "p50": percentile(self.waits, 50),
             "p95": percentile(self.waits, 95),
             "p99": percentile(self.waits, 99),
+        }
+
+    def steady_wait_percentiles(self) -> dict[str, float]:
+        return {
+            "p50": percentile(self.steady_waits, 50),
+            "p95": percentile(self.steady_waits, 95),
+            "p99": percentile(self.steady_waits, 99),
         }
 
     def mean_utilization(self, skip: int = 0) -> float:
@@ -192,6 +231,16 @@ class ServiceMetrics:
             "admission_wait": {
                 key: (None if math.isnan(value) else value)
                 for key, value in waits.items()
+            },
+            "steady_state": {
+                "warmup": self.warmup,
+                "admitted": self.steady_admitted,
+                "blocked": self.steady_blocked,
+                "blocking_probability": self.steady_blocking_probability,
+                "admission_wait": {
+                    key: (None if math.isnan(value) else value)
+                    for key, value in self.steady_wait_percentiles().items()
+                },
             },
             "per_class": {
                 name: {

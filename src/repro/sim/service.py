@@ -433,7 +433,7 @@ class AdmissionService:
             return False
         self.metrics.on_attempt_timings(layout.timings)
         wait = now - request.arrival_time
-        self.metrics.on_admitted(request.class_name, wait)
+        self.metrics.on_admitted(request.class_name, wait, now)
         if request.holding is not None:
             holding = request.holding
         else:
@@ -462,7 +462,7 @@ class AdmissionService:
     def drop(
         self, request: AdmissionRequest, reason: str, now: float
     ) -> None:
-        self.metrics.on_dropped(request.class_name, reason)
+        self.metrics.on_dropped(request.class_name, reason, now)
         self.trace.record(now, "drop", id=request.app_id, reason=reason)
 
     def note_queued(
@@ -538,12 +538,20 @@ class SimulationConfig:
     sample_interval: float = 5.0
     #: release everything after the run and verify zero utilization
     drain: bool = True
+    #: SLA warmup window (sim-time): requests *resolved* before this
+    #: instant are excluded from the steady-state blocking probability
+    #: and wait percentiles (the empty-platform fill transient would
+    #: otherwise bias them optimistic).  Metrics only — decisions and
+    #: traces are unaffected.
+    warmup: float = 0.0
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
+        if not 0 <= self.warmup < self.duration:
+            raise ValueError("warmup must lie in [0, duration)")
 
 
 @dataclass
@@ -559,6 +567,8 @@ class SimulationResult:
     post_drain_utilization: float | None = None
     #: the manager's gate/memo counters (zeros when fastpath is off)
     fastpath_stats: dict | None = None
+    #: the distance-field engine's counters (zeros when incremental off)
+    distfield_stats: dict | None = None
 
     @property
     def events_per_second(self) -> float:
@@ -575,6 +585,7 @@ def run_simulation(
     faults: tuple[tuple[float, Fault], ...] = (),
     weights: CostWeights = BOTH,
     fastpath: bool = True,
+    incremental: bool = True,
 ) -> SimulationResult:
     """Run one continuous-time admission-service simulation.
 
@@ -583,11 +594,14 @@ def run_simulation(
     (holding times) and one stream per traffic class (arrivals),
     seeded from ``config.seed`` and the class name.  ``fastpath``
     toggles the manager's admission gate and negative-result memo;
-    decisions and traces are bit-identical either way (asserted by
-    ``tests/test_fastpath.py``) — only the wall-clock changes.  Stateful arrival
-    processes (MMPP) are reset at start-up so traffic classes can be
-    reused across runs; the *policy* must be fresh — its queue holds
-    requests bound to one run's kernel, so reuse is rejected.
+    ``incremental`` toggles its incremental distance-field engine;
+    decisions and traces are bit-identical whatever the combination
+    (asserted by ``tests/test_fastpath.py`` and
+    ``tests/test_distfield.py``) — only the wall-clock changes.
+    Stateful arrival processes (MMPP) are reset at start-up so traffic
+    classes can be reused across runs; the *policy* must be fresh —
+    its queue holds requests bound to one run's kernel, so reuse is
+    rejected.
     """
     if not classes:
         raise ValueError("need at least one traffic class")
@@ -607,9 +621,12 @@ def run_simulation(
     kernel = EventKernel(seed=config.seed)
     manager = Kairos(
         platform, weights=weights, validation_mode="skip",
-        fastpath=fastpath,
+        fastpath=fastpath, incremental=incremental,
     )
-    service = AdmissionService(manager, policy, kernel)
+    service = AdmissionService(
+        manager, policy, kernel,
+        metrics=ServiceMetrics(warmup=config.warmup),
+    )
     cursors = {cls.name: 0 for cls in classes}
     arrival_rngs = {
         cls.name: Random(f"{config.seed}:{cls.name}") for cls in classes
@@ -688,6 +705,7 @@ def run_simulation(
         wall_seconds=wall,
         events_processed=kernel.processed,
         fastpath_stats=manager.fastpath_stats,
+        distfield_stats=manager.distfield_stats,
     )
     if config.drain:
         policy.flush(service, kernel.now)
@@ -719,11 +737,15 @@ def build_recipe(
     pool_size: int = 8,
     sample_interval: float = 5.0,
     faults: int = 0,
+    warmup: float = 0.0,
 ) -> dict:
     """A JSON-able description that :func:`run_recipe` reproduces exactly.
 
     The recipe is also the trace header written by ``repro sim
     --record``, which is what makes ``--replay`` self-contained.
+    ``warmup`` sets the SLA warmup window (metrics only; the decision
+    stream is independent of it, so traces recorded without the key
+    replay unchanged).
     """
     resolved = make_policy(policy, policy_params)  # validate early
     return {
@@ -731,6 +753,7 @@ def build_recipe(
         "duration": duration,
         "seed": seed,
         "sample_interval": sample_interval,
+        "warmup": warmup,
         "policy": resolved.describe(),
         "classes": {
             "kind": "default",
@@ -770,8 +793,15 @@ def scheduled_faults(
     return campaign.schedule(times)
 
 
-def run_recipe(recipe: dict, trace_path=None) -> SimulationResult:
-    """Execute a recipe; optionally write the JSONL trace (header first)."""
+def run_recipe(
+    recipe: dict, trace_path=None, incremental: bool = True
+) -> SimulationResult:
+    """Execute a recipe; optionally write the JSONL trace (header first).
+
+    ``incremental`` toggles the manager's distance-field engine; it is
+    deliberately *not* part of the recipe — engines change wall-clock,
+    never decisions, so a trace recorded either way replays both ways.
+    """
     platform = platform_from_spec(recipe["platform"])
     classes_spec = recipe["classes"]
     if classes_spec.get("kind", "default") != "default":
@@ -790,12 +820,16 @@ def run_recipe(recipe: dict, trace_path=None) -> SimulationResult:
         duration=recipe["duration"],
         seed=recipe["seed"],
         sample_interval=recipe["sample_interval"],
+        warmup=float(recipe.get("warmup", 0.0)),
     )
     faults = scheduled_faults(
         platform, int(recipe.get("faults", 0)),
         config.duration, config.seed,
     )
-    result = run_simulation(platform, classes, policy, config, faults=faults)
+    result = run_simulation(
+        platform, classes, policy, config, faults=faults,
+        incremental=incremental,
+    )
     result.recipe = recipe
     if trace_path is not None:
         write_trace(trace_path, result.trace, header=recipe)

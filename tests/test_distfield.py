@@ -1,0 +1,474 @@
+"""The incremental distance-field engine: flip log, fields, lockstep.
+
+The engine's entire contract is *make the mapping search cheap across
+attempts without changing a single decision*.  These tests pin it
+from four sides:
+
+* the state's link-traversability flip log records exactly the
+  traversability changes, with undo appending reversing flips so a
+  reader's parity count over its log suffix is always exact;
+* a served field (rings, element rings, distances) is identical to a
+  fresh live ring search against the same state — across random route
+  churn, repairs, link faults, rollbacks and restores;
+* the adaptive acquire serves clean/cold cycles, bypasses repair-heavy
+  ones, and abandons the parity-convergence bet after a bounded number
+  of stale sightings;
+* gated end to end: churn digests and service traces (including fault
+  injection and recovery) are bit-identical with ``incremental`` on
+  and off, and the routing fast-fail raises exactly the error the path
+  search would.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.arch import AllocationState, ResourceVector, mesh
+from repro.core.distfield import _STALE_LIMIT, DistanceFieldEngine
+from repro.core.search import RingSearch
+from repro.experiments import ChurnConfig, churn_pool, run_admission_churn
+from repro.routing.router import BfsRouter, RoutingError
+from repro.sim import (
+    SimulationConfig,
+    default_traffic_classes,
+    make_policy,
+    run_simulation,
+)
+
+REQ = ResourceVector(cycles=10, memory=2)
+
+
+def saturate_link(state: AllocationState, a: str, b: str, app="sat") -> int:
+    """Reserve channels until link a—b has no free VC in either
+    direction; returns the number of reservations made."""
+    count = 0
+    while state.vc_free(a, b) > 0:
+        state.reserve_route(app, f"{a}>{b}#{count}", [a, b], 0.0)
+        count += 1
+    while state.vc_free(b, a) > 0:
+        state.reserve_route(app, f"{b}>{a}#{count}", [b, a], 0.0)
+        count += 1
+    return count
+
+
+def link_open(state: AllocationState, a: str, b: str) -> bool:
+    """The engine's traversability predicate over endpoint names."""
+    slot = state.platform.directed_slot(
+        state.platform.node_id(a), state.platform.node_id(b)
+    )
+    return state.link_traversable(slot >> 1)
+
+
+def search_transcript(state, origins, engine=None, max_advances=64):
+    """Element-name stream + per-ring distances of one full search.
+
+    With an engine, the origins' fields are acquired through the
+    forcing :meth:`~repro.core.distfield.DistanceFieldEngine.field`
+    first, so the search replays for certain (the adaptive acquire
+    would otherwise be free to bypass and run live — correct, but not
+    what an equivalence test wants to exercise).
+    """
+    if engine is not None:
+        node_ids = state.platform._node_ids
+        for origin in origins:
+            engine.field(node_ids[origin])
+    search = RingSearch(state, origins, engine=engine)
+    if engine is not None:
+        assert search._fields is not None  # freshly committed: served
+    transcript = []
+    for _ in range(max_advances):
+        if search.exhausted:
+            break
+        elements = search.advance()
+        transcript.append(tuple(e.name for e in elements))
+    node_ids = state.platform._node_ids
+    distances = {}
+    for origin in search.origins:
+        for node in state.platform.nodes:
+            d = search.distances.get_ids(
+                node_ids[origin], node_ids[node.name]
+            )
+            if d is not None:
+                distances[(origin, node.name)] = d
+    return transcript, distances, search.exhausted
+
+
+class TestFlipLog:
+    def test_saturating_reservation_flips_once(self):
+        state = AllocationState(mesh(3, 3, virtual_channels=1))
+        mark = state.link_flip_mark()
+        assert link_open(state, "r_0_0", "r_0_1")
+        state.reserve_route("a", "c0", ["r_0_0", "r_0_1"], 1.0)
+        # forward direction saturated, reverse still free: no flip yet
+        assert state.link_flip_mark() == mark
+        state.reserve_route("a", "c1", ["r_0_1", "r_0_0"], 1.0)
+        assert state.link_flip_mark() == mark + 1
+        assert not link_open(state, "r_0_0", "r_0_1")
+        # releasing one direction flips it back open
+        state.release_route("a", "c1")
+        assert state.link_flip_mark() == mark + 2
+        assert link_open(state, "r_0_0", "r_0_1")
+
+    def test_rollback_appends_reversing_flips(self):
+        state = AllocationState(mesh(3, 3, virtual_channels=1))
+        mark = state.link_flip_mark()
+
+        class Boom(RuntimeError):
+            pass
+
+        with pytest.raises(Boom):
+            with state.transaction():
+                state.reserve_route("a", "c0", ["r_0_0", "r_0_1"], 1.0)
+                state.reserve_route("a", "c1", ["r_0_1", "r_0_0"], 1.0)
+                assert state.link_flip_mark() == mark + 1
+                raise Boom()
+        # history is monotone: the undo appended the reverse flip
+        assert state.link_flip_mark() == mark + 2
+        assert link_open(state, "r_0_0", "r_0_1")
+
+    def test_fail_and_heal_link_flip(self):
+        state = AllocationState(mesh(3, 3))
+        mark = state.link_flip_mark()
+        state.fail_link("r_0_0", "r_0_1")
+        assert state.link_flip_mark() == mark + 1
+        state.fail_link("r_0_0", "r_0_1")  # idempotent: no second flip
+        assert state.link_flip_mark() == mark + 1
+        state.heal_link("r_0_0", "r_0_1")
+        assert state.link_flip_mark() == mark + 2
+
+    def test_fail_of_saturated_link_does_not_flip(self):
+        state = AllocationState(mesh(3, 3, virtual_channels=1))
+        saturate_link(state, "r_0_0", "r_0_1")
+        mark = state.link_flip_mark()
+        state.fail_link("r_0_0", "r_0_1")  # was already a wall
+        assert state.link_flip_mark() == mark
+        state.heal_link("r_0_0", "r_0_1")  # still saturated: still a wall
+        assert state.link_flip_mark() == mark
+
+    def test_occupy_and_element_faults_never_flip(self):
+        state = AllocationState(mesh(3, 3))
+        mark = state.link_flip_mark()
+        state.occupy("dsp_0_0", "a", "t", REQ)
+        state.fail_element("dsp_1_1")
+        state.heal_element("dsp_1_1")
+        state.vacate("a", "t")
+        assert state.link_flip_mark() == mark
+
+    def test_restore_breaks_the_timeline(self):
+        state = AllocationState(mesh(3, 3))
+        snapshot = state.snapshot()
+        mark = state.link_flip_mark()
+        state.restore(snapshot)
+        assert state.link_flip_mark() > mark
+
+    def test_trim_raises_the_floor(self):
+        state = AllocationState(mesh(3, 3, virtual_channels=1))
+        for _ in range(4):
+            state.reserve_route("a", "x0", ["r_0_0", "r_0_1"], 0.0)
+            state.reserve_route("a", "x1", ["r_0_1", "r_0_0"], 0.0)
+            state.release_route("a", "x0")
+            state.release_route("a", "x1")
+        mark = state.link_flip_mark()
+        state.trim_link_flips(mark - 1)
+        assert state.link_flip_mark() == mark
+        assert state._flip_base == mark - 1
+
+
+
+class TestFieldEquivalence:
+    def test_replay_matches_live_search_on_fresh_state(self):
+        state = AllocationState(mesh(4, 5))
+        engine = DistanceFieldEngine(state)
+        for origins in (["dsp_0_0"], ["dsp_0_0", "dsp_3_4"], ["dsp_1_2"]):
+            live = search_transcript(state, origins)
+            replay = search_transcript(state, origins, engine=engine)
+            assert replay == live
+
+    def test_replay_matches_live_under_random_churn(self):
+        rng = random.Random(17)
+        platform = mesh(4, 4, virtual_channels=1)
+        state = AllocationState(platform)
+        engine = DistanceFieldEngine(state)
+        element_names = [e.name for e in platform.elements]
+        router_pairs = [
+            (link.a.name, link.b.name)
+            for link in platform.links
+            if link.a.name.startswith("r_") and link.b.name.startswith("r_")
+        ]
+        counter = 0
+        for step in range(60):
+            roll = rng.random()
+            if roll < 0.4 and router_pairs:
+                a, b = rng.choice(router_pairs)
+                counter += 1
+                try:
+                    state.reserve_route("churn", f"c{counter}", [a, b], 0.0)
+                except Exception:
+                    pass
+            elif roll < 0.6:
+                keys = [k for k in state._reservations if k[0] == "churn"]
+                if keys:
+                    app, channel = keys[rng.randrange(len(keys))]
+                    state.release_route(app, channel)
+            elif roll < 0.75 and router_pairs:
+                a, b = rng.choice(router_pairs)
+                if rng.random() < 0.5:
+                    state.fail_link(a, b)
+                else:
+                    state.heal_link(a, b)
+            origins = rng.sample(element_names, rng.randint(1, 3))
+            live = search_transcript(state, origins)
+            # force=True inside field() keeps this deterministic: the
+            # engine must serve (repairing or rebuilding as needed)
+            replay = search_transcript(state, origins, engine=engine)
+            assert replay == live, (step, origins)
+
+    def test_field_repair_equals_recompute_after_saturation(self):
+        state = AllocationState(mesh(4, 4, virtual_channels=1))
+        engine = DistanceFieldEngine(state)
+        origin = state.platform._node_ids["dsp_0_0"]
+        field = engine.field(origin)
+        while not field.complete:
+            engine.ring(field, len(field.rings))
+        depth = len(field.rings)
+        assert depth > 3
+        saturate_link(state, "r_2_2", "r_2_3")
+        repaired = engine.field(origin)
+        while not repaired.complete:
+            engine.ring(repaired, len(repaired.rings))
+        fresh_engine = DistanceFieldEngine(state)
+        fresh = fresh_engine.field(origin)
+        while not fresh.complete:
+            fresh_engine.ring(fresh, len(fresh.rings))
+        assert repaired.rings == fresh.rings
+        assert repaired.row == fresh.row
+
+    def test_closed_non_tree_edge_is_a_hit(self):
+        state = AllocationState(mesh(4, 4, virtual_channels=1))
+        engine = DistanceFieldEngine(state)
+        origin = state.platform._node_ids["dsp_0_0"]
+        field = engine.field(origin)
+        while not field.complete:
+            engine.ring(field, len(field.rings))
+        # find a saturatable router link that is NOT a tree edge of
+        # this field: parent[child] != other endpoint
+        node_ids = state.platform._node_ids
+        chosen = None
+        for link in state.platform.links:
+            a, b = link.a.name, link.b.name
+            if not (a.startswith("r_") and b.startswith("r_")):
+                continue
+            ia, ib = node_ids[a], node_ids[b]
+            da, db = field.row[ia], field.row[ib]
+            if da < 0 or db < 0 or abs(da - db) != 1:
+                continue
+            child, parent_end = (ib, ia) if db > da else (ia, ib)
+            if field.parent[child] != parent_end:
+                chosen = (a, b)
+                break
+        assert chosen is not None, "mesh should have non-tree edges"
+        hits = engine.stats.hits
+        saturate_link(state, *chosen)
+        engine.field(origin)
+        assert engine.stats.hits == hits + 1  # served without repair
+
+    def test_parity_cancellation_revalidates_without_repair(self):
+        state = AllocationState(mesh(4, 4, virtual_channels=1))
+        engine = DistanceFieldEngine(state)
+        origin = state.platform._node_ids["dsp_0_0"]
+        field = engine.field(origin)
+        while not field.complete:
+            engine.ring(field, len(field.rings))
+        repairs = engine.stats.repairs
+        saturate_link(state, "r_0_0", "r_0_1")  # a tree-edge wall
+        # release everything: traversability returns to the exact
+        # pre-saturation truth, and the flip parity cancels out
+        for app, channel in list(state._reservations):
+            state.release_route(app, channel)
+        again = engine.field(origin)
+        assert again is field
+        assert engine.stats.repairs == repairs  # no repair was needed
+
+    def test_rolled_back_flips_never_leave_a_stale_field(self):
+        # a field read inside a transaction observes the transaction's
+        # traversability; after rollback the reversing flips mark it
+        # dirty, so the next fetch repairs instead of serving it
+        state = AllocationState(mesh(3, 3, virtual_channels=1))
+        engine = DistanceFieldEngine(state)
+        origin = state.platform._node_ids["dsp_0_0"]
+
+        class Boom(RuntimeError):
+            pass
+
+        with pytest.raises(Boom):
+            with state.transaction():
+                saturate_link(state, "r_0_0", "r_0_1")
+                inside = engine.field(origin)
+                while not inside.complete:
+                    engine.ring(inside, len(inside.rings))
+                raise Boom()
+        after = engine.field(origin)
+        while not after.complete:
+            engine.ring(after, len(after.rings))
+        fresh_engine = DistanceFieldEngine(state)
+        fresh = fresh_engine.field(origin)
+        while not fresh.complete:
+            fresh_engine.ring(fresh, len(fresh.rings))
+        assert after.rings == fresh.rings
+        assert after.row == fresh.row
+
+    def test_restore_invalidates_every_field(self):
+        state = AllocationState(mesh(3, 3))
+        engine = DistanceFieldEngine(state)
+        origin = state.platform._node_ids["dsp_0_0"]
+        engine.field(origin)
+        misses = engine.stats.misses
+        state.restore(state.snapshot())
+        engine.field(origin)
+        assert engine.stats.misses == misses + 1
+
+
+class TestAcquireBypass:
+    def _complete(self, engine, field):
+        while not field.complete:
+            engine.ring(field, len(field.rings))
+
+    def test_repair_heavy_cycle_bypasses_then_commits_when_chronic(self):
+        state = AllocationState(mesh(4, 4, virtual_channels=1))
+        engine = DistanceFieldEngine(state)
+        origin = state.platform._node_ids["dsp_0_0"]
+        self._complete(engine, engine.field(origin))
+        # sever this field's ring-1 tree edges: a repair would discard
+        # nearly everything
+        saturate_link(state, "r_0_0", "r_0_1")
+        saturate_link(state, "r_0_0", "r_1_0")
+        bypasses = engine.stats.bypasses
+        for sighting in range(_STALE_LIMIT):
+            assert engine.acquire((origin,)) is None
+        assert engine.stats.bypasses == bypasses + _STALE_LIMIT
+        # chronic staleness: once the dormancy controller lets a probe
+        # cycle through, the repair is committed instead of re-bet
+        from repro.core.distfield import _PROBE_INTERVAL
+
+        served = None
+        for _cycle in range(_PROBE_INTERVAL + 1):
+            served = engine.acquire((origin,))
+            if served is not None:
+                break
+        assert served is not None
+        assert engine.stats.repairs >= 1
+
+    def test_clean_and_cold_cycles_are_served(self):
+        state = AllocationState(mesh(3, 3))
+        engine = DistanceFieldEngine(state)
+        ids = state.platform._node_ids
+        first = engine.acquire((ids["dsp_0_0"],))
+        assert first is not None and engine.stats.misses == 1
+        again = engine.acquire((ids["dsp_0_0"], ids["dsp_2_2"]))
+        assert again is not None
+        assert engine.stats.hits == 1 and engine.stats.misses == 2
+
+
+class TestRouterFastFail:
+    def test_unreachable_probe_matches_path_search(self):
+        platform = mesh(3, 3, virtual_channels=1)
+        state = AllocationState(platform)
+        engine = DistanceFieldEngine(state)
+        # wall off dsp_0_0's router column by saturating its links
+        saturate_link(state, "r_0_0", "r_0_1")
+        saturate_link(state, "r_0_0", "r_1_0")
+        origin = platform._node_ids["dsp_0_0"]
+        target = platform._node_ids["dsp_2_2"]
+        field = engine.field(origin)
+        while not field.complete:
+            engine.ring(field, len(field.rings))
+        assert engine.unreachable(origin, target)
+        assert BfsRouter().find_path_ids(state, origin, target, 1.0) is None
+        # reachable pairs are never fast-failed
+        router_neighbor = platform._node_ids["r_0_0"]
+        assert not engine.unreachable(origin, router_neighbor)
+
+    def test_stale_fields_answer_unknown(self):
+        platform = mesh(3, 3, virtual_channels=1)
+        state = AllocationState(platform)
+        engine = DistanceFieldEngine(state)
+        origin = platform._node_ids["dsp_0_0"]
+        field = engine.field(origin)
+        while not field.complete:
+            engine.ring(field, len(field.rings))
+        saturate_link(state, "r_1_1", "r_1_2")  # any flip staleness
+        assert not engine.unreachable(
+            origin, platform._node_ids["dsp_2_2"]
+        )
+
+
+class TestLockstep:
+    def test_churn_digests_identical(self):
+        pool = churn_pool(count=10, seed=0)
+        config = ChurnConfig(steps=60, target_utilization=0.8, seed=0)
+        inc = run_admission_churn(pool, mesh(8, 8), config, incremental=True)
+        live = run_admission_churn(
+            pool, mesh(8, 8), config, incremental=False
+        )
+        assert inc.layouts == live.layouts
+        assert (inc.admitted, inc.rejected, inc.released) == (
+            live.admitted, live.rejected, live.released
+        )
+        assert inc.distfield_stats["fetches"] > 0
+        assert live.distfield_stats["fetches"] == 0
+
+    @pytest.mark.parametrize("policy", ["reject", "fifo", "priority", "retry"])
+    def test_service_traces_identical(self, policy):
+        classes = default_traffic_classes(seed=4, rate_scale=6.0, pool_size=4)
+        traces = []
+        for incremental in (True, False):
+            result = run_simulation(
+                mesh(6, 6), classes, make_policy(policy),
+                SimulationConfig(duration=40.0, seed=6),
+                incremental=incremental,
+            )
+            traces.append(result.trace)
+        assert traces[0] == traces[1]
+
+    def test_service_traces_identical_under_faults(self):
+        from repro.sim.service import scheduled_faults
+
+        platform = mesh(6, 6)
+        faults = scheduled_faults(platform, 2, 40.0, seed=9)
+        classes = default_traffic_classes(seed=9, rate_scale=6.0, pool_size=4)
+        traces = []
+        for incremental in (True, False):
+            result = run_simulation(
+                platform, classes, make_policy("fifo"),
+                SimulationConfig(duration=40.0, seed=9),
+                faults=faults,
+                incremental=incremental,
+            )
+            traces.append(result.trace)
+        assert traces[0] == traces[1]
+        # recovery resets are engine lifecycle, not decisions
+        assert traces[0] is not None
+
+    def test_recover_resets_the_engine(self):
+        from repro.manager import Kairos
+
+        manager = Kairos(mesh(4, 4), validation_mode="skip")
+        pool = churn_pool(count=4, seed=2)
+        for index, app in enumerate(pool):
+            try:
+                manager.allocate(app, f"a{index}")
+            except Exception:
+                break
+        manager.state.fail_element("dsp_0_0")
+        resets = manager.distfield_stats["resets"]
+        manager.recover()
+        assert manager.distfield_stats["resets"] == resets + 1
+
+    def test_incremental_off_has_no_engine(self):
+        from repro.manager import Kairos
+
+        manager = Kairos(mesh(3, 3), validation_mode="skip", incremental=False)
+        assert manager._distfield is None
+        assert manager.distfield_stats["fetches"] == 0

@@ -266,3 +266,138 @@ def test_utilization_is_maintained_incrementally():
     assert state.utilization() == pytest.approx(1 / 9)
     state.vacate("app", "t")
     assert state.utilization() == 0.0
+
+
+class TestNestedTransactionCaches:
+    """AvailabilityCache + capacity-epoch rewind under *nested*
+    transactions with interleaved savepoint/rollback_to — the edge
+    cases the fast-path tests only assert for flat transactions."""
+
+    def _impl(self, cycles=60):
+        from repro.apps import dsp_implementation
+
+        return dsp_implementation(f"i{cycles}", cycles=cycles)
+
+    def _assert_cache_matches_scan(self, state, impl):
+        cached = [e.name for e in state.availability.available(impl)]
+        brute = [
+            e.name
+            for e in state.platform.elements
+            if not state.is_failed(e)
+            and impl.requirement.fits_in(state.free(e))
+            and impl.runs_on(e)
+        ]
+        assert cached == brute
+
+    def test_epoch_rewind_through_nested_scopes(self):
+        state = AllocationState(mesh(3, 3))
+        impl = self._impl()
+        outer_epoch = state.epoch
+
+        class Boom(RuntimeError):
+            pass
+
+        with state.transaction():
+            state.occupy("dsp_0_0", "a", "t0", ResourceVector(cycles=50))
+            mid_epoch = state.epoch
+            assert mid_epoch == outer_epoch + 1
+            mark = state.savepoint()
+            state.occupy("dsp_0_1", "a", "t1", ResourceVector(cycles=50))
+            self._assert_cache_matches_scan(state, impl)
+            with pytest.raises(Boom):
+                with state.transaction():  # nested scope
+                    state.occupy(
+                        "dsp_0_2", "a", "t2", ResourceVector(cycles=50)
+                    )
+                    inner_mark = state.savepoint()
+                    state.fail_element("dsp_1_0")
+                    self._assert_cache_matches_scan(state, impl)
+                    state.rollback_to(inner_mark)
+                    assert state.epoch == mid_epoch + 2
+                    self._assert_cache_matches_scan(state, impl)
+                    raise Boom()
+            # the nested rollback undid only the inner scope
+            assert state.epoch == mid_epoch + 1
+            self._assert_cache_matches_scan(state, impl)
+            state.rollback_to(mark)
+            assert state.epoch == mid_epoch
+            self._assert_cache_matches_scan(state, impl)
+        assert state.epoch == mid_epoch  # outer scope committed
+        self._assert_cache_matches_scan(state, impl)
+
+    def test_epoch_collision_across_nested_rollbacks_is_harmless(self):
+        # entries stamped at an uncommitted epoch must never be served
+        # after a rollback re-reaches that epoch value with different
+        # state — here through two *nested* rolled-back scopes
+        state = AllocationState(mesh(2, 2))
+        impl = self._impl(90)
+        names = [e.name for e in state.platform.elements]
+        state.occupy(names[0], "a", "t0", ResourceVector(cycles=50))
+
+        class Boom(RuntimeError):
+            pass
+
+        with pytest.raises(Boom):
+            with state.transaction():
+                state.occupy(names[1], "a", "t1", ResourceVector(cycles=50))
+                with pytest.raises(Boom):
+                    with state.transaction():
+                        state.occupy(
+                            names[2], "a", "t2", ResourceVector(cycles=50)
+                        )
+                        count, first = state.availability.summary(impl)
+                        assert count == 1 and first.name == names[3]
+                        raise Boom()
+                count, _first = state.availability.summary(impl)
+                assert count == 2
+                raise Boom()
+        # same epoch values are now re-reached with different history
+        state.occupy(names[3], "b", "t", ResourceVector(cycles=50))
+        state.occupy(names[1], "b", "t2", ResourceVector(cycles=50))
+        count, first = state.availability.summary(impl)
+        assert count == 1 and first.name == names[2]
+        self._assert_cache_matches_scan(state, impl)
+
+    def test_interleaved_savepoints_restore_aggregates_bit_exactly(self):
+        rng = random.Random(31)
+        state = AllocationState(mesh(3, 3))
+        impl = self._impl(40)
+        elements = [e.name for e in state.platform.elements]
+        with state.transaction():
+            checkpoints = []
+            for step in range(40):
+                roll = rng.random()
+                if roll < 0.45:
+                    try:
+                        state.occupy(
+                            rng.choice(elements), "app", f"t{step}",
+                            ResourceVector(cycles=rng.randint(5, 40)),
+                        )
+                    except AllocationError:
+                        pass
+                elif roll < 0.6:
+                    state.fail_element(rng.choice(elements))
+                elif roll < 0.7:
+                    state.heal_element(rng.choice(elements))
+                elif roll < 0.85 or not checkpoints:
+                    checkpoints.append((
+                        state.savepoint(), state.epoch,
+                        state.aggregate_free(),
+                        [e.name for e in state.availability.available(impl)],
+                    ))
+                else:
+                    mark, epoch, agg, avail = checkpoints.pop(
+                        rng.randrange(len(checkpoints))
+                    )
+                    state.rollback_to(mark)
+                    # later checkpoints are now invalid marks
+                    checkpoints = [
+                        c for c in checkpoints if c[0] <= mark
+                    ]
+                    assert state.epoch == epoch
+                    assert state.aggregate_free() == agg
+                    assert [
+                        e.name
+                        for e in state.availability.available(impl)
+                    ] == avail
+                self._assert_cache_matches_scan(state, impl)
