@@ -22,8 +22,6 @@ def _run(router_factory, prepared, platform, sequences):
     """Admission count and mean hops for one router over sequences."""
     import random
 
-    from repro.manager import AllocationFailure
-
     admitted = 0
     attempts = 0
     hops = []
@@ -33,14 +31,14 @@ def _run(router_factory, prepared, platform, sequences):
         rng = random.Random(index)
         order = list(prepared.applications)
         rng.shuffle(order)
+        controller = manager.controller
         for position, app in enumerate(order):
             attempts += 1
-            try:
-                layout = manager.allocate(app, f"p{position}")
-            except AllocationFailure:
+            decision = controller.admit(app, f"p{position}")
+            if not decision.admitted:
                 continue
             admitted += 1
-            hops.append(layout.hops_per_channel())
+            hops.append(decision.layout.hops_per_channel())
     mean_hops = sum(hops) / len(hops) if hops else 0.0
     return admitted, attempts, mean_hops
 

@@ -16,7 +16,7 @@ import random
 from repro.apps.datasets import DatasetSpec
 from repro.core import BOTH
 from repro.experiments import prepare_dataset
-from repro.manager import AllocationFailure, Kairos
+from repro.manager import Kairos
 from repro.core.mapping import MappingOptions
 
 
@@ -31,12 +31,10 @@ def _run(extra_rings, prepared, platform, sequences):
         rng = random.Random(index)
         order = list(prepared.applications)
         rng.shuffle(order)
+        controller = manager.controller
         for position, app in enumerate(order):
-            try:
-                manager.allocate(app, f"p{position}")
+            if controller.admit(app, f"p{position}").admitted:
                 admitted += 1
-            except AllocationFailure:
-                pass
         final_fragmentation.append(manager.external_fragmentation())
     mean_frag = sum(final_fragmentation) / len(final_fragmentation)
     return admitted, mean_frag

@@ -35,8 +35,8 @@ def bench_single_allocation_small(benchmark, platform):
 
     def allocate():
         manager = Kairos(platform, weights=BOTH, validation_mode="skip")
-        layout = manager.allocate(app)
-        manager.release(layout.app_id)
+        decision = manager.controller.admit(app)
+        manager.release(decision.app_id)
 
     benchmark(allocate)
 

@@ -77,7 +77,8 @@ def probe_workload(incremental: bool, probes: int, repeats: int) -> dict:
         for index in range(6)
     ]
     for index, app in enumerate(pool):
-        manager.allocate(app, f"fill{index}")
+        decision = manager.controller.admit(app, f"fill{index}")
+        assert decision.admitted, f"fill{index} rejected: {decision.reason}"
     app = pool[0]
     placements = set()
     best = float("inf")

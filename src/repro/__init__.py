@@ -22,15 +22,28 @@ substrate it depends on:
 * :mod:`repro.io` — the Kairos binary application format,
 * :mod:`repro.sim` — the discrete-event admission service: event
   kernel, Poisson/MMPP traffic, QoS queue policies, SLA metrics and
-  deterministic trace replay (``docs/simulation.md``).
+  deterministic trace replay (``docs/simulation.md``),
+* :mod:`repro.api` — **the public entry layer**: the
+  :class:`AdmissionController` plan/commit façade with structured
+  :class:`Decision` results and the :class:`PhasePipeline` strategy
+  registry (``docs/api.md``).
 
 Quick start::
 
-    from repro import Kairos, crisp, beamforming_application, CostWeights
+    from repro import AdmissionController, crisp, beamforming_application
 
-    manager = Kairos(crisp(), weights=CostWeights(1, 1))
-    layout = manager.allocate(beamforming_application())
-    print(layout.timings.as_milliseconds())
+    controller = AdmissionController(crisp())
+    decision = controller.admit(beamforming_application())
+    print(decision.admitted, decision.layout.timings.as_milliseconds())
+
+What-if probing without holding resources::
+
+    plan = controller.plan(app)       # pipeline runs, state untouched
+    ...                               # inspect plan.describe(), timings
+    decision = controller.commit(plan)  # cheap apply (replans if stale)
+
+(``Kairos.allocate`` still works but is a deprecated shim over
+plan+commit; see the migration table in ``docs/api.md``.)
 """
 
 from repro.apps import (
@@ -79,6 +92,13 @@ from repro.manager import (
     Phase,
     generate_plan,
 )
+from repro.api import (
+    AdmissionController,
+    Decision,
+    PhasePipeline,
+    Plan,
+)
+from repro.reasons import ReasonCode
 from repro.routing import BfsRouter, DijkstraRouter, RoutingError
 from repro.validation import (
     SdfGraph,
@@ -90,9 +110,14 @@ from repro.validation import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionController",
     "AllocationFailure",
     "AllocationState",
     "Application",
+    "Decision",
+    "PhasePipeline",
+    "Plan",
+    "ReasonCode",
     "BOTH",
     "BfsRouter",
     "BindingError",

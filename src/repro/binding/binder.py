@@ -25,6 +25,7 @@ from repro.apps.taskgraph import Application
 from repro.arch.elements import ProcessingElement
 from repro.arch.resources import ResourceVector
 from repro.arch.state import AllocationState
+from repro.reasons import ReasonCode
 
 #: regret assigned to tasks with a single feasible implementation —
 #: they are bound first, before any flexible task eats their capacity.
@@ -37,7 +38,18 @@ _OPTIONS_CACHE_LIMIT = 4096
 
 
 class BindingError(RuntimeError):
-    """The binding phase found no feasible implementation for a task."""
+    """The binding phase found no feasible implementation for a task.
+
+    ``code`` classifies the failure machine-readably; the manager
+    copies it onto the :class:`~repro.manager.layout.AllocationFailure`
+    it raises (or the :class:`~repro.api.Decision` it returns).
+    """
+
+    def __init__(
+        self, message: str, code: ReasonCode = ReasonCode.BINDING_INFEASIBLE
+    ):
+        super().__init__(message)
+        self.code = code
 
 
 @dataclass
@@ -302,7 +314,8 @@ def bind(
         if infeasible_task is not None:
             raise BindingError(
                 f"task {infeasible_task!r} of {app.name!r} has no feasible "
-                "implementation (insufficient platform resources)"
+                "implementation (insufficient platform resources)",
+                code=ReasonCode.NO_FEASIBLE_IMPLEMENTATION,
             )
         assert best_task is not None and best_option is not None
         impl, element = best_option

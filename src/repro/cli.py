@@ -4,6 +4,8 @@ Subcommands mirror the library's main entry points::
 
     python -m repro info                      # platform & library summary
     python -m repro allocate APP.kair         # four-phase allocation
+    python -m repro allocate APP.kair --dry-run   # plan, commit nothing
+    python -m repro plan APP.kair             # epoch-stamped plan summary
     python -m repro pack --beamformer out.kair
     python -m repro pack --generate SEED out.kair
     python -m repro inspect APP.kair          # decode a binary
@@ -24,11 +26,12 @@ import argparse
 import sys
 
 from repro import __version__
+from repro.api import AdmissionController
 from repro.apps import GeneratorConfig, beamforming_application, generate
 from repro.arch import crisp
 from repro.core import CostWeights
 from repro.io import load_application, pack_application, save_application, sniff
-from repro.manager import AllocationFailure, Kairos, generate_plan
+from repro.manager import generate_plan
 
 
 def _add_weights(parser: argparse.ArgumentParser) -> None:
@@ -66,7 +69,24 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("simulation", "analytical"))
     allocate.add_argument("--plan", action="store_true",
                           help="print the bootstrap configuration plan")
+    allocate.add_argument("--dry-run", action="store_true",
+                          help="plan only: run the four phases and print "
+                               "the plan summary (per-phase timings, "
+                               "epoch, reason code) without committing "
+                               "any resources")
     _add_weights(allocate)
+
+    plan = commands.add_parser(
+        "plan",
+        help="plan (but never commit) a four-phase allocation: prints "
+             "the epoch-stamped plan summary and holds no resources",
+    )
+    plan.add_argument("binary", help="application binary (.kair)")
+    plan.add_argument("--validation", default="report",
+                      choices=("enforce", "report", "skip"))
+    plan.add_argument("--method", default="simulation",
+                      choices=("simulation", "analytical"))
+    _add_weights(plan)
 
     pack = commands.add_parser("pack", help="write an application binary")
     source = pack.add_mutually_exclusive_group(required=True)
@@ -146,23 +166,32 @@ def _cmd_info() -> int:
     return 0
 
 
+def _make_controller(args) -> AdmissionController:
+    return AdmissionController(
+        crisp(),
+        weights=CostWeights(args.comm_weight, args.frag_weight),
+        validation_mode=args.validation,
+        validation_method=args.method,
+    )
+
+
 def _cmd_allocate(args) -> int:
     try:
         app = load_application(args.binary)
     except (OSError, ValueError) as exc:
         print(f"error: cannot load {args.binary}: {exc}", file=sys.stderr)
         return 2
-    manager = Kairos(
-        crisp(),
-        weights=CostWeights(args.comm_weight, args.frag_weight),
-        validation_mode=args.validation,
-        validation_method=args.method,
-    )
-    try:
-        layout = manager.allocate(app)
-    except AllocationFailure as failure:
-        print(f"REJECTED in {failure.phase.value}: {failure.reason}")
+    controller = _make_controller(args)
+    if args.dry_run:
+        plan = controller.plan(app)
+        print(plan.describe())
+        return 0 if plan.ok else 1
+    decision = controller.commit(controller.plan(app))
+    if not decision.admitted:
+        print(f"REJECTED in {decision.phase.value}: {decision.reason}")
+        print(f"reason code: {decision.code}")
         return 1
+    layout = decision.layout
     print(layout.describe())
     print()
     print("per-phase timings (ms):",
@@ -173,6 +202,20 @@ def _cmd_allocate(args) -> int:
         print()
         print(generate_plan(app, layout).as_script())
     return 0
+
+
+def _cmd_plan(args) -> int:
+    try:
+        app = load_application(args.binary)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load {args.binary}: {exc}", file=sys.stderr)
+        return 2
+    controller = _make_controller(args)
+    plan = controller.plan(app)
+    print(plan.describe())
+    if plan.ok and plan.layout.validation is not None:
+        print(f"constraints satisfied: {plan.layout.validation.satisfied}")
+    return 0 if plan.ok else 1
 
 
 def _cmd_pack(args) -> int:
@@ -361,6 +404,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_info()
     if args.command == "allocate":
         return _cmd_allocate(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     if args.command == "pack":
         return _cmd_pack(args)
     if args.command == "inspect":

@@ -35,10 +35,22 @@ from repro.core.cost import MappingCost
 from repro.core.gap import GapSolver, KnapsackSolver
 from repro.core.knapsack import solve_greedy
 from repro.core.search import RingSearch, SparseDistanceMatrix
+from repro.reasons import ReasonCode
 
 
 class MappingError(RuntimeError):
-    """The mapping phase could not place every task."""
+    """The mapping phase could not place every task.
+
+    ``code`` classifies the failure machine-readably (see
+    :class:`~repro.reasons.ReasonCode`); the manager copies it onto
+    the failure object / decision it produces.
+    """
+
+    def __init__(
+        self, message: str, code: ReasonCode = ReasonCode.MAPPING_INFEASIBLE
+    ):
+        super().__init__(message)
+        self.code = code
 
 
 @dataclass(frozen=True)
@@ -200,7 +212,8 @@ def map_application(
                 e0 = cached[2]
                 if e0 is None:
                     raise MappingError(
-                        f"no available element for starting task {t0!r}"
+                        f"no available element for starting task {t0!r}",
+                        code=ReasonCode.MAPPING_NO_ANCHOR,
                     )
                 anchor_pairs.append((t0, e0))
         if not anchor_pairs:
@@ -209,7 +222,8 @@ def map_application(
                 if memo is not None:
                     memo[key] = (impl0, cost, None)
                 raise MappingError(
-                    f"no available element for starting task {t0!r}"
+                    f"no available element for starting task {t0!r}",
+                    code=ReasonCode.MAPPING_NO_ANCHOR,
                 )
             empty_distances = SparseDistanceMatrix(state.platform)
             if memo is not None:
@@ -442,7 +456,8 @@ def _map_layer(
         ):
             raise MappingError(
                 f"layer {index}: search exhausted after {search.ring} rings "
-                f"with tasks {list(gap.unmapped)} unmapped"
+                f"with tasks {list(gap.unmapped)} unmapped",
+                code=ReasonCode.MAPPING_SEARCH_EXHAUSTED,
             )
         ring_elements = search.advance()
         if not ring_elements:

@@ -20,13 +20,12 @@ import os
 import random
 from dataclasses import dataclass, field
 
+from repro.api.controller import AdmissionController
 from repro.apps.datasets import ALL_SPECS, DatasetSpec, make_dataset
 from repro.apps.taskgraph import Application
 from repro.arch.builders import crisp
 from repro.arch.topology import Platform
 from repro.core.cost import BOTH, CostWeights
-from repro.manager.kairos import Kairos
-from repro.manager.layout import AllocationFailure
 from repro.manager.metrics import SequenceRecorder
 
 #: paper-scale defaults
@@ -97,13 +96,14 @@ def prepare_dataset(
     platform = platform or default_platform()
     generated = make_dataset(spec, count=applications, seed=seed)
     survivors = []
-    manager = Kairos(platform, weights=weights, validation_mode="skip")
+    controller = AdmissionController(
+        platform, weights=weights, validation_mode="skip"
+    )
     for app in generated:
-        try:
-            layout = manager.allocate(app)
-        except AllocationFailure:
+        decision = controller.admit(app)
+        if not decision.admitted:
             continue
-        manager.release(layout.app_id)
+        controller.release(decision.app_id)
         survivors.append(app)
     return PreparedDataset(spec=spec, generated=len(generated),
                            applications=survivors)
@@ -136,24 +136,26 @@ def run_sequence(
     records (admission, failing phase, hops, fragmentation, timings).
     """
     platform = platform or default_platform()
-    manager = Kairos(platform, weights=weights, validation_mode=validation_mode)
+    controller = AdmissionController(
+        platform, weights=weights, validation_mode=validation_mode
+    )
+    manager = controller.manager
     recorder = SequenceRecorder()
     limit = positions if positions is not None else len(applications)
     for position, app in enumerate(applications[:limit], start=1):
-        try:
-            layout = manager.allocate(app, f"pos{position}")
-        except AllocationFailure as failure:
-            recorder.record_failure(
+        decision = controller.admit(app, f"pos{position}")
+        if decision.admitted:
+            recorder.record_success(
                 position=position,
-                app_name=app.name,
-                phase=failure.phase,
+                layout=decision.layout,
                 fragmentation=manager.external_fragmentation(),
                 tasks=len(app),
             )
         else:
-            recorder.record_success(
+            recorder.record_failure(
                 position=position,
-                layout=layout,
+                app_name=app.name,
+                phase=decision.phase,
                 fragmentation=manager.external_fragmentation(),
                 tasks=len(app),
             )

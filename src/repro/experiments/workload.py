@@ -43,8 +43,9 @@ from repro.arch.resources import ResourceVector
 from repro.arch.state import AllocationState
 from repro.arch.topology import Platform
 from repro.core.cost import BOTH, CostWeights
+from repro.api.controller import AdmissionController
 from repro.manager.kairos import Kairos
-from repro.manager.layout import AllocationFailure, Phase
+from repro.manager.layout import AllocationFailure
 from repro.sim.events import EventKernel, EventKind, pop_random
 
 
@@ -125,6 +126,7 @@ def run_workload(
         raise ValueError("workload pool must not be empty")
     rng = random.Random(config.seed)
     manager = Kairos(platform, weights=weights, validation_mode="skip")
+    controller = manager.controller
     stats = WorkloadStats()
     resident_ids: list[str] = []
     admitted_step: dict[str, int] = {}  # app_id -> admission step
@@ -143,18 +145,17 @@ def run_workload(
             app = pool[next_app % len(pool)]
             next_app += 1
             counter += 1
-            try:
-                layout = manager.allocate(app, f"w{counter}_{app.name}")
-            except AllocationFailure as failure:
+            decision = controller.admit(app, f"w{counter}_{app.name}")
+            if decision.admitted:
+                stats.admitted += 1
+                resident_ids.append(decision.app_id)
+                admitted_step[decision.app_id] = step
+            else:
                 stats.rejected += 1
-                phase = failure.phase.value
+                phase = decision.phase.value
                 stats.rejections_by_phase[phase] = (
                     stats.rejections_by_phase.get(phase, 0) + 1
                 )
-            else:
-                stats.admitted += 1
-                resident_ids.append(layout.app_id)
-                admitted_step[layout.app_id] = step
         stats.utilization_trace.append(manager.utilization())
         stats.fragmentation_trace.append(manager.external_fragmentation())
 
@@ -295,6 +296,7 @@ def run_admission_churn(
     rollback: str = "transaction",
     fastpath: bool = True,
     incremental: bool = True,
+    path: str = "admit",
 ) -> ChurnResult:
     """Sustained allocate/release churn against one Kairos instance.
 
@@ -306,14 +308,27 @@ def run_admission_churn(
     events on the shared event kernel; the adapter reproduces the
     original loop's RNG draw sequence exactly (order-preserving
     :func:`~repro.sim.events.pop_random`), keeping the digests stable.
+
+    ``path`` selects the admission route: ``"admit"`` (the façade's
+    one-shot hot path, the default everywhere), ``"plan_commit"``
+    (every attempt goes plan → commit, the two-phase protocol — one
+    extra journal unwind + mutation replay per admission), or
+    ``"direct"`` (the pre-façade ``Kairos`` call convention, kept so
+    the admission bench can gate the façade's hot-path overhead).
+    Decisions and digests are identical on all three.
     """
     if not pool:
         raise ValueError("churn pool must not be empty")
+    if path not in ("admit", "plan_commit", "direct"):
+        raise ValueError(
+            f"path must be 'admit', 'plan_commit' or 'direct', got {path!r}"
+        )
     rng = random.Random(config.seed)
     manager = Kairos(
         platform, weights=weights, validation_mode="skip",
         rollback=rollback, fastpath=fastpath, incremental=incremental,
     )
+    controller = manager.controller
     result = ChurnResult()
     resident: list[str] = []
     next_app = 0
@@ -326,11 +341,21 @@ def run_admission_churn(
         next_app += 1
         counter += 1
         app_id = f"churn{counter}_{app.name}"
-        try:
-            layout = manager.allocate(app, app_id)
-        except AllocationFailure:
-            result.rejected += 1
-            return False
+        if path == "direct":
+            try:
+                layout = manager._admit_direct(app, app_id)
+            except AllocationFailure:
+                result.rejected += 1
+                return False
+        else:
+            if path == "plan_commit":
+                decision = controller.commit(controller.plan(app, app_id))
+            else:
+                decision = controller.admit(app, app_id)
+            if not decision.admitted:
+                result.rejected += 1
+                return False
+            layout = decision.layout
         result.admitted += 1
         resident.append(app_id)
         result.layouts.append(_layout_digest(layout))
@@ -389,12 +414,12 @@ def saturation_point(
     returns the number admitted — a capacity figure used to scale
     workload configurations.
     """
-    manager = Kairos(platform, weights=weights, validation_mode="skip")
+    controller = AdmissionController(
+        platform, weights=weights, validation_mode="skip"
+    )
     admitted = 0
     for index, app in enumerate(pool):
-        try:
-            manager.allocate(app, f"sat{index}")
-        except AllocationFailure:
+        if not controller.admit(app, f"sat{index}").admitted:
             break
         admitted += 1
     return admitted

@@ -32,24 +32,28 @@ from __future__ import annotations
 
 import itertools
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.apps.taskgraph import Application, TaskGraphError
 from repro.arch.state import AllocationState
 from repro.arch.topology import Platform
-from repro.binding.binder import BindingError, bind
 from repro.core.cost import BOTH, CostWeights, MappingCost
 from repro.core.distfield import DistanceFieldEngine, FieldStats
-from repro.core.mapping import MappingError, MappingOptions, map_application
+from repro.core.mapping import MappingOptions
 from repro.manager.layout import (
     AllocationFailure,
     ExecutionLayout,
     Phase,
     PhaseTimings,
 )
-from repro.routing.router import BaseRouter, BfsRouter, RoutingError
+from repro.reasons import ReasonCode
+from repro.routing.router import BaseRouter, BfsRouter
 from repro.validation.builder import SdfModelOptions
-from repro.validation.validator import validate_layout
+
+# repro.api's package __init__ is lazy (PEP 562), so this pulls in only
+# the pipeline module — no cycle back into the manager
+from repro.api.pipeline import PhaseContext, PhasePipeline
 
 #: validation policy names (see module docstring of validator)
 VALIDATION_MODES = ("enforce", "report", "skip")
@@ -131,41 +135,62 @@ class AdmissionGate:
         entry = self._memo.get(digest)
         if entry is None:
             return
-        epoch, phase, reason = entry
+        epoch, phase, reason, code = entry
         if epoch != self.state._epoch:
-            del self._memo[digest]  # stale: capacity changed since
+            # stale for the *current* observation — but inside an open
+            # transaction (batch planning) the mismatch only reflects
+            # uncommitted mutations that will be rolled back, and the
+            # entry stays valid for the committed state it certifies,
+            # so it is pruned only when the epoch is a committed one
+            if not self.state.in_transaction():
+                del self._memo[digest]
             return
         self.memo_hits += 1
-        # the recorded reason is replayed verbatim for this (possibly
-        # different) app_id — reasons are diagnostics, and no pipeline
-        # reason embeds the attempt id (they name app/task/channel)
-        failure = AllocationFailure(phase, app_id, reason)
+        # the recorded reason (and code) is replayed verbatim for this
+        # (possibly different) app_id — reasons are diagnostics, and no
+        # pipeline reason embeds the attempt id (they name
+        # app/task/channel)
+        failure = AllocationFailure(phase, app_id, reason, code=code)
         failure.memoized = True
         raise failure
 
     def remember(self, digest: str, failure: AllocationFailure) -> None:
-        """Record a rejection against the current (restored) epoch."""
+        """Record a rejection against the current (restored) epoch.
+
+        Inside an open transaction the epoch is *uncommitted*: a later
+        committed history can re-reach the same counter value with a
+        different ledger (the batch-planning pattern of
+        :meth:`repro.api.AdmissionController.plan_batch`), so an entry
+        recorded now could replay a rejection against a state it never
+        observed.  Such rejections are therefore not memoized — the
+        soundness contract beats the cache hit.
+        """
+        if self.state.in_transaction():
+            return
         if len(self._memo) >= _MEMO_LIMIT:
             self._memo.clear()
         self._memo[digest] = (
-            self.state._epoch, failure.phase, failure.reason
+            self.state._epoch, failure.phase, failure.reason, failure.code
         )
 
     # -- the feasibility gate ----------------------------------------------
 
     def check_feasible(self, app: Application, digest: str, app_id: str) -> None:
         """Raise (and memoize) iff the spec is provably inadmissible."""
-        reason = self._infeasible_reason(app, digest)
-        if reason is None:
+        rejection = self._infeasible_reason(app, digest)
+        if rejection is None:
             self.gate_passes += 1
             return
+        reason, code = rejection
         self.gate_rejections += 1
-        failure = AllocationFailure(Phase.BINDING, app_id, reason)
+        failure = AllocationFailure(Phase.BINDING, app_id, reason, code=code)
         failure.gated = True
         self.remember(digest, failure)
         raise failure
 
-    def _infeasible_reason(self, app: Application, digest: str) -> str | None:
+    def _infeasible_reason(
+        self, app: Application, digest: str
+    ) -> tuple[str, ReasonCode] | None:
         state = self.state
         total, by_class = self._demand_of(app, digest)
         agg = state._agg_free
@@ -179,7 +204,8 @@ class AdmissionGate:
             if needed > have and needed - have > _AGG_SLACK * (1.0 + abs(have)):
                 return (
                     f"aggregate demand exceeds free capacity: needs "
-                    f"{needed:g} {resource}, platform has {have:g} free"
+                    f"{needed:g} {resource}, platform has {have:g} free",
+                    ReasonCode.AGGREGATE_CAPACITY,
                 )
         agg_kind = state._agg_free_kind
         for kind, demand in by_class.items():
@@ -192,7 +218,8 @@ class AdmissionGate:
                     return (
                         f"aggregate demand exceeds free {kind.value} "
                         f"capacity: needs {needed:g} {resource}, "
-                        f"{have:g} free"
+                        f"{have:g} free",
+                        ReasonCode.AGGREGATE_CAPACITY,
                     )
         availability = state.availability
         for name in sorted(app.tasks):
@@ -206,7 +233,8 @@ class AdmissionGate:
                 # this task, with exactly this message
                 return (
                     f"task {name!r} of {app.name!r} has no feasible "
-                    "implementation (insufficient platform resources)"
+                    "implementation (insufficient platform resources)",
+                    ReasonCode.NO_FEASIBLE_IMPLEMENTATION,
                 )
         return None
 
@@ -260,11 +288,18 @@ class AdmissionGate:
 
 @dataclass
 class RecoveryReport:
-    """Outcome of a fault-recovery pass."""
+    """Outcome of a fault-recovery pass.
+
+    ``lost`` keeps the human-readable reason strings (they are
+    recorded verbatim in sim decision traces, so their format is
+    frozen); ``lost_codes`` carries the machine-readable
+    :class:`~repro.reasons.ReasonCode` per lost application.
+    """
 
     stranded: tuple[str, ...] = ()
     recovered: dict[str, ExecutionLayout] = field(default_factory=dict)
     lost: dict[str, str] = field(default_factory=dict)  #: app_id -> reason
+    lost_codes: dict[str, ReasonCode] = field(default_factory=dict)
 
 
 class Kairos:
@@ -330,6 +365,7 @@ class Kairos:
         rollback: str = "transaction",
         fastpath: bool = True,
         incremental: bool = True,
+        pipeline: PhasePipeline | None = None,
     ) -> None:
         if validation_mode not in VALIDATION_MODES:
             raise ValueError(
@@ -365,26 +401,102 @@ class Kairos:
         self._distfield = (
             DistanceFieldEngine(self.state) if self.incremental else None
         )
+        #: the phase-strategy pipeline (see repro.api.pipeline); the
+        #: default reproduces the paper's work-flow exactly — regret
+        #: binding, MapApplication, the configured router instance and
+        #: the configured validation method
+        if pipeline is None:
+            pipeline = PhasePipeline(
+                binder="regret",
+                mapper="kairos",
+                router=self.router,
+                validator=(
+                    "skip" if validation_mode == "skip"
+                    else validation_method
+                ),
+            )
+        self.pipeline = pipeline
         self.admitted: dict[str, ExecutionLayout] = {}
         #: original specifications of admitted applications, kept so
         #: fault recovery can re-allocate without the caller having to
         #: supply them (layouts do not retain the full task graph)
         self.specifications: dict[str, Application] = {}
         self._counter = itertools.count()
+        self._controller = None  # lazy AdmissionController (repro.api)
 
     # -- allocation --------------------------------------------------------
 
     def allocate(
         self, app: Application, app_id: str | None = None
     ) -> ExecutionLayout:
-        """Run one atomic allocation attempt; returns the layout.
+        """Deprecated admission entry point (compat shim since PR 5).
 
-        Raises :class:`AllocationFailure` with the failing phase; the
-        allocation state is untouched in that case.  With the fast
-        path enabled, attempts the :class:`AdmissionGate` can prove
-        inadmissible (or has already seen fail against this exact
-        state) are rejected before the pipeline runs — same phase,
-        same decision, none of the cost.
+        New code should use :class:`repro.api.AdmissionController`:
+        ``admit()`` for the one-shot decision, or ``plan()`` +
+        ``commit()`` for the two-phase protocol.  This shim routes
+        through plan+commit — behaviour, layouts and churn digests are
+        bit-identical to the historical implementation (asserted
+        against ``benchmarks/seed_reference`` by the test suite) — and
+        re-raises the plan's :class:`AllocationFailure` on rejection.
+        """
+        warnings.warn(
+            "Kairos.allocate is deprecated; use "
+            "repro.api.AdmissionController.admit (or plan/commit)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        controller = self.controller
+        plan = controller.plan(app, app_id)
+        decision = controller.commit(plan)
+        if not decision.admitted:
+            raise decision.failure
+        return decision.layout
+
+    @property
+    def controller(self):
+        """The :class:`repro.api.AdmissionController` façade over this
+        manager (created on first use; one per manager)."""
+        if self._controller is None:
+            from repro.api.controller import AdmissionController
+
+            self._controller = AdmissionController.wrap(self)
+        return self._controller
+
+    def _admit_direct(
+        self, app: Application, app_id: str | None = None
+    ) -> ExecutionLayout:
+        """One atomic allocation attempt, committed and registered.
+
+        The historical ``allocate`` hot path, used by the façade's
+        ``admit()`` and by fault recovery.  Raises
+        :class:`AllocationFailure` with the failing phase; the
+        allocation state is untouched in that case.
+        """
+        layout = self._attempt(app, app_id, hold=True)
+        self.admitted[layout.app_id] = layout
+        self.specifications[layout.app_id] = app
+        return layout
+
+    def _attempt(
+        self,
+        app: Application,
+        app_id: str | None = None,
+        *,
+        hold: bool = True,
+    ) -> ExecutionLayout:
+        """Gate + four phases; ``hold=False`` unwinds every mutation.
+
+        With the fast path enabled, attempts the
+        :class:`AdmissionGate` can prove inadmissible (or has already
+        seen fail against this exact state) are rejected before the
+        pipeline runs — same phase, same decision, none of the cost.
+
+        ``hold=True`` keeps the successful attempt's mutations (the
+        admission path); ``hold=False`` is the *planning* path — the
+        pipeline runs to completion, then the journal (or snapshot)
+        restores the pre-attempt state bit-exactly, so the returned
+        layout describes resources that are **not** held.  Neither
+        path registers the layout in :attr:`admitted` — callers do.
         """
         app_id = app_id or f"{app.name}#{next(self._counter)}"
         if app_id in self.admitted:
@@ -401,7 +513,10 @@ class Kairos:
         try:
             app.validate()
         except TaskGraphError as exc:
-            failure = AllocationFailure(Phase.BINDING, app_id, str(exc))
+            failure = AllocationFailure(
+                Phase.BINDING, app_id, str(exc),
+                code=ReasonCode.INVALID_SPECIFICATION,
+            )
             if gate is not None:
                 gate.remember(digest, failure)
             raise failure from exc
@@ -417,20 +532,34 @@ class Kairos:
                 failure.timings = timings
                 raise
         try:
-            if self.rollback == "snapshot":
+            if self.rollback == "snapshot" and not self.state.in_transaction():
                 # legacy strategy: full ledger copy up front, restore
-                # on failure (epoch and aggregates restore with it)
+                # on failure — or on success when only planning.
+                # Inside an open transaction (batch planning) restore()
+                # is illegal, so the journal strategy takes over there;
+                # the two are equivalence-tested (tests/test_transactions)
                 snapshot = self.state.snapshot()
                 try:
                     layout = self._run_phases(app, app_id, timings)
                 except AllocationFailure:
                     self.state.restore(snapshot)
                     raise
+                if not hold:
+                    self.state.restore(snapshot)
             else:
-                # journal strategy: any exception (phase failure or bug)
-                # rolls back exactly the mutations this attempt made
-                with self.state.transaction():
+                # journal strategy: any exception (phase failure or
+                # bug) rolls back exactly the mutations this attempt
+                # made; a plan-only attempt rolls back its own success
+                mark = self.state._tx_begin()
+                try:
                     layout = self._run_phases(app, app_id, timings)
+                except BaseException:
+                    self.state._tx_rollback(mark)
+                    raise
+                if hold:
+                    self.state._tx_commit()
+                else:
+                    self.state._tx_rollback(mark)
         except AllocationFailure as failure:
             failure.timings = timings
             if gate is not None:
@@ -438,8 +567,6 @@ class Kairos:
                 # so the memo entry certifies this exact state
                 gate.remember(digest, failure)
             raise
-        self.admitted[app_id] = layout
-        self.specifications[app_id] = app
         return layout
 
     @property
@@ -462,74 +589,34 @@ class Kairos:
             return FieldStats().as_dict()
         return engine.stats.as_dict()
 
+    def _phase_context(self, app_id: str) -> PhaseContext:
+        """The per-attempt dependency container the strategies receive."""
+        return PhaseContext(
+            app_id=app_id,
+            cost=self.cost,
+            mapping_options=self.mapping_options,
+            sdf_options=self.sdf_options,
+            validation_mode=self.validation_mode,
+            validation_max_firings=self.validation_max_firings,
+            engine=self._distfield,
+        )
+
     def _run_phases(
         self, app: Application, app_id: str, timings: PhaseTimings
     ) -> ExecutionLayout:
         """Binding, mapping, routing, validation — the Fig. 1 work-flow.
 
+        Delegates to the :class:`~repro.api.pipeline.PhasePipeline`
+        (strategies are swappable; the default reproduces the paper).
         Mutates the allocation state; the caller provides atomicity.
         """
-        # 1. binding
-        started = time.perf_counter()
-        try:
-            binding = bind(app, self.state)
-        except BindingError as exc:
-            raise AllocationFailure(Phase.BINDING, app_id, str(exc)) from exc
-        finally:
-            timings.record(Phase.BINDING, time.perf_counter() - started)
-
-        # 2. mapping
-        started = time.perf_counter()
-        try:
-            mapping = map_application(
-                app, binding.choice, self.state,
-                cost=self.cost, options=self.mapping_options,
-                app_id=app_id, engine=self._distfield,
-            )
-        except MappingError as exc:
-            raise AllocationFailure(Phase.MAPPING, app_id, str(exc)) from exc
-        finally:
-            timings.record(Phase.MAPPING, time.perf_counter() - started)
-
-        # 3. routing
-        started = time.perf_counter()
-        try:
-            routing = self.router.route_application(
-                app, mapping.placement, self.state, app_id=app_id,
-                engine=self._distfield,
-            )
-        except RoutingError as exc:
-            raise AllocationFailure(Phase.ROUTING, app_id, str(exc)) from exc
-        finally:
-            timings.record(Phase.ROUTING, time.perf_counter() - started)
-
-        # 4. validation
-        report = None
-        if self.validation_mode != "skip":
-            started = time.perf_counter()
-            try:
-                report = validate_layout(
-                    app, binding.choice, mapping.placement,
-                    routing.routes, self.state,
-                    options=self.sdf_options,
-                    max_firings=self.validation_max_firings,
-                    method=self.validation_method,
-                )
-            finally:
-                timings.record(
-                    Phase.VALIDATION, time.perf_counter() - started
-                )
-            if self.validation_mode == "enforce" and not report.satisfied:
-                reasons = "; ".join(
-                    f"{c.constraint.describe()} (achieved {c.achieved:g})"
-                    for c in report.violations()
-                ) or "deadlocked dataflow graph"
-                raise AllocationFailure(Phase.VALIDATION, app_id, reasons)
-
+        binding, mapping, routing, report = self.pipeline.run(
+            app, app_id, self.state, self._phase_context(app_id), timings
+        )
         return ExecutionLayout(
             app_id=app_id,
             app_name=app.name,
-            binding=binding.choice,
+            binding=binding,
             placement=mapping.placement,
             routes=routing.routes,
             local_channels=routing.local_channels,
@@ -597,14 +684,16 @@ class Kairos:
         for app_id in report.stranded:
             if app_id not in lookup:
                 report.lost[app_id] = "no application specification supplied"
+                report.lost_codes[app_id] = ReasonCode.RECOVERY_NO_SPECIFICATION
                 self.release(app_id)
                 continue
             app = lookup[app_id]
             self.release(app_id)
             try:
-                report.recovered[app_id] = self.allocate(app, app_id)
+                report.recovered[app_id] = self._admit_direct(app, app_id)
             except AllocationFailure as exc:
                 report.lost[app_id] = f"{exc.phase.value}: {exc.reason}"
+                report.lost_codes[app_id] = exc.code
         return report
 
     # -- metrics ----------------------------------------------------------------

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.apps.implementations import Implementation
 from repro.arch.state import ChannelReservation
 from repro.core.mapping import MappingResult
+from repro.reasons import ReasonCode
 from repro.validation.validator import ValidationReport
 
 
@@ -41,13 +42,25 @@ class AllocationFailure(RuntimeError):
     before the rejection; ``memoized``/``gated`` flag rejections the
     fast path served without running the pipeline (the decision is
     identical either way — see :mod:`repro.manager.kairos`).
+
+    ``code`` is the machine-readable classification of the rejection
+    (:class:`~repro.reasons.ReasonCode`): the free-form ``reason``
+    explains, the code routes.  Failure sites that know their cause
+    pass one; otherwise the phase's generic fallback applies.
     """
 
-    def __init__(self, phase: Phase, app_id: str, reason: str):
+    def __init__(
+        self,
+        phase: Phase,
+        app_id: str,
+        reason: str,
+        code: "ReasonCode | None" = None,
+    ):
         super().__init__(f"[{phase.value}] {app_id}: {reason}")
         self.phase = phase
         self.app_id = app_id
         self.reason = reason
+        self.code = code if code is not None else ReasonCode.for_phase(phase)
         self.timings: "PhaseTimings | None" = None
         self.memoized = False
         self.gated = False

@@ -26,10 +26,22 @@ from dataclasses import dataclass, field
 
 from repro.apps.taskgraph import Application, Channel
 from repro.arch.state import AllocationError, AllocationState, ChannelReservation
+from repro.reasons import ReasonCode
 
 
 class RoutingError(RuntimeError):
-    """The routing phase could not establish every channel."""
+    """The routing phase could not establish every channel.
+
+    ``code`` classifies the failure machine-readably (see
+    :class:`~repro.reasons.ReasonCode`); the manager copies it onto
+    the failure object / decision it produces.
+    """
+
+    def __init__(
+        self, message: str, code: ReasonCode = ReasonCode.ROUTING_INFEASIBLE
+    ):
+        super().__init__(message)
+        self.code = code
 
 
 @dataclass
@@ -129,14 +141,16 @@ class BaseRouter:
                 else:
                     raise RoutingError(
                         f"no route for channel {channel.name!r} "
-                        f"({source} -> {target}, bw {bandwidth:g})"
+                        f"({source} -> {target}, bw {bandwidth:g})",
+                        code=ReasonCode.ROUTING_SATURATED,
                     )
         for channel in ordered:
             source = placement.get(channel.source)
             target = placement.get(channel.target)
             if source is None or target is None:
                 raise RoutingError(
-                    f"channel {channel.name!r} has unmapped endpoints"
+                    f"channel {channel.name!r} has unmapped endpoints",
+                    code=ReasonCode.ROUTING_UNMAPPED_ENDPOINT,
                 )
             if source == target:
                 local.append(channel.name)
@@ -154,7 +168,8 @@ class BaseRouter:
             if id_path is None:
                 raise RoutingError(
                     f"no route for channel {channel.name!r} "
-                    f"({source} -> {target}, bw {channel.bandwidth:g})"
+                    f"({source} -> {target}, bw {channel.bandwidth:g})",
+                    code=ReasonCode.ROUTING_NO_PATH,
                 )
             try:
                 reservation = state.reserve_route_ids(

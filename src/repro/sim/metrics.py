@@ -87,9 +87,15 @@ class ServiceMetrics:
     #: the recorded failure — same decision, none of the pipeline cost)
     probes_short_circuited: int = 0
     #: drop reason -> count ("rejected", "queue_full", "timeout",
-    #: "retries_exhausted", "drained")
+    #: "retries_exhausted", "drained") — the queue-policy members of
+    #: :class:`repro.reasons.ReasonCode`; keys are their string values
     drops: dict[str, int] = field(default_factory=dict)
     rejections_by_phase: dict[str, int] = field(default_factory=dict)
+    #: pipeline rejections by machine-readable ReasonCode value —
+    #: finer-grained than the per-phase counts (e.g. distinguishes
+    #: gate aggregate-capacity rejections from no-feasible-
+    #: implementation ones, both "binding")
+    rejections_by_code: dict[str, int] = field(default_factory=dict)
     #: wall-clock seconds per pipeline phase, one sample per attempt in
     #: which the phase actually ran (admitted and rejected alike)
     phase_latencies: dict[str, list[float]] = field(default_factory=dict)
@@ -126,6 +132,9 @@ class ServiceMetrics:
     def on_dropped(
         self, class_name: str, reason: str, now: float | None = None
     ) -> None:
+        # reason may be a ReasonCode member (a str subclass) or a plain
+        # string from a custom policy; store the plain value either way
+        reason = str(getattr(reason, "value", reason))
         self.drops[reason] = self.drops.get(reason, 0) + 1
         self._class(class_name).dropped += 1
         # drained drops are censored, not blocking — excluded from the
@@ -133,10 +142,15 @@ class ServiceMetrics:
         if reason != "drained" and (now is None or now >= self.warmup):
             self.steady_blocked += 1
 
-    def on_phase_rejection(self, phase: str) -> None:
+    def on_phase_rejection(self, phase: str, code=None) -> None:
         self.rejections_by_phase[phase] = (
             self.rejections_by_phase.get(phase, 0) + 1
         )
+        if code is not None:
+            key = str(getattr(code, "value", code))
+            self.rejections_by_code[key] = (
+                self.rejections_by_code.get(key, 0) + 1
+            )
 
     def on_attempt_timings(self, timings) -> None:
         """Record one attempt's per-phase wall-clock seconds.
@@ -222,6 +236,9 @@ class ServiceMetrics:
             "drops_by_reason": dict(sorted(self.drops.items())),
             "rejections_by_phase": dict(
                 sorted(self.rejections_by_phase.items())
+            ),
+            "rejections_by_code": dict(
+                sorted(self.rejections_by_code.items())
             ),
             "queued": self.queued,
             "retries": self.retries,

@@ -46,7 +46,7 @@ from repro.arch.state import AllocationState
 from repro.arch.topology import Platform
 from repro.core.cost import BOTH, CostWeights
 from repro.manager.kairos import Kairos
-from repro.manager.layout import AllocationFailure
+from repro.reasons import ReasonCode
 from repro.sim.events import Event, EventKernel, EventKind
 from repro.sim.metrics import ServiceMetrics, SimSample
 from repro.sim.trace import TraceRecorder, diff_traces, read_trace, write_trace
@@ -69,12 +69,13 @@ class AdmissionRequest:
     attempts: int = 0
     enqueued_at: float | None = None
     timeout_event: Event | None = None
-    #: capacity epoch at the last failed probe plus the phase it failed
-    #: in — when the epoch is unchanged, a re-probe is provably
-    #: identical, so the service replays the outcome without running
-    #: the pipeline (see :meth:`AdmissionService.try_admit`)
+    #: capacity epoch at the last failed probe plus the phase/reason it
+    #: failed with — when the epoch is unchanged, a re-probe is
+    #: provably identical, so the service replays the outcome without
+    #: running the pipeline (see :meth:`AdmissionService.try_admit`)
     last_failed_epoch: int | None = None
     last_failed_phase: str | None = None
+    last_failed_code: "ReasonCode | None" = None
 
 
 # -- queue policies ---------------------------------------------------------
@@ -89,7 +90,7 @@ class QueuePolicy:
         self, service: "AdmissionService", request: AdmissionRequest,
         now: float,
     ) -> None:
-        service.drop(request, "rejected", now)
+        service.drop(request, ReasonCode.REJECTED, now)
 
     def on_capacity_freed(
         self, service: "AdmissionService", now: float
@@ -132,7 +133,7 @@ class _BoundedQueuePolicy(QueuePolicy):
         now: float,
     ) -> bool:
         if self.depth() >= self.capacity:
-            service.drop(request, "queue_full", now)
+            service.drop(request, ReasonCode.QUEUE_FULL, now)
             return False
         request.enqueued_at = now
         if self.timeout is not None:
@@ -156,7 +157,7 @@ class _BoundedQueuePolicy(QueuePolicy):
     ) -> None:
         if self._remove(request):
             self._dequeue(request)
-            service.drop(request, "timeout", now)
+            service.drop(request, ReasonCode.TIMEOUT, now)
             self._after_expire(service, now)
 
     def _after_expire(
@@ -177,7 +178,7 @@ class _BoundedQueuePolicy(QueuePolicy):
         for request in self._waiting():
             self._remove(request)
             self._dequeue(request)
-            service.drop(request, "drained", now)
+            service.drop(request, ReasonCode.DRAINED, now)
 
 
 class FifoPolicy(_BoundedQueuePolicy):
@@ -295,7 +296,7 @@ class RetryPolicy(QueuePolicy):
 
     def on_rejected(self, service, request, now):
         if request.attempts >= self.max_attempts:
-            service.drop(request, "retries_exhausted", now)
+            service.drop(request, ReasonCode.RETRIES_EXHAUSTED, now)
             return
         delay = self.base_delay * self.backoff ** (request.attempts - 1)
         self.waiting.add(request)
@@ -317,7 +318,7 @@ class RetryPolicy(QueuePolicy):
 
     def flush(self, service, now):
         for request in sorted(self.waiting, key=lambda r: r.request_id):
-            service.drop(request, "drained", now)
+            service.drop(request, ReasonCode.DRAINED, now)
         self.waiting.clear()
 
     def describe(self):
@@ -352,7 +353,15 @@ def make_policy(name: str, params: dict | None = None) -> QueuePolicy:
 
 
 class AdmissionService:
-    """Kairos behind a queue policy, driven by kernel events."""
+    """Kairos behind a queue policy, driven by kernel events.
+
+    Admission runs through the :class:`repro.api.AdmissionController`
+    façade (``manager.controller``): every attempt yields a structured
+    :class:`~repro.api.Decision` carrying the failing phase and its
+    :class:`~repro.reasons.ReasonCode` — no exception handling on the
+    hot path.  Decisions, traces and metrics are bit-identical to the
+    pre-façade implementation.
+    """
 
     def __init__(
         self,
@@ -363,6 +372,7 @@ class AdmissionService:
         trace: TraceRecorder | None = None,
     ) -> None:
         self.manager = manager
+        self.controller = manager.controller
         self.policy = policy
         self.kernel = kernel
         self.metrics = metrics if metrics is not None else ServiceMetrics()
@@ -421,16 +431,19 @@ class AdmissionService:
         epoch = self.manager.state.epoch
         if request.last_failed_epoch == epoch:
             self.metrics.probes_short_circuited += 1
-            self.metrics.on_phase_rejection(request.last_failed_phase)
+            self.metrics.on_phase_rejection(
+                request.last_failed_phase, request.last_failed_code
+            )
             return False
-        try:
-            layout = self.manager.allocate(request.app, request.app_id)
-        except AllocationFailure as failure:
+        decision = self.controller.admit(request.app, request.app_id)
+        if not decision.admitted:
             request.last_failed_epoch = epoch
-            request.last_failed_phase = failure.phase.value
-            self.metrics.on_phase_rejection(failure.phase.value)
-            self.metrics.on_attempt_timings(failure.timings)
+            request.last_failed_phase = decision.phase.value
+            request.last_failed_code = decision.code
+            self.metrics.on_phase_rejection(decision.phase.value, decision.code)
+            self.metrics.on_attempt_timings(decision.timings)
             return False
+        layout = decision.layout
         self.metrics.on_attempt_timings(layout.timings)
         wait = now - request.arrival_time
         self.metrics.on_admitted(request.class_name, wait, now)

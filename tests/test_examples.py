@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "binary_deployment.py",
     "design_flow.py",
     "service_simulation.py",
+    "plan_commit.py",
 ]
 
 
@@ -44,6 +45,17 @@ def test_quickstart_output_contract():
     assert "execution layout" in result.stdout
     assert "bootstrap plan" in result.stdout
     assert "utilization 0.0%" in result.stdout  # released cleanly
+
+
+def test_plan_commit_output_contract():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "plan_commit.py")],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert "resources held: none" in result.stdout
+    assert "replanned=True" in result.stdout      # the epoch-conflict demo
+    assert "0 replans" in result.stdout           # ordered batch commits
+    assert "utilization 0.0%" in result.stdout    # released cleanly
 
 
 def test_worked_example_shows_iterations():
