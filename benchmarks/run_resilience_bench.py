@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Emit ``BENCH_resilience.json`` — the fault-storm resilience bench.
+
+Runs the continuous-time admission service (``repro.sim``) on the
+canonical 12x12 mesh under the overloaded three-class mix, through a
+set of fault scenarios of increasing hostility — uncorrelated
+transient element faults, a mixed element+link campaign, and
+correlated storms — each both with the resilience subsystem enabled
+(health registry + requeue-with-backoff recovery) and in the legacy
+permanent-fault configuration, and reports for each:
+
+* time-averaged element availability and observed MTTR,
+* applications lost to faults vs lost-then-recovered via the requeue
+  (with recovery-latency percentiles),
+* repairs completed, quarantine transitions, recovery retries,
+* blocking probability and kernel throughput, so the resilience
+  machinery's overhead is visible next to its benefit,
+
+plus a record/replay determinism check on the harshest scenario (the
+storm run's decision trace — including the new ``repair`` /
+``quarantine`` / ``recovery_retry`` events — is replayed and must be
+bit-identical) and, on full runs, a ``smoke_reference`` block the CI
+smoke gate compares against (apples to apples: smoke vs smoke).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_resilience_bench.py \
+        [--output BENCH_resilience.json] [--smoke] \
+        [--check-against BENCH_resilience.json] [--max-regression 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from benchmarks.bench_env import environment_stanza  # noqa: E402
+from repro.resilience import ResilienceConfig  # noqa: E402
+from repro.sim import build_recipe, replay_trace, run_recipe  # noqa: E402
+
+#: the canonical service workload, matching run_service_bench.py
+PLATFORM = "12x12"
+DURATION = 120.0
+SMOKE_DURATION = 20.0
+RATE_SCALE = 8.0
+SEED = 0
+SAMPLE_INTERVAL = 5.0
+POLICY = "priority"
+
+#: fault scenarios: (name, recipe-knob overrides).  Fault counts scale
+#: with the run length so the smoke run still exercises every code
+#: path (storm epicenters stay put — one storm is already a region).
+SCENARIOS = (
+    ("transient", {"faults": 6, "fault_mttr": 10.0}),
+    ("mixed_links", {"faults": 6, "fault_mttr": 10.0, "fault_links": 0.34}),
+    ("storm", {"faults": 2, "fault_mttr": 12.0, "fault_storm": 1}),
+)
+SMOKE_FAULTS = {"transient": 3, "mixed_links": 3, "storm": 1}
+
+
+def scenario_recipe(
+    name: str, overrides: dict, duration: float, resilient: bool
+) -> dict:
+    overrides = dict(overrides)
+    if duration < DURATION:
+        overrides["faults"] = SMOKE_FAULTS[name]
+    return build_recipe(
+        platform=PLATFORM,
+        duration=duration,
+        seed=SEED,
+        policy=POLICY,
+        rate_scale=RATE_SCALE,
+        sample_interval=SAMPLE_INTERVAL,
+        resilience=ResilienceConfig() if resilient else None,
+        **overrides,
+    )
+
+
+def bench_scenario(name: str, overrides: dict, duration: float) -> dict:
+    entry = {"scenario": name}
+    for mode, resilient in (("resilient", True), ("legacy", False)):
+        recipe = scenario_recipe(name, overrides, duration, resilient)
+        if not resilient:
+            # legacy mode predates transient faults: strip the repair
+            # knob so the comparison is against the permanent-fault
+            # behaviour this subsystem replaced
+            recipe.pop("fault_mttr", None)
+        result = run_recipe(recipe)
+        summary = result.metrics.summary()
+        entry[mode] = {
+            "events_processed": result.events_processed,
+            "events_per_second": result.events_per_second,
+            "blocking_probability": summary["blocking_probability"],
+            "faults": summary["faults"],
+            "resilience": summary["resilience"],
+        }
+    return entry
+
+
+def replay_check(duration: float) -> dict:
+    name, overrides = SCENARIOS[-1]  # the storm scenario
+    recipe = scenario_recipe(name, overrides, duration, resilient=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "resilience_trace.jsonl"
+        recorded = run_recipe(recipe, trace_path=path)
+        identical, differences, _ = replay_trace(path)
+    return {
+        "scenario": name,
+        "records": len(recorded.trace),
+        "identical": identical,
+        "first_differences": differences[:3],
+    }
+
+
+def check_regression(
+    report: dict, committed_path: Path, max_regression: float
+) -> list[str]:
+    """Per-scenario resilient-mode events/sec check (empty = pass)."""
+    committed = json.loads(committed_path.read_text())
+    if report["workload"]["smoke"]:
+        reference = committed.get("smoke_reference")
+        if reference is None:
+            return [
+                f"{committed_path} has no smoke_reference block; "
+                "regenerate it with a full bench run"
+            ]
+    else:
+        reference = {
+            entry["scenario"]: entry["resilient"]["events_per_second"]
+            for entry in committed.get("scenarios", ())
+        }
+    violations = []
+    for entry in report["scenarios"]:
+        scenario = entry["scenario"]
+        baseline = reference.get(scenario)
+        if baseline is None or baseline <= 0:
+            continue
+        floor = baseline * (1.0 - max_regression)
+        current = entry["resilient"]["events_per_second"]
+        if current < floor:
+            violations.append(
+                f"{scenario}: {current:,.0f} events/s is below the "
+                f"{max_regression:.0%}-regression floor {floor:,.0f} "
+                f"(committed {baseline:,.0f})"
+            )
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_resilience.json")
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short CI run: correctness and replay only",
+    )
+    parser.add_argument(
+        "--check-against", metavar="PATH",
+        help="committed BENCH_resilience.json to compare events/sec "
+             "against (exit 1 on a regression beyond --max-regression)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.30,
+        help="tolerated fractional events/sec regression (default 0.30)",
+    )
+    args = parser.parse_args()
+    if not 0 <= args.max_regression < 1:
+        parser.error("--max-regression must be in [0, 1)")
+
+    duration = SMOKE_DURATION if args.smoke else DURATION
+    scenarios = [
+        bench_scenario(name, overrides, duration)
+        for name, overrides in SCENARIOS
+    ]
+    replay = replay_check(duration)
+
+    report = {
+        "workload": {
+            "platform": f"mesh_{PLATFORM}",
+            "duration": duration,
+            "rate_scale": RATE_SCALE,
+            "seed": SEED,
+            "policy": POLICY,
+            "traffic": "default 3-class mix (interactive/batch/bursty)",
+            "smoke": args.smoke,
+        },
+        "scenarios": scenarios,
+        "replay": replay,
+        "environment": environment_stanza(),
+    }
+    if not args.smoke:
+        report["smoke_reference"] = {
+            entry["scenario"]: entry["resilient"]["events_per_second"]
+            for entry in (
+                bench_scenario(name, overrides, SMOKE_DURATION)
+                for name, overrides in SCENARIOS
+            )
+        }
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {output}", file=sys.stderr)
+    status = 0
+    if not replay["identical"]:
+        print("REPLAY DIVERGED — determinism regression", file=sys.stderr)
+        status = 1
+    if args.check_against:
+        violations = check_regression(
+            report, Path(args.check_against), args.max_regression
+        )
+        for line in violations:
+            print(f"THROUGHPUT REGRESSION: {line}", file=sys.stderr)
+        if violations:
+            status = 1
+        else:
+            print(
+                f"throughput within {args.max_regression:.0%} of "
+                f"{args.check_against} for every scenario",
+                file=sys.stderr,
+            )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

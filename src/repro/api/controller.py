@@ -401,8 +401,27 @@ class AdmissionController:
     def release_all(self) -> None:
         self.manager.release_all()
 
-    def recover(self, applications=None):
-        return self.manager.recover(applications)
+    def recover(self, applications=None, order: str = "admission"):
+        """One immediate recovery pass (see :meth:`Kairos.recover`).
+
+        For structured per-application :class:`Decision` outcomes, a
+        requeue and retry budgets, use :meth:`recovery_engine`.
+        """
+        return self.manager.recover(applications, order=order)
+
+    def recovery_engine(self, policy=None):
+        """A :class:`~repro.resilience.RecoveryEngine` over this manager.
+
+        The engine's passes re-admit through :meth:`admit`, so every
+        recovery outcome is a structured :class:`Decision` with its
+        :class:`~repro.reasons.ReasonCode` — the policy controls
+        ordering, requeue and backoff.
+        """
+        from repro.resilience.recovery import RecoveryEngine
+
+        return RecoveryEngine(
+            self.manager, policy, health=self.manager.health
+        )
 
     # -- internals -----------------------------------------------------------
 

@@ -108,6 +108,11 @@ class PhaseContext:
     engine: Any = None
     #: binder quality weight (see repro.binding.binder.bind)
     quality_weight: float = 0.0
+    #: the manager's HealthRegistry (None when resilience is off) —
+    #: custom strategies may query element/link health; the default
+    #: mapping cost already carries its soft penalties via
+    #: :class:`~repro.resilience.HealthAwareCost`
+    health: Any = None
 
 
 # -- the registry ------------------------------------------------------------

@@ -24,10 +24,18 @@ from repro.arch.state import AllocationState
 
 @dataclass(frozen=True)
 class Fault:
-    """A single fault event."""
+    """A single fault event.
+
+    ``repair_after`` makes the fault *transient*: the capacity returns
+    that much sim-time after injection (an MTTR draw), applied through
+    the state's journaled ``heal_element`` / ``heal_link`` so
+    transactions and capacity epochs stay bit-exact.  ``None`` (the
+    default, and the only pre-resilience behaviour) means permanent.
+    """
 
     kind: str  # "element" or "link"
     target: tuple[str, ...]  # (element,) or (node_a, node_b)
+    repair_after: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("element", "link"):
@@ -37,6 +45,29 @@ class Fault:
             raise ValueError(
                 f"{self.kind} fault expects {expected} target(s), got {self.target}"
             )
+        if self.repair_after is not None and self.repair_after <= 0:
+            raise ValueError("repair_after must be positive (or None)")
+
+
+def apply_fault(state: AllocationState, fault: Fault) -> None:
+    """Inject ``fault`` into the live state (journaled, epoch-bumping)."""
+    if fault.kind == "element":
+        state.fail_element(fault.target[0])
+    else:
+        state.fail_link(fault.target[0], fault.target[1])
+
+
+def apply_repair(state: AllocationState, fault: Fault) -> None:
+    """Undo ``fault``'s capacity loss (journaled, epoch-bumping).
+
+    Healing is idempotent at the state level — repairing an element a
+    later permanent fault re-failed is a no-op, exactly what a repair
+    crew finding the tile already re-broken would do.
+    """
+    if fault.kind == "element":
+        state.heal_element(fault.target[0])
+    else:
+        state.heal_link(fault.target[0], fault.target[1])
 
 
 @dataclass
@@ -60,10 +91,7 @@ class FaultCampaign:
         if index >= len(self.faults):
             return None
         fault = self.faults[index]
-        if fault.kind == "element":
-            state.fail_element(fault.target[0])
-        else:
-            state.fail_link(fault.target[0], fault.target[1])
+        apply_fault(state, fault)
         self.injected.append(fault)
         return fault
 
@@ -101,12 +129,14 @@ def random_element_campaign(
     count: int,
     seed: int = 0,
     spare: Iterable[str] = (),
+    repair_after: float | None = None,
 ) -> FaultCampaign:
     """A campaign failing ``count`` random elements, excluding ``spare``.
 
     ``spare`` typically contains the I/O-anchored elements (the ARM and
     FPGA on CRISP) so the scenario stays mappable at all.
-    Deterministic for a given seed.
+    Deterministic for a given seed.  ``repair_after`` makes every fault
+    transient with that MTTR (see :class:`Fault`).
     """
     rng = random.Random(seed)
     protected = set(spare)
@@ -119,7 +149,156 @@ def random_element_campaign(
         )
     campaign = FaultCampaign()
     for name in rng.sample(candidates, count):
-        campaign.add_element_fault(name)
+        campaign.faults.append(
+            Fault("element", (name,), repair_after=repair_after)
+        )
+    return campaign
+
+
+def _link_candidates(
+    state: AllocationState, spare: Iterable[str]
+) -> list[tuple[str, str]]:
+    """Undirected link endpoint pairs, excluding links touching ``spare``.
+
+    Sorted by endpoint names so the candidate order — and therefore the
+    seeded sample — is independent of platform construction order.
+    """
+    protected = set(spare)
+    pairs = []
+    for link in state.platform.links:
+        a, b = sorted((link.a.name, link.b.name))
+        if a in protected or b in protected:
+            continue
+        pairs.append((a, b))
+    pairs.sort()
+    return pairs
+
+
+def random_link_campaign(
+    state: AllocationState,
+    count: int,
+    seed: int = 0,
+    spare: Iterable[str] = (),
+    repair_after: float | None = None,
+) -> FaultCampaign:
+    """A campaign failing ``count`` random links.
+
+    The link-side twin of :func:`random_element_campaign`: seeded and
+    deterministic, and ``spare`` protection extends to links — any link
+    with a protected *endpoint* is excluded, so a spared I/O element
+    cannot be cut off by losing its last connection.
+    """
+    rng = random.Random(seed)
+    candidates = _link_candidates(state, spare)
+    if count > len(candidates):
+        raise ValueError(
+            f"cannot fail {count} links; only {len(candidates)} candidates"
+        )
+    campaign = FaultCampaign()
+    for a, b in rng.sample(candidates, count):
+        campaign.faults.append(Fault("link", (a, b), repair_after=repair_after))
+    return campaign
+
+
+def random_campaign(
+    state: AllocationState,
+    count: int,
+    seed: int = 0,
+    spare: Iterable[str] = (),
+    link_fraction: float = 0.0,
+    repair_after: float | None = None,
+) -> FaultCampaign:
+    """A mixed element+link campaign: ``round(count * link_fraction)``
+    link faults, the rest element faults, interleaved by a seeded
+    shuffle so the two kinds arrive mixed rather than batched.
+
+    ``spare`` protects both the named elements and every link touching
+    them; determinism follows from the three seeded sub-draws
+    (elements, links, interleaving) using fixed seed offsets.
+    """
+    if not 0.0 <= link_fraction <= 1.0:
+        raise ValueError("link_fraction must lie in [0, 1]")
+    link_count = round(count * link_fraction)
+    element_count = count - link_count
+    faults: list[Fault] = []
+    if element_count:
+        faults.extend(
+            random_element_campaign(
+                state, element_count, seed=seed, spare=spare,
+                repair_after=repair_after,
+            ).faults
+        )
+    if link_count:
+        faults.extend(
+            random_link_campaign(
+                state, link_count, seed=seed + 1, spare=spare,
+                repair_after=repair_after,
+            ).faults
+        )
+    random.Random(seed + 2).shuffle(faults)
+    campaign = FaultCampaign()
+    campaign.faults.extend(faults)
+    return campaign
+
+
+def region_elements(
+    state: AllocationState, center: str, radius: int
+) -> tuple[str, ...]:
+    """Element names within ``radius`` hops of ``center`` in the
+    element-adjacency graph (radius 0 is just the center), sorted."""
+    platform = state.platform
+    frontier = [center]
+    seen = {center}
+    for _ in range(radius):
+        frontier = [
+            neighbor.name
+            for name in frontier
+            for neighbor in platform.element_neighbors(name)
+            if neighbor.name not in seen
+        ]
+        seen.update(frontier)
+    return tuple(sorted(seen))
+
+
+def storm_campaign(
+    state: AllocationState,
+    epicenters: int,
+    radius: int = 1,
+    seed: int = 0,
+    spare: Iterable[str] = (),
+    repair_after: float | None = None,
+) -> FaultCampaign:
+    """A correlated fault storm: seeded epicenters, each taking down its
+    whole element neighbourhood (``radius`` hops) at once.
+
+    Models spatially correlated failure — a power-domain brown-out or a
+    thermal hot-spot kills a *region*, not a uniform random sprinkle.
+    ``spare`` elements are never epicenters and are filtered out of the
+    blast radii; faults are ordered storm by storm, elements sorted
+    within one storm, so injection order is deterministic.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    rng = random.Random(seed)
+    protected = set(spare)
+    candidates = sorted(
+        e.name for e in state.platform.elements if e.name not in protected
+    )
+    if epicenters > len(candidates):
+        raise ValueError(
+            f"cannot place {epicenters} epicenters; only "
+            f"{len(candidates)} candidates"
+        )
+    campaign = FaultCampaign()
+    struck: set[str] = set()
+    for center in rng.sample(candidates, epicenters):
+        for name in region_elements(state, center, radius):
+            if name in protected or name in struck:
+                continue
+            struck.add(name)
+            campaign.faults.append(
+                Fault("element", (name,), repair_after=repair_after)
+            )
     return campaign
 
 

@@ -554,6 +554,28 @@ class AllocationState:
         """
         return self._epoch
 
+    def touch(self) -> None:
+        """Bump the epoch without mutating any ledger.
+
+        Epoch-keyed caches (the admission gate's negative-result memo,
+        the sim service's per-request short-circuit) assume a decision
+        is a pure function of (spec, state-at-epoch).  When something
+        *outside* the ledgers that decisions depend on changes — the
+        health registry shifting soft avoidance penalties is the one
+        such input — the certificate must be revoked even though the
+        ledgers are untouched.  Bumping the epoch does exactly that:
+        "equal epochs certify identical state" stays true (the bump
+        only makes identical states *look* distinct, costing cache
+        hits, never soundness).
+
+        Disallowed inside an open transaction: rollback accounting
+        rewinds the epoch by exactly one per journal entry, and an
+        unjournaled bump would break that bit-exact rewind.
+        """
+        if self._journal is not None:
+            raise AllocationError("touch() is illegal inside a transaction")
+        self._epoch += 1
+
     @property
     def scratch(self) -> ScratchPool:
         """Per-state scratch buffers shared by the allocation hot loops."""

@@ -120,6 +120,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="sim-time between utilization samples")
     sim.add_argument("--faults", type=int, default=0,
                      help="random element faults spread over the run")
+    sim.add_argument("--fault-mttr", type=float, default=None,
+                     metavar="TIME",
+                     help="make every fault transient: the resource is "
+                          "repaired TIME sim-time after injection "
+                          "(default: faults are permanent)")
+    sim.add_argument("--fault-links", type=float, default=0.0,
+                     metavar="FRACTION",
+                     help="fraction of the fault campaign drawn as link "
+                          "faults instead of element faults (default 0)")
+    sim.add_argument("--fault-storm", type=int, default=0,
+                     metavar="RADIUS",
+                     help="correlated fault storms: --faults becomes the "
+                          "epicenter count and each storm takes down the "
+                          "whole RADIUS-hop neighbourhood (default 0: "
+                          "uncorrelated)")
+    sim.add_argument("--resilience", action="store_true",
+                     help="enable the resilience subsystem: health "
+                          "registry with soft avoidance penalties, and "
+                          "requeue-with-backoff recovery of applications "
+                          "a fault displaced (see docs/resilience.md)")
+    sim.add_argument("--recovery-order", default="admission",
+                     choices=("admission", "priority", "size", "name"),
+                     help="re-admission order of the resilience recovery "
+                          "engine (default admission; implies "
+                          "--resilience semantics only when that flag "
+                          "is set)")
     sim.add_argument("--warmup", type=float, default=0.0,
                      help="SLA warmup window in sim-time: requests "
                           "resolved earlier are excluded from the "
@@ -294,17 +320,31 @@ def _cmd_sim(args) -> int:
             print(f"  {line}")
         return 1
 
-    recipe = build_recipe(
-        platform=args.platform,
-        duration=args.duration,
-        seed=args.seed,
-        policy=args.policy,
-        rate_scale=args.rate_scale,
-        pool_size=args.pool_size,
-        sample_interval=args.sample_interval,
-        faults=args.faults,
-        warmup=args.warmup,
-    )
+    resilience = None
+    if args.resilience:
+        from repro.resilience import RecoveryPolicy, ResilienceConfig
+        resilience = ResilienceConfig(
+            recovery=RecoveryPolicy(order=args.recovery_order)
+        )
+    try:
+        recipe = build_recipe(
+            platform=args.platform,
+            duration=args.duration,
+            seed=args.seed,
+            policy=args.policy,
+            rate_scale=args.rate_scale,
+            pool_size=args.pool_size,
+            sample_interval=args.sample_interval,
+            faults=args.faults,
+            warmup=args.warmup,
+            fault_mttr=args.fault_mttr,
+            fault_links=args.fault_links,
+            fault_storm=args.fault_storm,
+            resilience=resilience,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         result = run_recipe(
             recipe, trace_path=args.record,
@@ -347,6 +387,14 @@ def _cmd_sim(args) -> int:
         faults = summary["faults"]
         print(f"  faults           : {faults['injected']} injected, "
               f"{faults['recovered']} recovered, {faults['lost']} lost")
+    if args.resilience:
+        res = summary["resilience"]
+        mttr = "n/a" if res["mttr"] is None else f"{res['mttr']:.2f}"
+        print(f"  resilience       : {res['repairs_completed']} repairs, "
+              f"{res['quarantines']} quarantines, "
+              f"availability {res['availability']:.4f}, mttr {mttr}")
+        print(f"  requeue          : {res['recovery_retries']} retries, "
+              f"{res['lost_recovered']} lost-then-recovered")
     if args.profile:
         print()
         print("per-phase wall-clock latency (ms per attempt):")

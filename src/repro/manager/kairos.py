@@ -350,6 +350,19 @@ class Kairos:
         fast-fail.  Layouts and decisions are bit-identical either
         way (asserted by ``tests/test_distfield.py``); disable only
         for comparison runs.
+    health:
+        An optional :class:`~repro.resilience.HealthRegistry`.  When
+        attached, the mapping cost is wrapped in a
+        :class:`~repro.resilience.HealthAwareCost` — suspect, degraded
+        and freshly-repaired elements carry a soft avoidance penalty,
+        so placement quality degrades gracefully around flaky silicon
+        — and the registry rides in the :class:`PhaseContext` for
+        custom strategies to query.  Decisions are bit-identical to an
+        unattached manager until the first soft penalty exists; the
+        *caller* driving the registry must
+        :meth:`~repro.arch.state.AllocationState.touch` the state when
+        penalties change without a ledger mutation (see the registry's
+        class docstring).
     """
 
     def __init__(
@@ -366,6 +379,7 @@ class Kairos:
         fastpath: bool = True,
         incremental: bool = True,
         pipeline: PhasePipeline | None = None,
+        health=None,
     ) -> None:
         if validation_mode not in VALIDATION_MODES:
             raise ValueError(
@@ -388,6 +402,13 @@ class Kairos:
                 f"weights must be CostWeights or a cost callable, "
                 f"got {type(weights).__name__}"
             )
+        self.health = health
+        if health is not None:
+            # lazy import: repro.resilience.recovery imports this
+            # module for the legacy RecoveryReport shape
+            from repro.resilience.health import HealthAwareCost
+
+            self.cost = HealthAwareCost(self.cost, health)
         self.mapping_options = mapping_options
         self.router = router or BfsRouter()
         self.sdf_options = sdf_options
@@ -599,6 +620,7 @@ class Kairos:
             validation_mode=self.validation_mode,
             validation_max_firings=self.validation_max_firings,
             engine=self._distfield,
+            health=self.health,
         )
 
     def _run_phases(
@@ -663,7 +685,9 @@ class Kairos:
         return tuple(sorted(stranded))
 
     def recover(
-        self, applications: dict[str, Application] | None = None
+        self,
+        applications: dict[str, Application] | None = None,
+        order: str = "admission",
     ) -> RecoveryReport:
         """Re-allocate every stranded application on the degraded platform.
 
@@ -673,28 +697,24 @@ class Kairos:
         ``recover()`` with no arguments is always sufficient.  Each
         stranded application is released and re-allocated from
         scratch; irrecoverable ones are reported in ``lost``.
+
+        ``order`` controls re-admission order (delegated to a
+        :class:`~repro.resilience.RecoveryEngine` pass).  The default
+        is ``"admission"`` — oldest admitted first, so a long-resident
+        large application is re-placed before younger arrivals can
+        fragment the degraded platform under it.  ``"name"`` restores
+        the historical alphabetical order (the sim service pins it on
+        the legacy path so pre-resilience traces replay byte-exactly);
+        ``"priority"`` and ``"size"`` are available for policy studies.
+        For a persistent engine with a requeue and retry budget, build
+        a :class:`~repro.resilience.RecoveryEngine` directly.
         """
-        lookup = self.specifications if applications is None else applications
-        if self._distfield is not None:
-            # fault boundaries churn placements and routes wholesale;
-            # starting the engine cold keeps its flip log short and its
-            # fields honest about the degraded topology
-            self._distfield.reset()
-        report = RecoveryReport(stranded=self.stranded_by_faults())
-        for app_id in report.stranded:
-            if app_id not in lookup:
-                report.lost[app_id] = "no application specification supplied"
-                report.lost_codes[app_id] = ReasonCode.RECOVERY_NO_SPECIFICATION
-                self.release(app_id)
-                continue
-            app = lookup[app_id]
-            self.release(app_id)
-            try:
-                report.recovered[app_id] = self._admit_direct(app, app_id)
-            except AllocationFailure as exc:
-                report.lost[app_id] = f"{exc.phase.value}: {exc.reason}"
-                report.lost_codes[app_id] = exc.code
-        return report
+        from repro.resilience.recovery import RecoveryEngine, RecoveryPolicy
+
+        engine = RecoveryEngine(
+            self, RecoveryPolicy(order=order, requeue=False)
+        )
+        return engine.recovery_pass(applications=applications).report()
 
     # -- metrics ----------------------------------------------------------------
 

@@ -81,6 +81,15 @@ class ReasonCode(enum.StrEnum):
     # -- fault recovery -------------------------------------------------------
     #: recover() had no specification to re-allocate the app from
     RECOVERY_NO_SPECIFICATION = "recovery_no_specification"
+    #: recovery could not re-place the app right now; it sits in the
+    #: resilience requeue awaiting a repair or departure
+    RECOVERY_DEFERRED = "recovery_deferred"
+    #: the requeue retry budget ran out before capacity returned
+    RECOVERY_RETRIES_EXHAUSTED = "recovery_retries_exhausted"
+    #: the app's natural departure instant passed while it waited in
+    #: the requeue — reviving it would leak a resident with no
+    #: departure left to fire
+    RECOVERY_EXPIRED = "recovery_expired"
 
     # -- queue-policy outcomes (the sim service's drop reasons; values
     # -- are the exact strings recorded in JSONL traces since PR 2) ----------

@@ -1,0 +1,86 @@
+"""repro.resilience — health registry, transient faults, recovery engine.
+
+The resilience subsystem turns the binary permanent-fault story into
+the full lifecycle the paper's motivation implies: faults arrive
+(possibly in correlated storms), repairs restore capacity after an
+MTTR, element health degrades gracefully instead of cliff-dropping,
+and applications recovery cannot re-place *now* wait in a requeue
+that drains when capacity returns.
+
+Three pieces, composable independently:
+
+* :class:`HealthRegistry` (:mod:`repro.resilience.health`) — the
+  ``live → suspect → degraded → dead → repairing`` automaton with
+  hysteresis, plus :class:`HealthAwareCost`, the mapping-cost wrapper
+  that softly steers placement away from flaky elements.
+* :class:`RecoveryEngine` (:mod:`repro.resilience.recovery`) — policy-
+  ordered recovery passes, the requeue, and exponential backoff.
+* :class:`ResilienceConfig` — the JSON-able bundle the sim recipes
+  and the ``repro sim`` CLI round-trip.
+
+See ``docs/resilience.md`` for the full model and trace schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience.health import (
+    HealthAwareCost,
+    HealthPolicy,
+    HealthRegistry,
+    HealthState,
+    HealthTransition,
+)
+from repro.resilience.recovery import (
+    DrainAttempt,
+    PendingRecovery,
+    RecoveryEngine,
+    RecoveryOutcome,
+    RecoveryPolicy,
+)
+
+__all__ = [
+    "DrainAttempt",
+    "HealthAwareCost",
+    "HealthPolicy",
+    "HealthRegistry",
+    "HealthState",
+    "HealthTransition",
+    "PendingRecovery",
+    "RecoveryEngine",
+    "RecoveryOutcome",
+    "RecoveryPolicy",
+    "ResilienceConfig",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The sim-facing bundle: health policy + recovery policy.
+
+    Present in a recipe under the ``"resilience"`` key; absent means
+    the legacy behaviour (permanent faults, immediate all-or-nothing
+    alphabetical recovery) — recipes and traces recorded before this
+    subsystem replay byte-identically.
+    """
+
+    health: HealthPolicy = field(default_factory=HealthPolicy)
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+
+    def describe(self) -> dict:
+        """JSON-able form for recipe headers (see :func:`from_spec`)."""
+        return {
+            "health": self.health.describe(),
+            "recovery": self.recovery.describe(),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: "dict | ResilienceConfig | None"):
+        """Coerce a recipe value into a config (None stays None)."""
+        if spec is None or isinstance(spec, cls):
+            return spec
+        return cls(
+            health=HealthPolicy.from_params(spec.get("health")),
+            recovery=RecoveryPolicy.from_params(spec.get("recovery")),
+        )

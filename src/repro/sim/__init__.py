@@ -21,6 +21,11 @@ record/replay facility on top of the transactional Kairos core:
 * :mod:`repro.sim.trace` — JSONL decision traces, bit-identical
   replay, and trace diffing.
 
+Resilience mode (:class:`~repro.resilience.ResilienceConfig` on
+:func:`run_simulation` or the ``"resilience"`` recipe key) adds
+transient-fault repair events, the health registry's quarantine
+states, and requeue-with-backoff recovery — see ``docs/resilience.md``.
+
 See ``docs/simulation.md`` for the full semantics.
 """
 
@@ -42,6 +47,7 @@ from repro.sim.service import (
     replay_trace,
     run_recipe,
     run_simulation,
+    scheduled_faults,
 )
 from repro.sim.trace import (
     TraceRecorder,
@@ -93,6 +99,7 @@ __all__ = [
     "replay_trace",
     "run_recipe",
     "run_simulation",
+    "scheduled_faults",
     "trace_digest",
     "traffic_pool",
     "write_trace",

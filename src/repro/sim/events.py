@@ -30,22 +30,35 @@ class EventKind(enum.IntEnum):
     """Event categories; the integer value is the equal-time priority.
 
     Departures fire first so capacity freed "now" is visible to every
-    other event at the same instant; faults next, so arrivals at the
-    fault instant already see the degraded platform; retries fire
-    after every same-instant fresh arrival (a retried request never
-    outruns a newcomer for the last slot); queue timeouts purge
-    before the sampling tick observes the queue; ticks observe last,
-    after all state changes.
+    other event at the same instant; repairs next (capacity returning
+    is visible to a same-instant fault's recovery pass and to every
+    arrival); faults after that, so arrivals at the fault instant
+    already see the degraded platform; retries fire after every
+    same-instant fresh arrival (a retried request never outruns a
+    newcomer for the last slot); recovery retries drain the
+    resilience requeue after ordinary retries (a revived app never
+    outruns a request already holding a retry ticket); queue timeouts
+    purge before the sampling tick observes the queue; ticks observe
+    last, after all state changes.
+
+    The integer values are internal heap priorities, never recorded
+    in traces — only the *relative* order of pre-existing kinds is
+    frozen by the replay contract, so inserting new kinds renumbers
+    the tail safely.
     """
 
     DEPARTURE = 0
-    FAULT = 1
-    ARRIVAL = 2
-    RETRY = 3
-    TIMEOUT = 4
-    TICK = 5
+    #: MTTR-driven repair of a transient fault (see repro.resilience)
+    REPAIR = 1
+    FAULT = 2
+    ARRIVAL = 3
+    RETRY = 4
+    #: resilience requeue drain attempt (backoff-scheduled)
+    RECOVERY_RETRY = 5
+    TIMEOUT = 6
+    TICK = 7
     #: legacy fixed-step drivers (``run_workload`` / ``run_admission_churn``)
-    STEP = 6
+    STEP = 8
 
 
 @dataclass

@@ -110,6 +110,24 @@ class ServiceMetrics:
     steady_admitted: int = 0
     steady_blocked: int = 0
     steady_waits: list[float] = field(default_factory=list)
+    # -- resilience accounting (all zero / empty on legacy runs) -----------
+    repairs_completed: int = 0
+    #: health-registry state transitions that emitted quarantine events
+    quarantines: int = 0
+    #: requeue drain attempts (successful or not)
+    recovery_retries: int = 0
+    #: applications lost to a fault and later re-admitted via the requeue
+    lost_recovered: int = 0
+    #: per-repair downtime (repair sim-time minus fault sim-time) — the
+    #: observed MTTR distribution
+    repair_times: list[float] = field(default_factory=list)
+    #: requeue residence time of each lost-then-recovered application
+    recovery_latencies: list[float] = field(default_factory=list)
+    #: piecewise-constant integral of the element-availability fraction
+    _avail_integral: float = 0.0
+    _avail_last_time: float = 0.0
+    _avail_last_fraction: float = 1.0
+    _avail_finalized_at: float | None = None
 
     # -- recording hooks (called by the service) ---------------------------
 
@@ -181,6 +199,40 @@ class ServiceMetrics:
                 "total_ms": sum(samples) * 1000.0,
             }
         return summary
+
+    def on_availability(self, now: float, fraction: float) -> None:
+        """The element-availability fraction changed at ``now``.
+
+        Maintains a piecewise-constant integral: the previous fraction
+        is credited for the elapsed span, then the new one takes over.
+        Call :meth:`finalize_availability` at the horizon to close the
+        last span.
+        """
+        if now > self._avail_last_time:
+            self._avail_integral += self._avail_last_fraction * (
+                now - self._avail_last_time
+            )
+            self._avail_last_time = now
+        self._avail_last_fraction = fraction
+
+    def finalize_availability(self, duration: float) -> None:
+        self.on_availability(duration, self._avail_last_fraction)
+        self._avail_finalized_at = duration
+
+    @property
+    def availability(self) -> float:
+        """Time-averaged fraction of elements available, in [0, 1]."""
+        horizon = self._avail_finalized_at
+        if horizon is None or horizon <= 0:
+            return 1.0
+        return self._avail_integral / horizon
+
+    @property
+    def mttr(self) -> float:
+        """Mean observed time-to-repair (NaN when nothing repaired)."""
+        if not self.repair_times:
+            return math.nan
+        return sum(self.repair_times) / len(self.repair_times)
 
     def _class(self, name: str) -> ClassStats:
         if name not in self.per_class:
@@ -278,5 +330,20 @@ class ServiceMetrics:
                 "injected": self.faults_injected,
                 "recovered": self.recovered,
                 "lost": self.lost,
+            },
+            "resilience": {
+                "repairs_completed": self.repairs_completed,
+                "quarantines": self.quarantines,
+                "recovery_retries": self.recovery_retries,
+                "lost_recovered": self.lost_recovered,
+                "availability": self.availability,
+                "mttr": (None if math.isnan(self.mttr) else self.mttr),
+                "recovery_latency": {
+                    key: (None if math.isnan(value) else value)
+                    for key, value in {
+                        "p50": percentile(self.recovery_latencies, 50),
+                        "p95": percentile(self.recovery_latencies, 95),
+                    }.items()
+                },
             },
         }

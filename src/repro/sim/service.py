@@ -23,7 +23,17 @@ Faults are ordinary events: the scheduled :class:`~repro.arch.faults.Fault`
 is injected into the live state and :meth:`Kairos.recover` re-places
 every stranded application automatically, after which the queue
 policy gets a backfill opportunity (recovery frees capacity exactly
-like a departure).
+like a departure).  With a :class:`~repro.resilience.ResilienceConfig`
+the service runs in *resilience mode*: transient faults schedule
+:data:`~repro.sim.events.EventKind.REPAIR` events that heal the
+resource after its MTTR, a :class:`~repro.resilience.HealthRegistry`
+tracks per-resource health (quarantine trace events, soft avoidance
+penalties on the mapping cost), and the
+:class:`~repro.resilience.RecoveryEngine` requeues applications that
+recovery cannot re-place immediately, retrying them with exponential
+backoff as capacity returns.  Without the config, the event stream is
+byte-identical to the pre-resilience service — recorded traces replay
+unchanged.
 
 :func:`run_simulation` wires kernel + traffic + service together;
 :func:`run_recipe` / :func:`replay_trace` drive the same machinery
@@ -41,12 +51,20 @@ from random import Random
 
 from repro.apps.taskgraph import Application
 from repro.arch.builders import crisp, mesh
-from repro.arch.faults import Fault, random_element_campaign
+from repro.arch.faults import (
+    Fault,
+    apply_fault,
+    apply_repair,
+    random_campaign,
+    random_element_campaign,
+    storm_campaign,
+)
 from repro.arch.state import AllocationState
 from repro.arch.topology import Platform
 from repro.core.cost import BOTH, CostWeights
 from repro.manager.kairos import Kairos
 from repro.reasons import ReasonCode
+from repro.resilience import HealthRegistry, HealthState, ResilienceConfig
 from repro.sim.events import Event, EventKernel, EventKind
 from repro.sim.metrics import ServiceMetrics, SimSample
 from repro.sim.trace import TraceRecorder, diff_traces, read_trace, write_trace
@@ -370,6 +388,7 @@ class AdmissionService:
         kernel: EventKernel,
         metrics: ServiceMetrics | None = None,
         trace: TraceRecorder | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self.manager = manager
         self.controller = manager.controller
@@ -377,6 +396,24 @@ class AdmissionService:
         self.kernel = kernel
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.trace = trace if trace is not None else TraceRecorder()
+        #: resilience mode: transient-fault repairs, the health
+        #: registry, and engine-driven recovery with a requeue.  None
+        #: (legacy mode) preserves the pre-resilience event stream
+        #: byte-exactly — recorded traces replay unchanged.
+        self.resilience = resilience
+        self.health = manager.health
+        self._engine = None
+        if resilience is not None:
+            self._engine = manager.controller.recovery_engine(
+                resilience.recovery
+            )
+            #: (kind, target) -> count of unrepaired transient faults;
+            #: an element repairs only when its last outstanding fault
+            #: is fixed, and never while permanently damaged
+            self._outstanding: dict[tuple, int] = {}
+            self._permanent: set[tuple] = set()
+            #: (kind, target) -> sim-time the current down window began
+            self._down_since: dict[tuple, float] = {}
 
     # -- request lifecycle -------------------------------------------------
 
@@ -447,6 +484,10 @@ class AdmissionService:
         self.metrics.on_attempt_timings(layout.timings)
         wait = now - request.arrival_time
         self.metrics.on_admitted(request.class_name, wait, now)
+        if self._engine is not None:
+            # the recovery engine ranks requeued apps by QoS priority;
+            # it learns each app's class here, at admission
+            self._engine.note_priority(request.app_id, request.priority)
         if request.holding is not None:
             holding = request.holding
         else:
@@ -464,10 +505,28 @@ class AdmissionService:
     def _departure(self, kernel: EventKernel, event: Event) -> None:
         app_id = event.payload["app_id"]
         if app_id not in self.manager.admitted:
-            return  # lost to a fault before its natural departure
+            # lost to a fault before its natural departure.  In
+            # resilience mode this event doubles as the requeue
+            # deadline: an application whose service time already
+            # elapsed must not be revived, so a still-pending entry
+            # expires here instead of silently lingering.
+            if self._engine is not None:
+                entry = self._engine.expire(app_id)
+                if entry is not None:
+                    self.metrics.lost += 1
+                    self.trace.record(
+                        kernel.now, "recovery_lost",
+                        id=app_id, reason="recovery_expired",
+                    )
+            return
         self.manager.release(app_id)
         self.metrics.departed += 1
         self.trace.record(kernel.now, "departure", id=app_id)
+        if self._engine is not None:
+            self._engine.note_departed(app_id)
+            # freed capacity first goes to apps a fault displaced —
+            # they were admitted before anything still queued
+            self._drain_requeue(kernel.now)
         self.policy.on_capacity_freed(self, kernel.now)
 
     # -- policy callbacks --------------------------------------------------
@@ -499,16 +558,29 @@ class AdmissionService:
         Recovery uses the manager's remembered application
         specifications; freed capacity (from lost applications) is
         offered to the queue policy exactly like a departure.
+
+        Legacy mode (no resilience config) keeps the pre-resilience
+        behaviour — permanent fault, one inline recovery pass in the
+        historical alphabetical order — so recorded traces replay
+        byte-identically.  Resilience mode adds repair scheduling, the
+        health registry and the engine's requeue.
         """
-        if fault.kind == "element":
-            self.manager.state.fail_element(fault.target[0])
+        if self._engine is None:
+            self._inject_fault_legacy(fault, now)
         else:
-            self.manager.state.fail_link(fault.target[0], fault.target[1])
+            self._inject_fault_resilient(fault, now)
+
+    def _inject_fault_legacy(self, fault: Fault, now: float) -> None:
+        apply_fault(self.manager.state, fault)
         self.metrics.faults_injected += 1
         self.trace.record(
             now, "fault", fkind=fault.kind, target=list(fault.target)
         )
-        report = self.manager.recover()
+        # order="name" pins the historical alphabetical recovery order:
+        # committed traces were recorded under it, and replay certifies
+        # bit-identical decisions (bare Kairos.recover() now defaults
+        # to the starvation-free "admission" order)
+        report = self.manager.recover(order="name")
         self.metrics.recovered += len(report.recovered)
         self.metrics.lost += len(report.lost)
         self.trace.record(
@@ -520,9 +592,159 @@ class AdmissionService:
         if report.lost or report.recovered:
             self.policy.on_capacity_freed(self, now)
 
+    def _inject_fault_resilient(self, fault: Fault, now: float) -> None:
+        self._observe_health(now)
+        apply_fault(self.manager.state, fault)
+        self.metrics.faults_injected += 1
+        key = (fault.kind, fault.target)
+        if fault.repair_after is not None:
+            self.trace.record(
+                now, "fault",
+                fkind=fault.kind, target=list(fault.target),
+                mttr=fault.repair_after,
+            )
+            # overlapping transients on one resource: the repair of the
+            # *last* outstanding fault heals it, earlier repairs only
+            # decrement the count
+            self._outstanding[key] = self._outstanding.get(key, 0) + 1
+            self._down_since.setdefault(key, now)
+            self.kernel.schedule(
+                fault.repair_after, EventKind.REPAIR, self._repair,
+                fault=fault,
+            )
+        else:
+            self.trace.record(
+                now, "fault", fkind=fault.kind, target=list(fault.target)
+            )
+            self._permanent.add(key)
+        if self.health is not None:
+            self._note_transitions(self.health.on_fault(fault, now), now)
+        self._note_availability(now)
+        outcome = self._engine.recovery_pass(now)
+        self.metrics.recovered += len(outcome.recovered)
+        self.metrics.lost += len(outcome.lost)
+        self.trace.record(
+            now, "recovery",
+            stranded=list(outcome.stranded),
+            recovered=sorted(outcome.recovered),
+            lost=dict(sorted(outcome.lost.items())),
+            deferred=sorted(outcome.deferred),
+        )
+        for app_id in sorted(outcome.deferred):
+            entry = self._engine.pending_entry(app_id)
+            if entry is not None and entry.retry_event is None:
+                self._schedule_recovery_retry(
+                    entry, self._engine.policy.base_delay
+                )
+        if outcome.lost or outcome.recovered:
+            self.policy.on_capacity_freed(self, now)
+
+    def _repair(self, kernel: EventKernel, event: Event) -> None:
+        """A transient fault's MTTR elapsed: maybe heal, then drain."""
+        fault = event.payload["fault"]
+        now = kernel.now
+        self._observe_health(now)
+        key = (fault.kind, fault.target)
+        remaining = self._outstanding.get(key, 0) - 1
+        self._outstanding[key] = max(remaining, 0)
+        if remaining > 0 or key in self._permanent:
+            # still down: an overlapping transient has not been
+            # repaired yet, or a permanent fault re-broke the resource
+            return
+        apply_repair(self.manager.state, fault)
+        self.metrics.repairs_completed += 1
+        down_since = self._down_since.pop(key, None)
+        if down_since is not None:
+            self.metrics.repair_times.append(now - down_since)
+        self.trace.record(
+            now, "repair", fkind=fault.kind, target=list(fault.target)
+        )
+        if self.health is not None:
+            self._note_transitions(self.health.on_repair(fault, now), now)
+        self._note_availability(now)
+        self._drain_requeue(now)
+        self.policy.on_capacity_freed(self, now)
+
+    def _schedule_recovery_retry(self, entry, delay: float) -> None:
+        entry.retry_event = self.kernel.schedule(
+            delay, EventKind.RECOVERY_RETRY, self._recovery_retry,
+            app_id=entry.app_id,
+        )
+
+    def _recovery_retry(self, kernel: EventKernel, event: Event) -> None:
+        """A requeued app's backoff elapsed: guaranteed drain wake-up."""
+        entry = self._engine.pending_entry(event.payload["app_id"])
+        if entry is not None and entry.retry_event is event:
+            entry.retry_event = None
+        self._drain_requeue(kernel.now)
+
+    def _drain_requeue(self, now: float) -> None:
+        """Let the engine retry pending apps; record what it decided."""
+        if self._engine is None or not self._engine.pending:
+            return
+        for result in self._engine.drain(now):
+            self.metrics.recovery_retries += 1
+            if result.outcome == "recovered":
+                self.metrics.lost_recovered += 1
+                self.metrics.recovery_latencies.append(result.waited)
+                self.trace.record(
+                    now, "recovery_retry",
+                    id=result.app_id, attempt=result.attempt, ok=True,
+                )
+                continue
+            self.trace.record(
+                now, "recovery_retry",
+                id=result.app_id, attempt=result.attempt, ok=False,
+            )
+            if result.outcome == "exhausted":
+                self.metrics.lost += 1
+                self.trace.record(
+                    now, "recovery_lost",
+                    id=result.app_id, reason="recovery_retries_exhausted",
+                )
+            else:  # deferred: make sure a backoff wake-up exists
+                entry = self._engine.pending_entry(result.app_id)
+                if entry is not None and entry.retry_event is None:
+                    self._schedule_recovery_retry(entry, result.delay)
+
+    # -- health observation --------------------------------------------------
+
+    def _observe_health(self, now: float) -> None:
+        if self.health is None:
+            return
+        transitions = self.health.observe(now)
+        if transitions:
+            # soft penalties changed without a ledger mutation: bump
+            # the capacity epoch so gate memos and the probe
+            # short-circuit cannot replay outcomes computed against
+            # the old cost surface
+            self.manager.state.touch()
+            self._note_transitions(transitions, now)
+
+    def _note_transitions(self, transitions, now: float) -> None:
+        for transition in transitions:
+            if transition.state is HealthState.DEAD:
+                continue  # the fault record already covers it
+            self.metrics.quarantines += 1
+            self.trace.record(
+                now, "quarantine",
+                fkind=transition.kind, target=list(transition.target),
+                state=transition.state.value, was=transition.previous.value,
+            )
+
+    def _note_availability(self, now: float) -> None:
+        state = self.manager.state
+        fraction = 1.0 - (
+            len(state.failed_elements) / len(state.platform.elements)
+        )
+        self.metrics.on_availability(now, fraction)
+
     # -- sampling ----------------------------------------------------------
 
     def sample(self, now: float) -> SimSample:
+        # ticks double as probation clock edges: without them a quiet
+        # stretch would leave repaired elements penalized forever
+        self._observe_health(now)
         sample = SimSample(
             time=now,
             utilization=self.manager.utilization(),
@@ -599,6 +821,7 @@ def run_simulation(
     weights: CostWeights = BOTH,
     fastpath: bool = True,
     incremental: bool = True,
+    resilience: ResilienceConfig | None = None,
 ) -> SimulationResult:
     """Run one continuous-time admission-service simulation.
 
@@ -632,13 +855,17 @@ def run_simulation(
             reset()
 
     kernel = EventKernel(seed=config.seed)
+    health = (
+        None if resilience is None else HealthRegistry(resilience.health)
+    )
     manager = Kairos(
         platform, weights=weights, validation_mode="skip",
-        fastpath=fastpath, incremental=incremental,
+        fastpath=fastpath, incremental=incremental, health=health,
     )
     service = AdmissionService(
         manager, policy, kernel,
         metrics=ServiceMetrics(warmup=config.warmup),
+        resilience=resilience,
     )
     cursors = {cls.name: 0 for cls in classes}
     arrival_rngs = {
@@ -711,6 +938,9 @@ def run_simulation(
     if not samples or samples[-1].time < config.duration:
         service.sample(kernel.now)
 
+    if resilience is not None:
+        service.metrics.finalize_availability(config.duration)
+
     result = SimulationResult(
         metrics=service.metrics,
         trace=service.trace.records,
@@ -721,6 +951,15 @@ def run_simulation(
         distfield_stats=manager.distfield_stats,
     )
     if config.drain:
+        if service._engine is not None:
+            # resolve the requeue before the queue policy: every
+            # pending app must leave the books for drain-to-zero
+            for entry in service._engine.flush():
+                service.metrics.lost += 1
+                service.trace.record(
+                    kernel.now, "recovery_lost",
+                    id=entry.app_id, reason="drained",
+                )
         policy.flush(service, kernel.now)
         drained = sorted(manager.admitted)
         for app_id in drained:
@@ -751,6 +990,10 @@ def build_recipe(
     sample_interval: float = 5.0,
     faults: int = 0,
     warmup: float = 0.0,
+    fault_mttr: float | None = None,
+    fault_links: float = 0.0,
+    fault_storm: int = 0,
+    resilience: "ResilienceConfig | dict | None" = None,
 ) -> dict:
     """A JSON-able description that :func:`run_recipe` reproduces exactly.
 
@@ -759,9 +1002,24 @@ def build_recipe(
     ``warmup`` sets the SLA warmup window (metrics only; the decision
     stream is independent of it, so traces recorded without the key
     replay unchanged).
+
+    The resilience knobs (``fault_mttr`` — transient faults repaired
+    that much sim-time after injection; ``fault_links`` — fraction of
+    the campaign drawn as link faults; ``fault_storm`` — blast radius
+    of correlated storms, turning ``faults`` into an epicenter count;
+    ``resilience`` — health/recovery policy spec, see
+    :class:`~repro.resilience.ResilienceConfig`) are emitted only when
+    set, so pre-resilience recipes — and the traces recorded from
+    them — stay byte-identical.
     """
     resolved = make_policy(policy, policy_params)  # validate early
-    return {
+    if fault_mttr is not None and fault_mttr <= 0:
+        raise ValueError("fault_mttr must be positive (or None)")
+    if not 0.0 <= fault_links <= 1.0:
+        raise ValueError("fault_links must lie in [0, 1]")
+    if fault_storm < 0:
+        raise ValueError("fault_storm must be non-negative")
+    recipe = {
         "platform": platform,
         "duration": duration,
         "seed": seed,
@@ -776,6 +1034,17 @@ def build_recipe(
         },
         "faults": faults,
     }
+    if fault_mttr is not None:
+        recipe["fault_mttr"] = fault_mttr
+    if fault_links:
+        recipe["fault_links"] = fault_links
+    if fault_storm:
+        recipe["fault_storm"] = fault_storm
+    if resilience is not None:
+        if not isinstance(resilience, ResilienceConfig):
+            resilience = ResilienceConfig.from_spec(resilience)
+        recipe["resilience"] = resilience.describe()
+    return recipe
 
 
 def platform_from_spec(spec: str) -> Platform:
@@ -792,16 +1061,43 @@ def platform_from_spec(spec: str) -> Platform:
 
 
 def scheduled_faults(
-    platform: Platform, count: int, duration: float, seed: int
+    platform: Platform,
+    count: int,
+    duration: float,
+    seed: int,
+    mttr: float | None = None,
+    link_fraction: float = 0.0,
+    storm_radius: int = 0,
 ) -> tuple[tuple[float, Fault], ...]:
-    """``count`` random element faults spread evenly over the run."""
+    """A deterministic fault campaign spread evenly over the run.
+
+    Defaults reproduce the legacy scenario exactly — ``count`` random
+    permanent element faults.  ``mttr`` makes every fault transient;
+    ``link_fraction`` mixes in link faults; ``storm_radius`` switches
+    to correlated storms, where ``count`` becomes the number of
+    epicenters and the campaign grows to each storm's whole blast
+    region (times then spread over the actual fault count).
+    """
     if count < 1:
         return ()
-    campaign = random_element_campaign(
-        AllocationState(platform), count, seed=seed + 1
-    )
+    state = AllocationState(platform)
+    if storm_radius > 0:
+        campaign = storm_campaign(
+            state, count, radius=storm_radius, seed=seed + 1,
+            repair_after=mttr,
+        )
+    elif link_fraction > 0:
+        campaign = random_campaign(
+            state, count, seed=seed + 1, link_fraction=link_fraction,
+            repair_after=mttr,
+        )
+    else:
+        campaign = random_element_campaign(
+            state, count, seed=seed + 1, repair_after=mttr
+        )
+    pending = len(campaign.faults)
     times = tuple(
-        duration * (index + 1) / (count + 1) for index in range(count)
+        duration * (index + 1) / (pending + 1) for index in range(pending)
     )
     return campaign.schedule(times)
 
@@ -838,10 +1134,14 @@ def run_recipe(
     faults = scheduled_faults(
         platform, int(recipe.get("faults", 0)),
         config.duration, config.seed,
+        mttr=recipe.get("fault_mttr"),
+        link_fraction=float(recipe.get("fault_links", 0.0)),
+        storm_radius=int(recipe.get("fault_storm", 0)),
     )
+    resilience = ResilienceConfig.from_spec(recipe.get("resilience"))
     result = run_simulation(
         platform, classes, policy, config, faults=faults,
-        incremental=incremental,
+        incremental=incremental, resilience=resilience,
     )
     result.recipe = recipe
     if trace_path is not None:

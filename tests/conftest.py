@@ -1,8 +1,42 @@
-"""Shared fixtures: platforms, applications, and allocation states."""
+"""Shared fixtures: platforms, applications, and allocation states.
+
+Also registers the tiered Hypothesis profiles (select one with the
+``HYPOTHESIS_PROFILE`` environment variable):
+
+``dev``
+    10 examples — fast local iteration,
+``default``
+    25 examples — the normal test-suite budget,
+``determinism``
+    500 examples — hammers the profile-governed lockstep /
+    bit-identity property tests (binary round-trips, replay and
+    drain-to-zero under churn + fault storm + repair) before trusting
+    a determinism-sensitive change.
+
+Property tests that decorate with ``@settings(deadline=None)`` (no
+explicit ``max_examples``) inherit the selected profile's example
+budget; tests with an explicit count are pinned deliberately.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings as _hypothesis_settings
+
+_hypothesis_settings.register_profile(
+    "dev", max_examples=10, deadline=None
+)
+_hypothesis_settings.register_profile(
+    "default", max_examples=25, deadline=None
+)
+_hypothesis_settings.register_profile(
+    "determinism", max_examples=500, deadline=None
+)
+_hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "default")
+)
 
 from repro.apps import (
     Application,

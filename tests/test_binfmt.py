@@ -74,7 +74,9 @@ class TestRoundTrip:
         assert pack_application(app) == pack_application(app)
 
 
-@settings(max_examples=25, deadline=None)
+# profile-governed (see conftest.py): HYPOTHESIS_PROFILE=determinism
+# runs ~500 examples of this bit-identity round-trip
+@settings(deadline=None)
 @given(
     seed=st.integers(0, 1000),
     internals=st.integers(0, 6),

@@ -102,6 +102,27 @@ class TestSim:
         out = capsys.readouterr().out
         assert "REPLAY IDENTICAL" in out
 
+    def test_sim_resilient_storm_record_then_replay(self, tmp_path, capsys):
+        trace = tmp_path / "storm.jsonl"
+        assert main([
+            "sim", "--platform", "6x6", "--duration", "20",
+            "--policy", "priority", "--rate-scale", "8", "--seed", "3",
+            "--faults", "2", "--fault-mttr", "5", "--fault-storm", "1",
+            "--resilience", "--record", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "requeue" in out
+        assert main(["sim", "--replay", str(trace)]) == 0
+        assert "REPLAY IDENTICAL" in capsys.readouterr().out
+
+    def test_sim_resilience_knobs_validated(self, capsys):
+        assert main([
+            "sim", "--platform", "4x4", "--duration", "5",
+            "--fault-links", "1.5",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_sim_replay_missing_file(self, capsys):
         assert main(["sim", "--replay", "/nonexistent.jsonl"]) == 2
 

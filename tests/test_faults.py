@@ -8,8 +8,14 @@ from repro.arch import AllocationState, mesh
 from repro.arch.faults import (
     Fault,
     FaultCampaign,
+    apply_fault,
+    apply_repair,
     degrade_sequence,
+    random_campaign,
     random_element_campaign,
+    random_link_campaign,
+    region_elements,
+    storm_campaign,
     stranded_applications,
 )
 from repro.manager import Kairos
@@ -91,6 +97,132 @@ class TestCampaignSchedule:
         campaign.add_element_fault("a").add_element_fault("b")
         with pytest.raises(ValueError):
             campaign.schedule((2.0, 1.0))
+
+
+class TestLinkCampaign:
+    def test_deterministic(self, state3x3):
+        a = random_link_campaign(state3x3, count=4, seed=5)
+        b = random_link_campaign(state3x3, count=4, seed=5)
+        assert a.faults == b.faults
+        assert all(fault.kind == "link" for fault in a.faults)
+
+    def test_spare_protects_endpoints(self, state3x3):
+        campaign = random_link_campaign(
+            state3x3, count=6, seed=1, spare=("r_0_0",)
+        )
+        endpoints = {
+            node for fault in campaign.faults for node in fault.target
+        }
+        assert "r_0_0" not in endpoints
+
+    def test_budget(self, state3x3):
+        with pytest.raises(ValueError):
+            random_link_campaign(state3x3, count=10_000, seed=0)
+
+
+class TestMixedCampaign:
+    def test_link_fraction_sets_the_mix(self, state3x3):
+        campaign = random_campaign(
+            state3x3, count=6, seed=2, link_fraction=0.5
+        )
+        kinds = [fault.kind for fault in campaign.faults]
+        assert kinds.count("link") == 3
+        assert kinds.count("element") == 3
+
+    def test_deterministic_interleaving(self, state3x3):
+        a = random_campaign(state3x3, count=6, seed=2, link_fraction=0.34)
+        b = random_campaign(state3x3, count=6, seed=2, link_fraction=0.34)
+        assert a.faults == b.faults
+
+    def test_spare_protects_elements_and_their_links(self, state3x3):
+        campaign = random_campaign(
+            state3x3, count=6, seed=3, link_fraction=0.5,
+            spare=("dsp_0_0", "r_0_0"),
+        )
+        touched = {
+            node for fault in campaign.faults for node in fault.target
+        }
+        assert touched & {"dsp_0_0", "r_0_0"} == set()
+
+    def test_fraction_validated(self, state3x3):
+        with pytest.raises(ValueError):
+            random_campaign(state3x3, count=2, link_fraction=1.5)
+
+    def test_repair_after_propagates(self, state3x3):
+        campaign = random_campaign(
+            state3x3, count=4, seed=0, link_fraction=0.5, repair_after=9.0
+        )
+        assert all(fault.repair_after == 9.0 for fault in campaign.faults)
+
+
+class TestStormCampaign:
+    def test_radius_zero_hits_only_epicenters(self, state3x3):
+        campaign = storm_campaign(state3x3, epicenters=2, radius=0, seed=4)
+        assert len(campaign.faults) == 2
+
+    def test_blast_radius_is_the_neighbourhood(self, state3x3):
+        campaign = storm_campaign(state3x3, epicenters=1, radius=1, seed=4)
+        epicenter = campaign.faults[0].target[0]
+        struck = {fault.target[0] for fault in campaign.faults}
+        # ordering within a storm is sorted, so recover the epicenter
+        # from region membership instead of position
+        regions = [
+            set(region_elements(state3x3, e.name, 1))
+            for e in state3x3.platform.elements
+        ]
+        assert any(struck == region for region in regions), (
+            epicenter, struck,
+        )
+
+    def test_overlapping_storms_deduplicate(self, state3x3):
+        campaign = storm_campaign(state3x3, epicenters=9, radius=2, seed=0)
+        targets = [fault.target[0] for fault in campaign.faults]
+        assert len(targets) == len(set(targets))
+
+    def test_spare_excluded_from_blast(self, state3x3):
+        campaign = storm_campaign(
+            state3x3, epicenters=3, radius=2, seed=1, spare=("dsp_1_1",)
+        )
+        assert "dsp_1_1" not in {f.target[0] for f in campaign.faults}
+
+    def test_deterministic(self, state3x3):
+        a = storm_campaign(state3x3, epicenters=2, radius=1, seed=7)
+        b = storm_campaign(state3x3, epicenters=2, radius=1, seed=7)
+        assert a.faults == b.faults
+
+    def test_validation(self, state3x3):
+        with pytest.raises(ValueError):
+            storm_campaign(state3x3, epicenters=2, radius=-1)
+        with pytest.raises(ValueError):
+            storm_campaign(state3x3, epicenters=100)
+
+
+class TestRegionElements:
+    def test_radius_zero_is_the_center(self, state3x3):
+        assert region_elements(state3x3, "dsp_1_1", 0) == ("dsp_1_1",)
+
+    def test_radius_grows_monotonically(self, state3x3):
+        inner = set(region_elements(state3x3, "dsp_0_0", 1))
+        outer = set(region_elements(state3x3, "dsp_0_0", 2))
+        assert "dsp_0_0" in inner
+        assert inner < outer
+
+
+class TestApplyRepair:
+    def test_element_round_trip_restores_state(self, state3x3):
+        fault = Fault("element", ("dsp_1_1",), repair_after=5.0)
+        apply_fault(state3x3, fault)
+        assert state3x3.is_failed("dsp_1_1")
+        apply_repair(state3x3, fault)
+        assert not state3x3.is_failed("dsp_1_1")
+
+    def test_link_round_trip_restores_capacity(self, state3x3):
+        before = state3x3.vc_free("r_0_0", "r_0_1")
+        fault = Fault("link", ("r_0_0", "r_0_1"), repair_after=5.0)
+        apply_fault(state3x3, fault)
+        assert state3x3.vc_free("r_0_0", "r_0_1") == 0
+        apply_repair(state3x3, fault)
+        assert state3x3.vc_free("r_0_0", "r_0_1") == before
 
 
 class TestRecoverDefaultSpecs:
