@@ -213,6 +213,16 @@ class AdmissionController:
             raise ValueError("manager already has a controller")
         self.manager = manager
         manager._controller = self
+        # registry handles, interned once per controller — admission
+        # outcome counters live under ``admit.*`` in a snapshot
+        obs = manager.obs
+        self._obs = obs
+        self._c_attempts = obs.registry.counter("admit.attempts")
+        self._c_admitted = obs.registry.counter("admit.admitted")
+        self._c_rejected = obs.registry.counter("admit.rejected")
+        self._c_plans = obs.registry.counter("admit.plans")
+        self._c_commits = obs.registry.counter("admit.commits")
+        self._c_replans = obs.registry.counter("admit.replans")
 
     # -- convenient views ---------------------------------------------------
 
@@ -243,10 +253,14 @@ class AdmissionController:
         made, as a :class:`Decision` instead of an exception.
         """
         manager = self.manager
-        try:
-            layout = manager._admit_direct(app, app_id)
-        except AllocationFailure as failure:
-            return _failed_decision(failure, manager.state.epoch)
+        self._c_attempts.inc()
+        with self._obs.tracer.span("admit"):
+            try:
+                layout = manager._admit_direct(app, app_id)
+            except AllocationFailure as failure:
+                self._c_rejected.inc()
+                return _failed_decision(failure, manager.state.epoch)
+        self._c_admitted.inc()
         return Decision(
             admitted=True,
             app_id=layout.app_id,
@@ -267,16 +281,18 @@ class AdmissionController:
         """
         manager = self.manager
         epoch = manager.state.epoch
-        try:
-            layout = manager._attempt(app, app_id, hold=False)
-        except AllocationFailure as failure:
-            return Plan(
-                app=app,
-                app_id=failure.app_id,
-                epoch=epoch,
-                failure=failure,
-                timings=failure.timings,
-            )
+        self._c_plans.inc()
+        with self._obs.tracer.span("plan"):
+            try:
+                layout = manager._attempt(app, app_id, hold=False)
+            except AllocationFailure as failure:
+                return Plan(
+                    app=app,
+                    app_id=failure.app_id,
+                    epoch=epoch,
+                    failure=failure,
+                    timings=failure.timings,
+                )
         return Plan(
             app=app,
             app_id=layout.app_id,
@@ -309,18 +325,21 @@ class AdmissionController:
             )
         manager = self.manager
         state = manager.state
+        self._c_commits.inc()
         if state.epoch != plan.epoch:
             # the capacity landscape changed under the plan: replan
             # transparently at the current epoch.  A stale *failure*
             # is reconsidered too — capacity may have been freed.
             # One held pipeline pass, not plan-then-replay.
-            try:
-                layout = manager._admit_direct(plan.app, plan.app_id)
-            except AllocationFailure as failure:
-                plan.committed = True
-                return _failed_decision(
-                    failure, state.epoch, replanned=True, plan=plan
-                )
+            self._c_replans.inc()
+            with self._obs.tracer.span("commit.replan"):
+                try:
+                    layout = manager._admit_direct(plan.app, plan.app_id)
+                except AllocationFailure as failure:
+                    plan.committed = True
+                    return _failed_decision(
+                        failure, state.epoch, replanned=True, plan=plan
+                    )
             plan.committed = True
             return Decision(
                 admitted=True,
@@ -336,7 +355,8 @@ class AdmissionController:
             return _failed_decision(plan.failure, state.epoch, plan=plan)
         if plan.app_id in manager.admitted:
             raise ValueError(f"app_id {plan.app_id!r} already admitted")
-        layout = self._apply_layout(plan.layout, plan.app)
+        with self._obs.tracer.span("commit.apply"):
+            layout = self._apply_layout(plan.layout, plan.app)
         plan.committed = True
         return Decision(
             admitted=True,

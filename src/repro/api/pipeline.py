@@ -65,6 +65,7 @@ from repro.core.mapping import (
     map_application,
 )
 from repro.manager.layout import AllocationFailure, Phase, PhaseTimings
+from repro.obs import DISABLED, Observability
 from repro.reasons import ReasonCode
 from repro.routing.router import (
     BaseRouter,
@@ -113,6 +114,11 @@ class PhaseContext:
     #: mapping cost already carries its soft penalties via
     #: :class:`~repro.resilience.HealthAwareCost`
     health: Any = None
+    #: the manager's observability bundle (repro.obs) — DISABLED by
+    #: default; the pipeline publishes ``phase.*.seconds`` histograms
+    #: and phase spans through it, and custom strategies may add their
+    #: own metrics/spans (never read them back into decisions)
+    obs: Observability = DISABLED
 
 
 # -- the registry ------------------------------------------------------------
@@ -372,45 +378,58 @@ class PhasePipeline:
         :class:`AllocationFailure` tagged with the failing phase and
         reason code.  Mutates ``state``; the caller provides atomicity.
         """
+        obs = ctx.obs
+        tracer = obs.tracer
+        registry = obs.registry
+
         # 1. binding
         started = time.perf_counter()
         try:
-            binding = self.binder(app, state, ctx, **self.binder_params)
+            with tracer.span("phase.binding"):
+                binding = self.binder(app, state, ctx, **self.binder_params)
         except BindingError as exc:
             raise AllocationFailure(
                 Phase.BINDING, app_id, str(exc),
                 code=getattr(exc, "code", None),
             ) from exc
         finally:
-            timings.record(Phase.BINDING, time.perf_counter() - started)
+            elapsed = time.perf_counter() - started
+            timings.record(Phase.BINDING, elapsed)
+            registry.histogram("phase.binding.seconds").observe(elapsed)
 
         # 2. mapping
         started = time.perf_counter()
         try:
-            mapping = self.mapper(
-                app, binding, state, ctx, **self.mapper_params
-            )
+            with tracer.span("phase.mapping"):
+                mapping = self.mapper(
+                    app, binding, state, ctx, **self.mapper_params
+                )
         except MappingError as exc:
             raise AllocationFailure(
                 Phase.MAPPING, app_id, str(exc),
                 code=getattr(exc, "code", None),
             ) from exc
         finally:
-            timings.record(Phase.MAPPING, time.perf_counter() - started)
+            elapsed = time.perf_counter() - started
+            timings.record(Phase.MAPPING, elapsed)
+            registry.histogram("phase.mapping.seconds").observe(elapsed)
 
         # 3. routing
         started = time.perf_counter()
         try:
-            routing = self.router(
-                app, mapping.placement, state, ctx, **self.router_params
-            )
+            with tracer.span("phase.routing"):
+                routing = self.router(
+                    app, mapping.placement, state, ctx, **self.router_params
+                )
         except RoutingError as exc:
             raise AllocationFailure(
                 Phase.ROUTING, app_id, str(exc),
                 code=getattr(exc, "code", None),
             ) from exc
         finally:
-            timings.record(Phase.ROUTING, time.perf_counter() - started)
+            elapsed = time.perf_counter() - started
+            timings.record(Phase.ROUTING, elapsed)
+            registry.histogram("phase.routing.seconds").observe(elapsed)
 
         # 4. validation (the "skip" strategy records no timing at all,
         # matching the manager's historical validation_mode="skip")
@@ -418,14 +437,17 @@ class PhasePipeline:
         if self.validator is not _skip_validator:
             started = time.perf_counter()
             try:
-                report = self.validator(
-                    app, binding, mapping, routing, state, ctx,
-                    **self.validator_params,
-                )
+                with tracer.span("phase.validation"):
+                    report = self.validator(
+                        app, binding, mapping, routing, state, ctx,
+                        **self.validator_params,
+                    )
             finally:
-                timings.record(
-                    Phase.VALIDATION, time.perf_counter() - started
-                )
+                elapsed = time.perf_counter() - started
+                timings.record(Phase.VALIDATION, elapsed)
+                registry.histogram(
+                    "phase.validation.seconds"
+                ).observe(elapsed)
             if (
                 report is not None
                 and ctx.validation_mode == "enforce"

@@ -14,6 +14,10 @@ Subcommands mirror the library's main entry points::
     python -m repro sim --policy fifo --duration 120
                                               # discrete-event service sim
     python -m repro sim --replay trace.jsonl  # bit-identical replay check
+    python -m repro sim --metrics-out m.json --trace-spans s.jsonl
+                                              # instrumented run
+    python -m repro obs show m.json           # pretty-print a snapshot
+    python -m repro obs diff a.json b.json    # delta of two snapshots
 
 Scale knobs are taken from the environment (``REPRO_APPS``,
 ``REPRO_SEQUENCES``, ``REPRO_POSITIONS``, ``REPRO_FIG10_*``) exactly
@@ -162,6 +166,30 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--profile", action="store_true",
                      help="print per-phase wall-clock latency percentiles "
                           "(bind/map/route/validate, p50/p95/p99)")
+    sim.add_argument("--metrics-out", metavar="PATH",
+                     help="enable the metric registry and write a JSON "
+                          "snapshot (admit/gate/distfield/recovery "
+                          "counters, per-phase latency histograms) — "
+                          "read it back with 'repro obs show'")
+    sim.add_argument("--trace-spans", metavar="PATH",
+                     help="enable the span tracer and write the "
+                          "hierarchical phase spans as JSONL")
+
+    obs = commands.add_parser(
+        "obs",
+        help="inspect observability snapshots written by "
+             "sim --metrics-out (see docs/observability.md)",
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    obs_show = obs_commands.add_parser(
+        "show", help="pretty-print one metrics snapshot"
+    )
+    obs_show.add_argument("snapshot", help="snapshot JSON path")
+    obs_diff = obs_commands.add_parser(
+        "diff", help="delta between two snapshots (after minus before)"
+    )
+    obs_diff.add_argument("before", help="baseline snapshot JSON path")
+    obs_diff.add_argument("after", help="comparison snapshot JSON path")
 
     for name, description in (
         ("table1", "Table I — failure distribution per phase"),
@@ -345,10 +373,15 @@ def _cmd_sim(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    obs = None
+    if args.metrics_out or args.trace_spans:
+        from repro.obs import enabled
+        obs = enabled()
     try:
         result = run_recipe(
             recipe, trace_path=args.record,
             incremental=not args.no_incremental,
+            obs=obs,
         )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -417,6 +450,119 @@ def _cmd_sim(args) -> int:
     if args.record:
         print(f"  trace            : {len(result.trace)} records -> "
               f"{args.record}")
+    if obs is not None:
+        context = {
+            "platform": args.platform,
+            "policy": args.policy,
+            "seed": args.seed,
+            "duration": args.duration,
+        }
+        if args.metrics_out:
+            from repro.obs import write_snapshot
+            try:
+                write_snapshot(obs.registry, args.metrics_out, context)
+            except OSError as exc:
+                print(f"error: cannot write {args.metrics_out}: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(f"  metrics snapshot : {args.metrics_out}")
+        if args.trace_spans:
+            from repro.obs import write_spans
+            try:
+                count = write_spans(obs.tracer, args.trace_spans)
+            except OSError as exc:
+                print(f"error: cannot write {args.trace_spans}: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(f"  spans            : {count} -> {args.trace_spans}")
+    return 0
+
+
+def _format_obs_number(value) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs import diff_snapshots, load_snapshot
+
+    def load(path: str) -> dict:
+        return load_snapshot(path)
+
+    try:
+        if args.obs_command == "show":
+            payload = load(args.snapshot)
+        else:
+            before = load(args.before)
+            after = load(args.after)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.obs_command == "show":
+        context = payload.get("context", {})
+        if context:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in sorted(context.items())
+            )
+            print(f"context: {rendered}")
+        metrics = payload.get("metrics", {})
+        counters = metrics.get("counters", {})
+        if counters:
+            print("counters:")
+            width = max(len(name) for name in counters)
+            for name in sorted(counters):
+                print(f"  {name:<{width}}  {counters[name]}")
+        gauges = metrics.get("gauges", {})
+        if gauges:
+            print("gauges:")
+            width = max(len(name) for name in gauges)
+            for name in sorted(gauges):
+                print(f"  {name:<{width}}  "
+                      f"{_format_obs_number(gauges[name])}")
+        histograms = metrics.get("histograms", {})
+        if histograms:
+            print("histograms:")
+            for name in sorted(histograms):
+                row = histograms[name]
+                cells = ", ".join(
+                    f"{key} {_format_obs_number(row.get(key))}"
+                    for key in ("count", "mean", "p50", "p95", "p99")
+                )
+                print(f"  {name}: {cells}")
+        if not (counters or gauges or histograms):
+            print("snapshot holds no metrics")
+        return 0
+
+    delta = diff_snapshots(before, after)
+    changed = False
+    for kind in ("counters", "gauges"):
+        rows = delta[kind]
+        if not rows:
+            continue
+        changed = True
+        print(f"{kind}:")
+        width = max(len(name) for name in rows)
+        for name in sorted(rows):
+            row = rows[name]
+            sign = "+" if row["delta"] >= 0 else ""
+            print(f"  {name:<{width}}  {row['before']} -> {row['after']} "
+                  f"({sign}{_format_obs_number(row['delta'])})")
+    if delta["histograms"]:
+        changed = True
+        print("histograms:")
+        for name in sorted(delta["histograms"]):
+            row = delta["histograms"][name]
+            after_row = row["after"]
+            print(f"  {name}: +{row['count_delta']} samples, "
+                  f"+{_format_obs_number(row['sum_delta'])}s; now "
+                  f"p50 {_format_obs_number(after_row.get('p50'))}, "
+                  f"p95 {_format_obs_number(after_row.get('p95'))}")
+    if not changed:
+        print("snapshots are identical")
     return 0
 
 
@@ -460,6 +606,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_inspect(args)
     if args.command == "sim":
         return _cmd_sim(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     return _cmd_experiment(args.command)
 
 

@@ -104,40 +104,63 @@ truncated back to the unaffected prefix.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.arch.state import AllocationState
+from repro.obs.registry import NullRegistry
+from repro.obs.tracing import NullTracer
+
+_NULL_REGISTRY = NullRegistry()
+_NULL_TRACER = NullTracer()
 
 
-@dataclass
 class FieldStats:
-    """Observability counters of one engine (all monotone)."""
+    """Observability counters of one engine (all monotone).
 
-    #: field revalidations served without discarding anything
-    hits: int = 0
-    #: revalidations that truncated a dirty suffix (prefix kept)
-    repairs: int = 0
-    #: cold fetches: new origin, trimmed log, or a broken timeline
-    misses: int = 0
-    #: ring requests served from the cached prefix
-    rings_reused: int = 0
-    #: rings built (or rebuilt) by live BFS expansion
-    rings_recomputed: int = 0
-    #: rings discarded by repairs (the re-expansion is lazy, so this
-    #: bounds repair cost; it is *not* added to rings_recomputed until
-    #: a search actually asks for the depth again)
-    rings_discarded: int = 0
-    #: routing-phase probes answered "unreachable" without a path search
-    route_fastfails: int = 0
-    #: fetch cycles served live because repairs would have discarded
-    #: more than they kept — the fields are left untouched so that
-    #: oscillating links (a release whose capacity the next admission
-    #: re-takes) can cancel out by parity and re-validate them
-    bypasses: int = 0
-    #: whole-cache invalidations (fault recovery / explicit reset)
-    resets: int = 0
-    #: safety-net wholesale evictions (cache overflow)
-    evictions: int = 0
+    The counters live as :class:`repro.obs.registry.Counter` handles
+    (``c_hits``, ``c_repairs``, ...) interned into the registry the
+    engine was built with — ``distfield.hits`` etc. in a metrics
+    snapshot.  The bare attribute names (``stats.hits``) survive as
+    read-through properties so existing callers and tests keep
+    working; prefer the registry names going forward (see
+    docs/observability.md for the deprecation note).
+
+    Counter meanings:
+
+    * ``hits`` — field revalidations served without discarding anything
+    * ``repairs`` — revalidations that truncated a dirty suffix
+      (prefix kept)
+    * ``misses`` — cold fetches: new origin, trimmed log, or a broken
+      timeline
+    * ``rings_reused`` — ring requests served from the cached prefix
+    * ``rings_recomputed`` — rings built (or rebuilt) by live BFS
+      expansion
+    * ``rings_discarded`` — rings discarded by repairs (the
+      re-expansion is lazy, so this bounds repair cost; it is *not*
+      added to rings_recomputed until a search asks for the depth
+      again)
+    * ``route_fastfails`` — routing-phase probes answered
+      "unreachable" without a path search
+    * ``bypasses`` — fetch cycles served live because repairs would
+      have discarded more than they kept — the fields are left
+      untouched so that oscillating links (a release whose capacity
+      the next admission re-takes) can cancel out by parity and
+      re-validate them
+    * ``resets`` — whole-cache invalidations (fault recovery /
+      explicit reset)
+    * ``evictions`` — safety-net wholesale evictions (cache overflow)
+    """
+
+    NAMES = (
+        "hits", "repairs", "misses", "rings_reused", "rings_recomputed",
+        "rings_discarded", "route_fastfails", "bypasses", "resets",
+        "evictions",
+    )
+
+    __slots__ = tuple(f"c_{name}" for name in NAMES)
+
+    def __init__(self, registry=None) -> None:
+        registry = _NULL_REGISTRY if registry is None else registry
+        for name in self.NAMES:
+            setattr(self, f"c_{name}", registry.counter(f"distfield.{name}"))
 
     def as_dict(self) -> dict:
         """JSON-able summary with the derived rates the benches report."""
@@ -160,6 +183,24 @@ class FieldStats:
             "resets": self.resets,
             "evictions": self.evictions,
         }
+
+
+def _stat_property(name: str) -> property:
+    attr = f"c_{name}"
+
+    def getter(self):
+        return getattr(self, attr).value
+
+    def setter(self, value):
+        handle = getattr(self, attr)
+        handle._values[handle._slot] = value
+
+    return property(getter, setter, doc=f"read-through for c_{name}.value")
+
+
+for _name in FieldStats.NAMES:
+    setattr(FieldStats, _name, _stat_property(_name))
+del _name
 
 
 class DistanceField:
@@ -256,14 +297,17 @@ class DistanceFieldEngine:
     """
 
     __slots__ = (
-        "state", "platform", "stats", "_fields", "_link_ends",
+        "state", "platform", "stats", "_tracer", "_fields", "_link_ends",
         "_dirty_memo", "_cycle", "_pressure", "_dormant",
     )
 
-    def __init__(self, state: AllocationState) -> None:
+    def __init__(
+        self, state: AllocationState, registry=None, tracer=None
+    ) -> None:
         self.state = state
         self.platform = state.platform
-        self.stats = FieldStats()
+        self.stats = FieldStats(registry)
+        self._tracer = _NULL_TRACER if tracer is None else tracer
         #: (origin id, respect_congestion) -> DistanceField
         self._fields: dict[tuple[int, bool], DistanceField] = {}
         #: link id -> (node id, node id), built on first validity check
@@ -319,7 +363,7 @@ class DistanceFieldEngine:
         if not force:
             self._cycle += 1
             if self._dormant and self._cycle % _PROBE_INTERVAL:
-                self.stats.bypasses += 1
+                self.stats.c_bypasses.inc()
                 return None
         state = self.state
         flips = state._link_flips
@@ -368,7 +412,7 @@ class DistanceFieldEngine:
                 if self._pressure <= _PRESSURE_LOW:
                     self._dormant = False
             if fresh_repairs:
-                self.stats.bypasses += 1
+                self.stats.c_bypasses.inc()
                 for _key, cached, r_stop in plan:
                     if (
                         cached is not None
@@ -376,6 +420,27 @@ class DistanceFieldEngine:
                     ):
                         cached.stale += 1
                 return None
+        tracer = self._tracer
+        if tracer.enabled:
+            cold = sum(1 for _key, cached, _r in plan if cached is None)
+            repairing = sum(
+                1 for _key, cached, r_stop in plan
+                if cached is not None and r_stop is not None and r_stop >= 0
+            )
+            if cold or repairing:
+                # span only cycles doing cold builds or repairs —
+                # clean replays are the overwhelmingly common case and
+                # would drown the span stream for no information
+                with tracer.span(
+                    "distfield.acquire",
+                    origins=len(plan), misses=cold, repairs=repairing,
+                ):
+                    return self._materialize(plan, mark_now)
+        return self._materialize(plan, mark_now)
+
+    def _materialize(self, plan: list, mark_now: int) -> list[DistanceField]:
+        """Execute an acquire plan: build cold fields, commit repairs."""
+        fields = self._fields
         acquired: list[DistanceField] = []
         for key, cached, r_stop in plan:
             if cached is None:
@@ -384,14 +449,14 @@ class DistanceFieldEngine:
                 )
                 if len(fields) >= _FIELD_LIMIT:
                     fields.clear()
-                    self.stats.evictions += 1
+                    self.stats.c_evictions.inc()
                 fields[key] = cached
-                self.stats.misses += 1
+                self.stats.c_misses.inc()
             elif r_stop is not None and r_stop >= 0:
                 self._truncate(cached, r_stop)
-                self.stats.repairs += 1
+                self.stats.c_repairs.inc()
             else:
-                self.stats.hits += 1
+                self.stats.c_hits.inc()
             cached.mark = mark_now
             cached.plan_end = mark_now
             cached.plan_r_stop = None
@@ -416,7 +481,7 @@ class DistanceFieldEngine:
         """
         rings = field.rings
         if index < len(rings):
-            self.stats.rings_reused += 1
+            self.stats.c_rings_reused.inc()
             return rings[index]
         while not field.complete and len(rings) <= index:
             self._expand_one(field)
@@ -453,7 +518,7 @@ class DistanceFieldEngine:
             if field.row[other] < 0:
                 if not field.complete:
                     continue  # deciding would mean extending: skip
-                self.stats.route_fastfails += 1
+                self.stats.c_route_fastfails.inc()
                 return True
             return False  # reachable by traversable links: must search
         return False
@@ -464,7 +529,7 @@ class DistanceFieldEngine:
         self._dirty_memo.clear()
         self._pressure = 0
         self._dormant = False
-        self.stats.resets += 1
+        self.stats.c_resets.inc()
 
     # -- validity -----------------------------------------------------------
 
@@ -613,7 +678,7 @@ class DistanceFieldEngine:
         if r_stop + 1 < len(rings):
             row = field.row
             for ring_nodes in rings[r_stop + 1:]:
-                self.stats.rings_discarded += 1
+                self.stats.c_rings_discarded.inc()
                 for node_id in ring_nodes:
                     row[node_id] = -1
             del rings[r_stop + 1:]
@@ -663,6 +728,6 @@ class DistanceFieldEngine:
         if next_frontier:
             rings.append(next_frontier)
             field.element_rings.append(ring_elements)
-            self.stats.rings_recomputed += 1
+            self.stats.c_rings_recomputed.inc()
         else:
             field.complete = True

@@ -47,6 +47,7 @@ from repro.manager.layout import (
     Phase,
     PhaseTimings,
 )
+from repro.obs import DISABLED, Observability
 from repro.reasons import ReasonCode
 from repro.routing.router import BaseRouter, BfsRouter
 from repro.validation.builder import SdfModelOptions
@@ -111,11 +112,11 @@ class AdmissionGate:
     """
 
     __slots__ = (
-        "state", "platform", "memo_hits", "gate_rejections", "gate_passes",
-        "_memo", "_demand",
+        "state", "platform", "c_memo_hits", "c_gate_rejections",
+        "c_gate_passes", "_memo", "_demand",
     )
 
-    def __init__(self, state: AllocationState) -> None:
+    def __init__(self, state: AllocationState, registry=None) -> None:
         self.state = state
         self.platform = state.platform
         #: digest -> (epoch, Phase, reason); entries self-invalidate
@@ -124,9 +125,24 @@ class AdmissionGate:
         #: digest -> (app, total demand, per-element-class demand);
         #: demands are platform-static per specification
         self._demand: dict[str, tuple] = {}
-        self.memo_hits = 0
-        self.gate_rejections = 0
-        self.gate_passes = 0
+        # registry counter handles; the bare names (``gate.memo_hits``)
+        # survive below as read-through properties for one release
+        registry = DISABLED.registry if registry is None else registry
+        self.c_memo_hits = registry.counter("gate.memo_hits")
+        self.c_gate_rejections = registry.counter("gate.rejections")
+        self.c_gate_passes = registry.counter("gate.passes")
+
+    @property
+    def memo_hits(self):
+        return self.c_memo_hits.value
+
+    @property
+    def gate_rejections(self):
+        return self.c_gate_rejections.value
+
+    @property
+    def gate_passes(self):
+        return self.c_gate_passes.value
 
     # -- the memo -----------------------------------------------------------
 
@@ -145,7 +161,7 @@ class AdmissionGate:
             if not self.state.in_transaction():
                 del self._memo[digest]
             return
-        self.memo_hits += 1
+        self.c_memo_hits.inc()
         # the recorded reason (and code) is replayed verbatim for this
         # (possibly different) app_id — reasons are diagnostics, and no
         # pipeline reason embeds the attempt id (they name
@@ -179,10 +195,10 @@ class AdmissionGate:
         """Raise (and memoize) iff the spec is provably inadmissible."""
         rejection = self._infeasible_reason(app, digest)
         if rejection is None:
-            self.gate_passes += 1
+            self.c_gate_passes.inc()
             return
         reason, code = rejection
-        self.gate_rejections += 1
+        self.c_gate_rejections.inc()
         failure = AllocationFailure(Phase.BINDING, app_id, reason, code=code)
         failure.gated = True
         self.remember(digest, failure)
@@ -363,6 +379,17 @@ class Kairos:
         :meth:`~repro.arch.state.AllocationState.touch` the state when
         penalties change without a ledger mutation (see the registry's
         class docstring).
+    obs:
+        An optional :class:`repro.obs.Observability` bundle (metric
+        registry + span tracer).  The default is the shared
+        :data:`repro.obs.DISABLED` bundle: the gate and distance-field
+        counters still count (their read-through stats keep working)
+        but nothing is retained for export and spans are no-ops.
+        Attach :func:`repro.obs.enabled` to collect
+        ``gate.*``/``distfield.*``/``phase.*`` metrics and
+        gate-probe/pipeline-phase spans; observability never feeds
+        back into decisions, so layouts and digests are bit-identical
+        either way (see docs/observability.md).
     """
 
     def __init__(
@@ -380,6 +407,7 @@ class Kairos:
         incremental: bool = True,
         pipeline: PhasePipeline | None = None,
         health=None,
+        obs: Observability | None = None,
     ) -> None:
         if validation_mode not in VALIDATION_MODES:
             raise ValueError(
@@ -416,11 +444,21 @@ class Kairos:
         self.validation_max_firings = validation_max_firings
         self.validation_method = validation_method
         self.rollback = rollback
+        #: the observability bundle (see repro.obs) — DISABLED by
+        #: default: counters still count, but nothing is retained and
+        #: spans are no-ops, so decisions and perf are untouched
+        self.obs = DISABLED if obs is None else obs
         self.fastpath = bool(fastpath)
-        self._gate = AdmissionGate(self.state) if self.fastpath else None
+        self._gate = (
+            AdmissionGate(self.state, self.obs.registry)
+            if self.fastpath else None
+        )
         self.incremental = bool(incremental)
         self._distfield = (
-            DistanceFieldEngine(self.state) if self.incremental else None
+            DistanceFieldEngine(
+                self.state, self.obs.registry, self.obs.tracer
+            )
+            if self.incremental else None
         )
         #: the phase-strategy pipeline (see repro.api.pipeline); the
         #: default reproduces the paper's work-flow exactly — regret
@@ -544,14 +582,21 @@ class Kairos:
 
         timings = PhaseTimings()
         if gate is not None:
-            try:
-                gate.check_feasible(app, digest, app_id)
-            except AllocationFailure as failure:
-                timings.record(
-                    Phase.BINDING, time.perf_counter() - gate_started
-                )
-                failure.timings = timings
-                raise
+            with self.obs.tracer.span("gate.probe"):
+                try:
+                    gate.check_feasible(app, digest, app_id)
+                except AllocationFailure as failure:
+                    elapsed = time.perf_counter() - gate_started
+                    timings.record(Phase.BINDING, elapsed)
+                    # the gate rejection is a binding-phase sample the
+                    # pipeline never sees; observe it here so the
+                    # registry histogram mirrors ServiceMetrics'
+                    # phase_latencies exactly
+                    self.obs.registry.histogram(
+                        "phase.binding.seconds"
+                    ).observe(elapsed)
+                    failure.timings = timings
+                    raise
         try:
             if self.rollback == "snapshot" and not self.state.in_transaction():
                 # legacy strategy: full ledger copy up front, restore
@@ -621,6 +666,7 @@ class Kairos:
             validation_max_firings=self.validation_max_firings,
             engine=self._distfield,
             health=self.health,
+            obs=self.obs,
         )
 
     def _run_phases(

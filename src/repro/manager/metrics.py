@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.manager.layout import ExecutionLayout, Phase
+from repro.obs.stats import mean
 
 
 @dataclass
@@ -116,10 +117,9 @@ def summarize_positions(
                 position=position,
                 attempts=len(at_position),
                 successes=len(successes),
-                mean_hops=sum(hops) / len(hops) if hops else None,
+                mean_hops=mean(hops) if hops else None,
                 mean_fragmentation=(
-                    sum(fragmentation) / len(fragmentation)
-                    if fragmentation else 0.0
+                    mean(fragmentation) if fragmentation else 0.0
                 ),
             )
         )
@@ -165,8 +165,8 @@ def timings_by_task_count(
     result: dict[int, dict[str, float]] = {}
     for tasks, samples in sorted(buckets.items()):
         result[tasks] = {
-            phase.value: (
-                sum(s.get(phase.value, 0.0) for s in samples) / len(samples)
+            phase.value: mean(
+                [s.get(phase.value, 0.0) for s in samples]
             )
             for phase in Phase
         }

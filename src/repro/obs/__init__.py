@@ -1,0 +1,122 @@
+"""repro.obs — metrics registry, span tracing, exporters, shared stats.
+
+One observability layer for the whole admission stack.  Components
+accept an :class:`Observability` bundle (registry + tracer); the
+module-level :data:`DISABLED` singleton is the default everywhere and
+costs nothing — null-registry counters still count (components read
+their own counters back) but retain nothing, and null-tracer spans are
+shared no-op context managers.  Call :func:`enabled` to get a live
+bundle, run, then export with :func:`repro.obs.export.write_snapshot`
+/ :func:`repro.obs.tracing.write_spans` or read it back through
+``repro obs``.
+
+Determinism contract: nothing in this package reads the wall clock
+(spans use the monotonic ``perf_counter``) and nothing here is ever
+consulted by admission decisions, so decision traces stay bit-identical
+with observability fully enabled — pinned by the replay test in
+``tests/test_obs.py``.
+
+This package imports only the stdlib; every other repro layer may
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NullHistogram,
+    NullRegistry,
+    DEFAULT_LATENCY_EDGES,
+)
+from repro.obs.tracing import (
+    NullTracer,
+    Span,
+    Tracer,
+    read_spans,
+    write_spans,
+)
+from repro.obs.stats import (
+    StatsAggregator,
+    latency_summary,
+    mean,
+    percentile,
+    summarize,
+)
+from repro.obs.export import (
+    SNAPSHOT_SCHEMA,
+    diff_snapshots,
+    load_snapshot,
+    parse_prometheus,
+    snapshot,
+    to_prometheus,
+    write_snapshot,
+)
+
+__all__ = [
+    "Observability",
+    "DISABLED",
+    "enabled",
+    # registry
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NullHistogram",
+    "NullRegistry",
+    "DEFAULT_LATENCY_EDGES",
+    # tracing
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "write_spans",
+    "read_spans",
+    # stats
+    "percentile",
+    "mean",
+    "summarize",
+    "latency_summary",
+    "StatsAggregator",
+    # export
+    "SNAPSHOT_SCHEMA",
+    "snapshot",
+    "write_snapshot",
+    "load_snapshot",
+    "diff_snapshots",
+    "to_prometheus",
+    "parse_prometheus",
+]
+
+
+@dataclass(frozen=True)
+class Observability:
+    """Registry + tracer bundle threaded through the admission stack.
+
+    ``enabled`` mirrors the registry's flag so hot paths can skip work
+    (building span attributes, say) with one attribute check.
+    """
+
+    registry: MetricRegistry | NullRegistry = field(
+        default_factory=NullRegistry
+    )
+    tracer: Tracer | NullTracer = field(default_factory=NullTracer)
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def snapshot(self, context: dict | None = None) -> dict:
+        return snapshot(self.registry, context)
+
+
+#: the shared disabled bundle — the default ``obs`` everywhere
+DISABLED = Observability()
+
+
+def enabled() -> Observability:
+    """A live bundle: real registry, real tracer."""
+    return Observability(registry=MetricRegistry(), tracer=Tracer())

@@ -1,0 +1,189 @@
+"""Exporters: JSON snapshot, Prometheus text format, snapshot diffing.
+
+A *snapshot* is the JSON-able dict produced by
+:func:`snapshot` — registry metrics plus optional caller-provided
+context (policy, platform, seed) under a versioned envelope.  It is
+what ``repro sim --metrics-out`` writes and what ``repro obs show`` /
+``repro obs diff`` read back.
+
+The Prometheus exporter emits the text exposition format (counters,
+gauges, and cumulative-bucket histograms with ``_bucket``/``_sum``/
+``_count`` series); :func:`parse_prometheus` is a deliberately minimal
+reader of that same subset so tests can round-trip the output without
+a client library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "snapshot",
+    "write_snapshot",
+    "load_snapshot",
+    "diff_snapshots",
+    "to_prometheus",
+    "parse_prometheus",
+]
+
+#: schema tag written into every snapshot; bump on breaking layout change
+SNAPSHOT_SCHEMA = "repro.obs/1"
+
+
+def snapshot(registry, context: dict | None = None) -> dict:
+    """Versioned snapshot envelope around ``registry.snapshot()``."""
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "context": dict(context or {}),
+        "metrics": registry.snapshot(),
+    }
+
+
+def write_snapshot(
+    registry, stream_or_path: IO | str, context: dict | None = None
+) -> dict:
+    """Write a snapshot as pretty JSON; returns the snapshot dict."""
+    payload = snapshot(registry, context)
+    if isinstance(stream_or_path, str):
+        with open(stream_or_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    else:
+        json.dump(payload, stream_or_path, indent=2, sort_keys=True)
+        stream_or_path.write("\n")
+    return payload
+
+
+def load_snapshot(stream_or_path: IO | str) -> dict:
+    """Read a snapshot back, validating the schema tag."""
+    if isinstance(stream_or_path, str):
+        with open(stream_or_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(stream_or_path)
+    schema = payload.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise ValueError(
+            f"not a repro.obs snapshot (schema={schema!r}, "
+            f"expected {SNAPSHOT_SCHEMA!r})"
+        )
+    return payload
+
+
+def diff_snapshots(before: dict, after: dict) -> dict:
+    """Delta of two snapshots: after minus before, per metric.
+
+    Counters and gauges diff numerically (metrics present on only one
+    side diff against zero).  Histograms diff on count/sum and carry
+    the after-side percentiles — bucket-level deltas are rarely what an
+    operator wants to read.
+    """
+    result: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    before_m = before.get("metrics", {})
+    after_m = after.get("metrics", {})
+    for kind in ("counters", "gauges"):
+        names = set(before_m.get(kind, {})) | set(after_m.get(kind, {}))
+        for name in sorted(names):
+            prior = before_m.get(kind, {}).get(name, 0)
+            current = after_m.get(kind, {}).get(name, 0)
+            if current != prior:
+                result[kind][name] = {
+                    "before": prior, "after": current,
+                    "delta": current - prior,
+                }
+    hist_names = set(before_m.get("histograms", {})) | set(
+        after_m.get("histograms", {})
+    )
+    empty = {"count": 0, "sum": 0.0}
+    for name in sorted(hist_names):
+        prior = before_m.get("histograms", {}).get(name, empty)
+        current = after_m.get("histograms", {}).get(name, empty)
+        if current.get("count", 0) != prior.get("count", 0):
+            result["histograms"][name] = {
+                "count_delta": current.get("count", 0)
+                - prior.get("count", 0),
+                "sum_delta": current.get("sum", 0.0)
+                - prior.get("sum", 0.0),
+                "after": {
+                    key: current.get(key)
+                    for key in ("count", "mean", "p50", "p95", "p99")
+                },
+            }
+    return result
+
+
+# -- Prometheus text exposition format ------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """Dotted registry name -> Prometheus metric name."""
+    return "".join(
+        ch if (ch.isalnum() or ch == "_") else "_" for ch in name
+    )
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def to_prometheus(registry, prefix: str = "repro") -> str:
+    """Render every interned metric in the Prometheus text format."""
+    dump = registry.snapshot()
+    lines: list[str] = []
+    for name in sorted(dump["counters"]):
+        metric = f"{prefix}_{_prom_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(dump['counters'][name])}")
+    for name in sorted(dump["gauges"]):
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(dump['gauges'][name])}")
+    for name in sorted(dump["histograms"]):
+        hist = dump["histograms"][name]
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for edge, count in zip(hist["edges"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_prom_value(float(edge))}"}}'
+                f" {cumulative}"
+            )
+        cumulative += hist["counts"][-1] if hist["counts"] else 0
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_prom_value(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> dict:
+    """Minimal parser of :func:`to_prometheus` output (tests round-trip).
+
+    Returns ``{"types": {metric: type}, "samples": {series: value}}``
+    where a series key is the metric name plus its label string
+    verbatim (e.g. ``repro_phase_mapping_seconds_bucket{le="0.001"}``).
+    Only the subset this module emits is understood — it is a test
+    fixture, not a scrape client.
+    """
+    types: dict[str, str] = {}
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) == 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        series, _, raw = line.rpartition(" ")
+        if not series:
+            raise ValueError(f"unparseable sample line: {line!r}")
+        samples[series] = float(raw)
+    return {"types": types, "samples": samples}

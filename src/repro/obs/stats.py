@@ -1,0 +1,114 @@
+"""Shared statistics helpers and the per-phase/per-condition aggregator.
+
+This module is the single home of the percentile and mean arithmetic
+that used to be duplicated across :mod:`repro.sim.metrics` (service
+SLA percentiles) and :mod:`repro.manager.metrics` (paper-figure
+means): both now call in here, and ``tests/test_obs.py`` asserts the
+rewired outputs are identical to the originals.
+
+:class:`StatsAggregator` is the ResultAnalyzer-style rollup: feed it
+samples keyed by ``(condition, metric)`` — e.g. ``("fifo",
+"phase.mapping")`` — and it renders per-condition percentile tables
+for the benches and the scenario-matrix harness (ROADMAP item 4).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "percentile",
+    "mean",
+    "latency_summary",
+    "summarize",
+    "StatsAggregator",
+]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of an unsorted list."""
+    if not values:
+        return math.nan
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def mean(values: list[float]) -> float:
+    """Arithmetic mean; NaN on empty (mirrors :func:`percentile`)."""
+    if not values:
+        return math.nan
+    return sum(values) / len(values)
+
+
+def summarize(values: list[float], quantiles=(50, 95, 99)) -> dict:
+    """Count, sum, mean and nearest-rank percentiles of a sample list.
+
+    NaNs are rendered as None so the result is JSON-round-trippable.
+    """
+    result = {
+        "count": len(values),
+        "sum": sum(values),
+        "mean": (None if not values else mean(values)),
+        "min": (None if not values else min(values)),
+        "max": (None if not values else max(values)),
+    }
+    for q in quantiles:
+        value = percentile(values, q)
+        result[f"p{q:g}"] = None if math.isnan(value) else value
+    return result
+
+
+def latency_summary(samples: list[float]) -> dict:
+    """The per-phase latency row shared by ServiceMetrics and the benches.
+
+    Milliseconds, nearest-rank p50/p95/p99 — byte-identical arithmetic
+    to the pre-refactor ``ServiceMetrics.phase_latency_summary`` row.
+    """
+    return {
+        "count": len(samples),
+        "p50_ms": percentile(samples, 50) * 1000.0,
+        "p95_ms": percentile(samples, 95) * 1000.0,
+        "p99_ms": percentile(samples, 99) * 1000.0,
+        "total_ms": sum(samples) * 1000.0,
+    }
+
+
+class StatsAggregator:
+    """Per-condition, per-metric sample rollups (ResultAnalyzer shape).
+
+    A *condition* is whatever axis the caller sweeps — queue policy,
+    topology, traffic shape; a *metric* is a named sample stream within
+    it (a pipeline phase, an admission wait, a throughput).  ``add``
+    is O(1) append; ``report`` renders a nested, sorted, JSON-able
+    dict of :func:`summarize` rows.
+    """
+
+    def __init__(self, quantiles=(50, 95, 99)) -> None:
+        self._quantiles = tuple(quantiles)
+        self._samples: dict[str, dict[str, list[float]]] = {}
+
+    def add(self, condition: str, metric: str, value: float) -> None:
+        by_metric = self._samples.setdefault(condition, {})
+        by_metric.setdefault(metric, []).append(value)
+
+    def extend(self, condition: str, metric: str, values) -> None:
+        by_metric = self._samples.setdefault(condition, {})
+        by_metric.setdefault(metric, []).extend(values)
+
+    def conditions(self) -> tuple[str, ...]:
+        return tuple(sorted(self._samples))
+
+    def samples(self, condition: str, metric: str) -> list[float]:
+        return list(self._samples.get(condition, {}).get(metric, ()))
+
+    def report(self) -> dict:
+        return {
+            condition: {
+                metric: summarize(values, self._quantiles)
+                for metric, values in sorted(by_metric.items())
+            }
+            for condition, by_metric in sorted(self._samples.items())
+        }

@@ -1,0 +1,218 @@
+"""Hierarchical span tracing with monotonic timings.
+
+A :class:`Span` is a named interval with structured attributes and an
+optional parent; a :class:`Tracer` records finished spans in completion
+order.  Timings come from ``time.perf_counter()`` — a *monotonic*
+clock with no epoch, so spans can measure durations but can never
+smuggle wall-clock time into anything deterministic.  Decision traces
+(:mod:`repro.sim.trace`) never read span data; the replay-determinism
+test in ``tests/test_obs.py`` pins that invariant.
+
+The default everywhere is :class:`NullTracer`, whose ``span()`` returns
+a shared no-op context manager: entering a phase costs one method call
+and no allocation when tracing is off.
+
+Span export is JSONL (one JSON object per line, in completion order)
+via :func:`write_spans` — the same file idiom as the decision traces,
+so existing tooling (``jq``, ``diff_traces``-style readers) applies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Iterable, Iterator
+
+__all__ = ["Span", "Tracer", "NullTracer", "write_spans", "read_spans"]
+
+
+class Span:
+    """One timed interval.  Use as a context manager via Tracer.span().
+
+    Durations are monotonic-clock seconds; ``start`` is an offset from
+    the tracer's own origin (not an epoch), so exported spans order
+    and align within one trace but carry no wall-clock identity.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "duration", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        start: float,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.duration: float | None = None
+        self.attrs: dict | None = None
+
+    def set(self, key: str, value) -> None:
+        """Attach a structured attribute (JSON-able values only)."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
+
+    def as_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Span {self.name} #{self.span_id} dur={self.duration}>"
+
+
+class _ActiveSpan:
+    """Context manager binding a Span to the tracer's open-span stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def set(self, key: str, value) -> None:
+        self.span.set(key, value)
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._finish(self.span, failed=exc_type is not None)
+
+
+class Tracer:
+    """Records hierarchical spans; finished spans kept in completion order.
+
+    Parentage is implicit: the innermost span open *on this tracer* at
+    ``span()`` time becomes the parent.  The admission stack is
+    single-threaded per manager, so a plain stack suffices.
+    """
+
+    enabled = True
+
+    __slots__ = ("_origin", "_stack", "_finished", "_next_id")
+
+    def __init__(self) -> None:
+        self._origin = time.perf_counter()
+        self._stack: list[Span] = []
+        self._finished: list[Span] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attrs) -> _ActiveSpan:
+        parent_id = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            name,
+            self._next_id,
+            parent_id,
+            time.perf_counter() - self._origin,
+        )
+        self._next_id += 1
+        if attrs:
+            span.attrs = dict(attrs)
+        self._stack.append(span)
+        return _ActiveSpan(self, span)
+
+    def _finish(self, span: Span, failed: bool = False) -> None:
+        span.duration = (time.perf_counter() - self._origin) - span.start
+        if failed:
+            span.set("error", True)
+        # tolerate out-of-order exits rather than corrupt the stack
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - defensive
+            self._stack.remove(span)
+        self._finished.append(span)
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Finished spans, completion order."""
+        return tuple(self._finished)
+
+    def __len__(self) -> int:
+        return len(self._finished)
+
+    def clear(self) -> None:
+        self._finished.clear()
+
+    def as_records(self) -> list[dict]:
+        return [span.as_dict() for span in self._finished]
+
+
+class _NullActiveSpan:
+    """Shared no-op context manager returned by NullTracer.span()."""
+
+    __slots__ = ()
+    span = None
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NullActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_ACTIVE = _NullActiveSpan()
+
+
+class NullTracer:
+    """Disabled tracer: span() allocates nothing and records nothing."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs) -> _NullActiveSpan:
+        return _NULL_ACTIVE
+
+    @property
+    def spans(self) -> tuple:
+        return ()
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+    def as_records(self) -> list:
+        return []
+
+
+def write_spans(tracer: Tracer | NullTracer, stream_or_path: IO | str) -> int:
+    """Write finished spans as JSONL; returns the number written."""
+    records = tracer.as_records()
+    if isinstance(stream_or_path, str):
+        with open(stream_or_path, "w", encoding="utf-8") as handle:
+            return write_spans(tracer, handle)
+    for record in records:
+        stream_or_path.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+        )
+        stream_or_path.write("\n")
+    return len(records)
+
+
+def read_spans(stream_or_path: IO | str | Iterable[str]) -> Iterator[dict]:
+    """Yield span records from a JSONL stream, path, or line iterable."""
+    if isinstance(stream_or_path, str):
+        with open(stream_or_path, "r", encoding="utf-8") as handle:
+            yield from read_spans(handle)
+            return
+    for line in stream_or_path:
+        line = line.strip()
+        if line:
+            yield json.loads(line)

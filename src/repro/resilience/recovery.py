@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.apps.taskgraph import Application
+from repro.obs import DISABLED
 from repro.reasons import ReasonCode
 
 __all__ = [
@@ -179,6 +180,17 @@ class RecoveryEngine:
         self.priorities: dict[str, int] = {}
         self._pending: dict[str, PendingRecovery] = {}
         self._seq = 0
+        # recovery counters ride the manager's registry (``recovery.*``
+        # in a snapshot); the manager defaults to the DISABLED bundle
+        obs = getattr(manager, "obs", None) or DISABLED
+        self._obs = obs
+        registry = obs.registry
+        self._c_passes = registry.counter("recovery.passes")
+        self._c_recovered = registry.counter("recovery.recovered")
+        self._c_deferred = registry.counter("recovery.deferred")
+        self._c_lost = registry.counter("recovery.lost")
+        self._c_retries = registry.counter("recovery.retries")
+        self._c_exhausted = registry.counter("recovery.exhausted")
 
     # -- bookkeeping hooks (the service calls these) -------------------------
 
@@ -226,9 +238,22 @@ class RecoveryEngine:
         lookup = (
             manager.specifications if applications is None else applications
         )
+        self._c_passes.inc()
         outcome = RecoveryOutcome()
         handled: set[str] = set()
         first_round = True
+        with self._obs.tracer.span("recovery.pass"):
+            self._pass_rounds(manager, lookup, now, outcome, handled,
+                              first_round)
+        outcome.stranded = tuple(sorted(handled))
+        self._c_recovered.inc(len(outcome.recovered))
+        self._c_deferred.inc(len(outcome.deferred))
+        self._c_lost.inc(len(outcome.lost))
+        return outcome
+
+    def _pass_rounds(
+        self, manager, lookup, now, outcome, handled, first_round
+    ) -> None:
         while True:
             stranded = [
                 app_id for app_id in manager.stranded_by_faults()
@@ -251,8 +276,6 @@ class RecoveryEngine:
             for app_id in stranded:
                 handled.add(app_id)
                 self._recover_one(app_id, lookup, now, outcome)
-        outcome.stranded = tuple(sorted(handled))
-        return outcome
 
     def _recover_one(
         self,
@@ -310,11 +333,17 @@ class RecoveryEngine:
         manager = self.manager
         policy = self.policy
         entries = sorted(self._pending.values(), key=self._drain_key)
+        with self._obs.tracer.span("recovery.drain"):
+            self._drain_entries(entries, manager, policy, now, results)
+        return results
+
+    def _drain_entries(self, entries, manager, policy, now, results) -> None:
         for entry in entries:
             epoch = manager.state.epoch
             if entry.last_epoch == epoch:
                 continue
             entry.attempts += 1
+            self._c_retries.inc()
             decision = manager.controller.admit(entry.app, entry.app_id)
             if decision.admitted:
                 del self._pending[entry.app_id]
@@ -326,6 +355,7 @@ class RecoveryEngine:
             entry.last_epoch = epoch
             if entry.attempts >= policy.max_attempts:
                 del self._pending[entry.app_id]
+                self._c_exhausted.inc()
                 results.append(DrainAttempt(
                     entry.app_id, entry.attempts, "exhausted",
                     decision=decision,
@@ -339,7 +369,6 @@ class RecoveryEngine:
                     entry.app_id, entry.attempts, "deferred",
                     decision=decision, delay=delay,
                 ))
-        return results
 
     # -- ordering ------------------------------------------------------------
 

@@ -14,16 +14,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+# the percentile arithmetic moved to repro.obs.stats (one shared home
+# for it and the manager-metrics means); re-exported here because
+# ``from repro.sim.metrics import percentile`` is a public path
+from repro.obs.stats import latency_summary, percentile
 
-def percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]) of an unsorted list."""
-    if not values:
-        return math.nan
-    if not 0 <= q <= 100:
-        raise ValueError("percentile q must be in [0, 100]")
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+__all__ = [
+    "percentile",
+    "SimSample",
+    "ClassStats",
+    "ServiceMetrics",
+]
 
 
 @dataclass
@@ -188,17 +189,16 @@ class ServiceMetrics:
             bucket.append(seconds)
 
     def phase_latency_summary(self) -> dict:
-        """Per-phase wall-clock p50/p95/p99 (milliseconds) + counts."""
-        summary = {}
-        for phase, samples in sorted(self.phase_latencies.items()):
-            summary[phase] = {
-                "count": len(samples),
-                "p50_ms": percentile(samples, 50) * 1000.0,
-                "p95_ms": percentile(samples, 95) * 1000.0,
-                "p99_ms": percentile(samples, 99) * 1000.0,
-                "total_ms": sum(samples) * 1000.0,
-            }
-        return summary
+        """Per-phase wall-clock p50/p95/p99 (milliseconds) + counts.
+
+        Delegates to :func:`repro.obs.stats.latency_summary` — the
+        arithmetic (nearest-rank percentiles, ×1000 scaling) is
+        byte-identical to the pre-obs inline version.
+        """
+        return {
+            phase: latency_summary(samples)
+            for phase, samples in sorted(self.phase_latencies.items())
+        }
 
     def on_availability(self, now: float, fraction: float) -> None:
         """The element-availability fraction changed at ``now``.

@@ -63,6 +63,7 @@ from repro.arch.state import AllocationState
 from repro.arch.topology import Platform
 from repro.core.cost import BOTH, CostWeights
 from repro.manager.kairos import Kairos
+from repro.obs import DISABLED, Observability
 from repro.reasons import ReasonCode
 from repro.resilience import HealthRegistry, HealthState, ResilienceConfig
 from repro.sim.events import Event, EventKernel, EventKind
@@ -396,6 +397,24 @@ class AdmissionService:
         self.kernel = kernel
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.trace = trace if trace is not None else TraceRecorder()
+        #: observability inherited from the manager (DISABLED unless the
+        #: run opted in).  The ``service.*`` counters mirror the headline
+        #: ServiceMetrics accounting onto the registry so one snapshot
+        #: covers the whole stack; with the NullRegistry each increment
+        #: is a single untracked list add.
+        self.obs: Observability = getattr(manager, "obs", None) or DISABLED
+        registry = self.obs.registry
+        self._c_offered = registry.counter("service.offered")
+        self._c_admitted = registry.counter("service.admitted")
+        self._c_dropped = registry.counter("service.dropped")
+        self._c_departed = registry.counter("service.departed")
+        self._c_retries = registry.counter("service.retries")
+        self._c_queued = registry.counter("service.queued")
+        self._c_short_circuits = registry.counter(
+            "service.probes_short_circuited"
+        )
+        self._c_faults = registry.counter("service.faults_injected")
+        self._c_repairs = registry.counter("service.repairs_completed")
         #: resilience mode: transient-fault repairs, the health
         #: registry, and engine-driven recovery with a requeue.  None
         #: (legacy mode) preserves the pre-resilience event stream
@@ -420,6 +439,7 @@ class AdmissionService:
     def offer(self, request: AdmissionRequest, now: float) -> bool:
         """First-time arrival: try to admit, else consult the policy."""
         self.metrics.on_offered(request.class_name)
+        self._c_offered.inc()
         self.trace.record(
             now, "arrival",
             id=request.app_id, cls=request.class_name, app=request.app.name,
@@ -432,6 +452,7 @@ class AdmissionService:
     def reoffer(self, request: AdmissionRequest, now: float) -> bool:
         """A retry re-arrival (not counted as newly offered)."""
         self.metrics.retries += 1
+        self._c_retries.inc()
         self.trace.record(now, "retry", id=request.app_id)
         if self.try_admit(request, now):
             return True
@@ -468,6 +489,7 @@ class AdmissionService:
         epoch = self.manager.state.epoch
         if request.last_failed_epoch == epoch:
             self.metrics.probes_short_circuited += 1
+            self._c_short_circuits.inc()
             self.metrics.on_phase_rejection(
                 request.last_failed_phase, request.last_failed_code
             )
@@ -484,6 +506,7 @@ class AdmissionService:
         self.metrics.on_attempt_timings(layout.timings)
         wait = now - request.arrival_time
         self.metrics.on_admitted(request.class_name, wait, now)
+        self._c_admitted.inc()
         if self._engine is not None:
             # the recovery engine ranks requeued apps by QoS priority;
             # it learns each app's class here, at admission
@@ -521,6 +544,7 @@ class AdmissionService:
             return
         self.manager.release(app_id)
         self.metrics.departed += 1
+        self._c_departed.inc()
         self.trace.record(kernel.now, "departure", id=app_id)
         if self._engine is not None:
             self._engine.note_departed(app_id)
@@ -535,12 +559,14 @@ class AdmissionService:
         self, request: AdmissionRequest, reason: str, now: float
     ) -> None:
         self.metrics.on_dropped(request.class_name, reason, now)
+        self._c_dropped.inc()
         self.trace.record(now, "drop", id=request.app_id, reason=reason)
 
     def note_queued(
         self, request: AdmissionRequest, now: float, depth: int
     ) -> None:
         self.metrics.queued += 1
+        self._c_queued.inc()
         self.trace.record(now, "queued", id=request.app_id, depth=depth)
 
     def note_retry_scheduled(
@@ -565,6 +591,7 @@ class AdmissionService:
         byte-identically.  Resilience mode adds repair scheduling, the
         health registry and the engine's requeue.
         """
+        self._c_faults.inc()
         if self._engine is None:
             self._inject_fault_legacy(fault, now)
         else:
@@ -653,6 +680,7 @@ class AdmissionService:
             return
         apply_repair(self.manager.state, fault)
         self.metrics.repairs_completed += 1
+        self._c_repairs.inc()
         down_since = self._down_since.pop(key, None)
         if down_since is not None:
             self.metrics.repair_times.append(now - down_since)
@@ -804,6 +832,10 @@ class SimulationResult:
     fastpath_stats: dict | None = None
     #: the distance-field engine's counters (zeros when incremental off)
     distfield_stats: dict | None = None
+    #: the run's observability bundle (registry + tracer); DISABLED
+    #: when the caller did not opt in, so ``result.observability
+    #: .snapshot()`` is always safe to call
+    observability: Observability = DISABLED
 
     @property
     def events_per_second(self) -> float:
@@ -822,6 +854,7 @@ def run_simulation(
     fastpath: bool = True,
     incremental: bool = True,
     resilience: ResilienceConfig | None = None,
+    obs: Observability | None = None,
 ) -> SimulationResult:
     """Run one continuous-time admission-service simulation.
 
@@ -834,6 +867,10 @@ def run_simulation(
     decisions and traces are bit-identical whatever the combination
     (asserted by ``tests/test_fastpath.py`` and
     ``tests/test_distfield.py``) — only the wall-clock changes.
+    ``obs`` attaches an :class:`~repro.obs.Observability` bundle
+    (metric registry + span tracer); observability is read-only — it
+    never feeds a decision, so an instrumented run produces the same
+    trace as a bare one (asserted by ``tests/test_obs.py``).
     Stateful arrival processes (MMPP) are reset at start-up so traffic
     classes can be reused across runs; the *policy* must be fresh —
     its queue holds requests bound to one run's kernel, so reuse is
@@ -861,6 +898,7 @@ def run_simulation(
     manager = Kairos(
         platform, weights=weights, validation_mode="skip",
         fastpath=fastpath, incremental=incremental, health=health,
+        obs=obs,
     )
     service = AdmissionService(
         manager, policy, kernel,
@@ -949,6 +987,7 @@ def run_simulation(
         events_processed=kernel.processed,
         fastpath_stats=manager.fastpath_stats,
         distfield_stats=manager.distfield_stats,
+        observability=manager.obs,
     )
     if config.drain:
         if service._engine is not None:
@@ -1103,13 +1142,18 @@ def scheduled_faults(
 
 
 def run_recipe(
-    recipe: dict, trace_path=None, incremental: bool = True
+    recipe: dict,
+    trace_path=None,
+    incremental: bool = True,
+    obs: Observability | None = None,
 ) -> SimulationResult:
     """Execute a recipe; optionally write the JSONL trace (header first).
 
     ``incremental`` toggles the manager's distance-field engine; it is
     deliberately *not* part of the recipe — engines change wall-clock,
     never decisions, so a trace recorded either way replays both ways.
+    ``obs`` is excluded from the recipe for the same reason: metrics
+    and spans observe the run without influencing it.
     """
     platform = platform_from_spec(recipe["platform"])
     classes_spec = recipe["classes"]
@@ -1141,7 +1185,7 @@ def run_recipe(
     resilience = ResilienceConfig.from_spec(recipe.get("resilience"))
     result = run_simulation(
         platform, classes, policy, config, faults=faults,
-        incremental=incremental, resilience=resilience,
+        incremental=incremental, resilience=resilience, obs=obs,
     )
     result.recipe = recipe
     if trace_path is not None:
