@@ -14,8 +14,12 @@ Subcommands mirror the library's main entry points::
     python -m repro sim --policy fifo --duration 120
                                               # discrete-event service sim
     python -m repro sim --replay trace.jsonl  # bit-identical replay check
+    python -m repro sim --batch-plan 8        # batched queue drain
     python -m repro sim --metrics-out m.json --trace-spans s.jsonl
                                               # instrumented run
+    python -m repro cluster sim --shards 4 --kills 2
+                                              # sharded service with
+                                              # shard-kill campaign
     python -m repro obs show m.json           # pretty-print a snapshot
     python -m repro obs diff a.json b.json    # delta of two snapshots
 
@@ -174,6 +178,58 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--trace-spans", metavar="PATH",
                      help="enable the span tracer and write the "
                           "hierarchical phase spans as JSONL")
+    sim.add_argument("--batch-plan", type=int, default=1, metavar="N",
+                     help="drain the admission queue in plan_batch "
+                          "windows of N requests (default 1: one probe "
+                          "per request; decisions are bit-identical "
+                          "either way)")
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="sharded admission cluster (heartbeat liveness, shard "
+             "kill/revive campaigns, cross-shard 2PC; see "
+             "docs/cluster.md)",
+    )
+    cluster_commands = cluster.add_subparsers(
+        dest="cluster_command", required=True
+    )
+    csim = cluster_commands.add_parser(
+        "sim",
+        help="discrete-event simulation of a sharded admission service",
+    )
+    csim.add_argument("--platform", default="12x12",
+                      help="RxC mesh spec partitioned into column bands "
+                           "(default 12x12)")
+    csim.add_argument("--shards", type=int, default=2,
+                      help="shard count; must divide the mesh columns "
+                           "(default 2)")
+    csim.add_argument("--duration", type=float, default=120.0)
+    csim.add_argument("--seed", type=int, default=0)
+    csim.add_argument("--policy", default="fifo",
+                      choices=("reject", "fifo", "priority", "retry"))
+    csim.add_argument("--rate-scale", type=float, default=4.0)
+    csim.add_argument("--pool-size", type=int, default=8)
+    csim.add_argument("--sample-interval", type=float, default=5.0)
+    csim.add_argument("--warmup", type=float, default=0.0)
+    csim.add_argument("--kills", type=int, default=0,
+                      help="shard kills spread evenly over the run")
+    csim.add_argument("--downtime", type=float, default=20.0,
+                      help="sim-time between a kill and its revival "
+                           "(default 20)")
+    csim.add_argument("--no-split", action="store_true",
+                      help="disable cross-shard admission of "
+                           "applications no single shard can host")
+    csim.add_argument("--record", metavar="PATH",
+                      help="write the decision trace as JSONL (replayable)")
+    csim.add_argument("--replay", metavar="PATH",
+                      help="re-run a recorded cluster trace and verify "
+                           "bit-identity")
+    csim.add_argument("--metrics-out", metavar="PATH",
+                      help="enable the metric registry and write a JSON "
+                           "snapshot (cluster.*, shard.<id>.* counters)")
+    csim.add_argument("--trace-spans", metavar="PATH",
+                      help="enable the span tracer and write spans "
+                           "(coordinator.plan/commit/unwind) as JSONL")
 
     obs = commands.add_parser(
         "obs",
@@ -369,6 +425,7 @@ def _cmd_sim(args) -> int:
             fault_links=args.fault_links,
             fault_storm=args.fault_storm,
             resilience=resilience,
+            batch_plan=args.batch_plan,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -453,6 +510,126 @@ def _cmd_sim(args) -> int:
     if obs is not None:
         context = {
             "platform": args.platform,
+            "policy": args.policy,
+            "seed": args.seed,
+            "duration": args.duration,
+        }
+        if args.metrics_out:
+            from repro.obs import write_snapshot
+            try:
+                write_snapshot(obs.registry, args.metrics_out, context)
+            except OSError as exc:
+                print(f"error: cannot write {args.metrics_out}: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(f"  metrics snapshot : {args.metrics_out}")
+        if args.trace_spans:
+            from repro.obs import write_spans
+            try:
+                count = write_spans(obs.tracer, args.trace_spans)
+            except OSError as exc:
+                print(f"error: cannot write {args.trace_spans}: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(f"  spans            : {count} -> {args.trace_spans}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.cluster import (
+        build_cluster_recipe,
+        replay_cluster_trace,
+        run_cluster_recipe,
+    )
+
+    if args.replay:
+        if args.record:
+            print("error: --replay and --record are mutually exclusive "
+                  "(replay re-runs the recorded recipe)", file=sys.stderr)
+            return 2
+        print("replaying the trace's recorded recipe; other flags are "
+              "ignored")
+        try:
+            identical, differences, result = replay_cluster_trace(
+                args.replay
+            )
+        except KeyError as exc:
+            print(f"error: cannot replay {args.replay}: recipe header "
+                  f"is missing {exc}", file=sys.stderr)
+            return 2
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot replay {args.replay}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"replayed {args.replay}: {len(result.trace)} records")
+        if identical:
+            print("REPLAY IDENTICAL: event ordering, liveness "
+                  "transitions and admission decisions reproduced "
+                  "bit-for-bit")
+            return 0
+        print("REPLAY DIVERGED:")
+        for line in differences:
+            print(f"  {line}")
+        return 1
+
+    try:
+        recipe = build_cluster_recipe(
+            platform=args.platform,
+            shards=args.shards,
+            duration=args.duration,
+            seed=args.seed,
+            policy=args.policy,
+            rate_scale=args.rate_scale,
+            pool_size=args.pool_size,
+            sample_interval=args.sample_interval,
+            warmup=args.warmup,
+            kills=args.kills,
+            downtime=args.downtime,
+            allow_split=not args.no_split,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    obs = None
+    if args.metrics_out or args.trace_spans:
+        from repro.obs import enabled
+        obs = enabled()
+    try:
+        result = run_cluster_recipe(
+            recipe, trace_path=args.record, obs=obs
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = result.metrics.summary()
+    print(f"simulated {args.duration:g} time units on {args.platform} "
+          f"across {args.shards} shard(s) ({args.policy} policy, "
+          f"seed {args.seed})")
+    print(f"  events processed : {result.events_processed} "
+          f"({result.events_per_second:,.0f} events/s wall)")
+    print(f"  offered/admitted : {summary['offered']} / "
+          f"{summary['admitted']} "
+          f"(blocking {summary['blocking_probability']:.3f})")
+    print(f"  departures/drops : {summary['departed']} / "
+          f"{summary['dropped']} {summary['drops_by_reason']}")
+    print(f"  mean utilization : {summary['mean_utilization']:.3f} "
+          f"(peak queue depth {summary['peak_queue_depth']})")
+    if args.kills:
+        res = summary["resilience"]
+        faults = summary["faults"]
+        print(f"  shard kills      : {faults['injected']} injected, "
+              f"{faults['recovered']} recovered immediately, "
+              f"{faults['lost']} lost")
+        print(f"  requeue          : {res['recovery_retries']} retries, "
+              f"{res['lost_recovered']} lost-then-recovered")
+        print(f"  availability     : {res['availability']:.4f}")
+    if args.record:
+        print(f"  trace            : {len(result.trace)} records -> "
+              f"{args.record}")
+    if obs is not None:
+        context = {
+            "platform": args.platform,
+            "shards": args.shards,
             "policy": args.policy,
             "seed": args.seed,
             "duration": args.duration,
@@ -606,6 +783,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_inspect(args)
     if args.command == "sim":
         return _cmd_sim(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "obs":
         return _cmd_obs(args)
     return _cmd_experiment(args.command)

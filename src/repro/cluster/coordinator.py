@@ -1,0 +1,309 @@
+"""Cross-shard admission: split, two-phase commit, all-or-unwind.
+
+Shards own disjoint platform regions, so an application too large (or
+too unlucky) for any single shard can still be admitted by *splitting*
+its task graph into connected parts and placing each part on a
+different shard.  The protocol is a small two-phase commit built on
+the :mod:`repro.api` plan/commit façade:
+
+1. **Plan phase** — ``plan()`` each part on its shard.  Plans hold no
+   resources, so a failure here aborts with nothing to clean up.
+2. **Commit phase** — ``commit()`` the plans in shard order.  A commit
+   can fail even though its plan succeeded: the shard's epoch moved
+   and the transparent replan found no room, or the shard died between
+   phases.
+3. **Unwind** — on any commit failure, release the already-committed
+   parts in reverse order.  This is the all-or-nothing guarantee: a
+   mid-commit shard death never leaks a partial allocation (asserted
+   by ``ClusterManager.verify_integrity`` and the kill-campaign tests).
+
+A non-``SHARD_DOWN`` commit failure is transient contention, so the
+whole protocol retries (bounded by ``max_retries``); a dead shard will
+not return within one admission, so ``SHARD_DOWN`` aborts immediately.
+
+Splitting is deliberately structural, not load-aware: the task graph
+is cut along a BFS order into contiguous, *connected* chunks (the
+mapper requires each part to be a connected graph).  Channels crossed
+by the cut are dropped from the parts — shards share no links, so
+cross-region traffic cannot be routed; the cut count is surfaced on
+the result for observability.  Applications whose graph cannot be cut
+into connected parts are simply not splittable (``split`` returns
+``None``) and fail with ``CROSS_SHARD_INFEASIBLE``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.api.controller import Decision, Plan
+from repro.apps.taskgraph import Application
+from repro.cluster.shard import Shard
+from repro.manager.layout import Phase, PhaseTimings
+from repro.obs import DISABLED, Observability
+from repro.reasons import ReasonCode
+
+__all__ = ["ClusterCoordinator", "ClusterLayout", "split_application"]
+
+
+@dataclass(frozen=True)
+class ClusterLayout:
+    """What a successful cross-shard admission holds, per part.
+
+    Quacks enough like a :class:`~repro.manager.layout.Layout` for the
+    sim service (which only reads ``timings``); ``parts`` is the
+    ownership record the manager books — it is the *only* durable
+    record that the parts belong together, which is why an unwound
+    commit (no ``ClusterLayout`` ever produced) leaves orphan-free
+    shards by construction.
+    """
+
+    app_id: str
+    #: ``(shard_id, part_app_id)`` in commit order
+    parts: tuple[tuple[str, str], ...]
+    layouts: tuple = ()
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    cut_channels: int = 0
+
+
+def _bfs_order(app: Application) -> list[str] | None:
+    """Task names in BFS order from the smallest name; None if disconnected."""
+    if not app.tasks:
+        return None
+    start = min(app.tasks)
+    order: list[str] = []
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        name = queue.popleft()
+        order.append(name)
+        for neighbor in sorted(app.neighbors(name)):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return order if len(order) == len(app.tasks) else None
+
+
+def split_application(
+    app: Application, parts: int = 2
+) -> tuple[list[Application], int] | None:
+    """Cut ``app`` into ``parts`` connected sub-applications.
+
+    Returns ``(sub_apps, cut_channel_count)``, or ``None`` when the
+    graph cannot be cut into ``parts`` non-empty connected pieces
+    (too few tasks, disconnected input, or a BFS chunk that is not
+    itself connected).  Deterministic: BFS from the lexicographically
+    smallest task with sorted neighbor expansion.
+    """
+    if parts < 2 or len(app) < parts:
+        return None
+    order = _bfs_order(app)
+    if order is None:
+        return None
+    base, extra = divmod(len(order), parts)
+    chunks: list[list[str]] = []
+    cursor = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        chunks.append(order[cursor:cursor + size])
+        cursor += size
+    owner = {
+        name: index for index, chunk in enumerate(chunks) for name in chunk
+    }
+    sub_apps = []
+    for index, chunk in enumerate(chunks):
+        part = Application(f"{app.name}::p{index}")
+        for name in chunk:
+            part.add_task(app.tasks[name])
+        sub_apps.append(part)
+    cut = 0
+    for channel in app.channels.values():
+        src_part = owner[channel.source]
+        dst_part = owner[channel.target]
+        if src_part == dst_part:
+            sub_apps[src_part].add_channel(channel)
+        else:
+            cut += 1
+    for part in sub_apps:
+        if not part.is_connected():
+            return None
+    return sub_apps, cut
+
+
+@dataclass(frozen=True)
+class ClusterAdmitResult:
+    """Outcome of one cross-shard admission attempt."""
+
+    decision: Decision
+    #: ownership bookkeeping on success, None on failure
+    parts: tuple[tuple[str, str], ...] | None
+    cut_channels: int
+    attempts: int
+
+
+class ClusterCoordinator:
+    """Two-phase cross-shard admission with bounded retry."""
+
+    def __init__(
+        self, obs: Observability | None = None, max_retries: int = 2
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.obs = DISABLED if obs is None else obs
+        self.max_retries = max_retries
+        registry = self.obs.registry
+        self._c_attempts = registry.counter("cluster.coordinator.attempts")
+        self._c_commits = registry.counter("cluster.coordinator.commits")
+        self._c_unwinds = registry.counter("cluster.coordinator.unwinds")
+        self._c_replans = registry.counter("cluster.coordinator.replans")
+
+    def admit_split(
+        self, app: Application, app_id: str, shards: list[Shard]
+    ) -> ClusterAdmitResult:
+        """Admit ``app`` split across ``shards``, all-or-nothing."""
+        if len(shards) < 2:
+            raise ValueError("cross-shard admission needs at least 2 shards")
+        pieces = split_application(app, len(shards))
+        if pieces is None:
+            return self._failed(
+                app_id, shards,
+                f"{app.name} cannot be cut into "
+                f"{len(shards)} connected parts",
+                attempts=0,
+            )
+        sub_apps, cut = pieces
+        part_ids = [f"{app_id}::p{index}" for index in range(len(sub_apps))]
+        last_failure: Decision | None = None
+        attempts = 0
+        for _ in range(1 + self.max_retries):
+            attempts += 1
+            self._c_attempts.inc()
+            outcome = self._attempt(sub_apps, part_ids, shards)
+            if isinstance(outcome, list):
+                return self._succeeded(app_id, shards, outcome, cut, attempts)
+            last_failure = outcome
+            if outcome.code is ReasonCode.SHARD_DOWN:
+                # a dead shard will not revive within this admission;
+                # retrying would only re-plan against the same corpse
+                break
+        assert last_failure is not None
+        return self._failed(
+            app_id, shards,
+            f"cross-shard commit unwound: {last_failure.reason}",
+            attempts=attempts,
+            phase=last_failure.phase,
+            timings=last_failure.timings,
+        )
+
+    # -- one protocol round --------------------------------------------------
+
+    def _attempt(
+        self,
+        sub_apps: list[Application],
+        part_ids: list[str],
+        shards: list[Shard],
+    ) -> list[tuple[Shard, str, Decision]] | Decision:
+        """One plan-all / commit-all round.
+
+        Returns the committed ``(shard, part_id, decision)`` list on
+        success, or the failing :class:`Decision` after unwinding.
+        """
+        plans: list[tuple[Shard, Plan]] = []
+        with self.obs.tracer.span(
+            "coordinator.plan", parts=len(sub_apps)
+        ):
+            for part, part_id, shard in zip(sub_apps, part_ids, shards):
+                plan = shard.plan(part, part_id)
+                if plan is None:
+                    return shard.down_decision(part_id)
+                if not plan.ok:
+                    # plans hold nothing — abort with nothing to unwind
+                    return Decision(
+                        admitted=False,
+                        app_id=part_id,
+                        epoch=plan.epoch,
+                        phase=plan.phase,
+                        reason=plan.reason,
+                        code=plan.code,
+                        timings=plan.timings,
+                    )
+                plans.append((shard, plan))
+        committed: list[tuple[Shard, str, Decision]] = []
+        failure: Decision | None = None
+        with self.obs.tracer.span(
+            "coordinator.commit", parts=len(plans)
+        ):
+            for shard, plan in plans:
+                decision = shard.commit(plan)
+                self._c_commits.inc()
+                if decision.replanned:
+                    self._c_replans.inc()
+                if not decision.admitted:
+                    failure = decision
+                    break
+                committed.append((shard, plan.app_id, decision))
+        if failure is None:
+            return committed
+        with self.obs.tracer.span(
+            "coordinator.unwind", committed=len(committed)
+        ):
+            for shard, part_id, _decision in reversed(committed):
+                shard.release(part_id)
+        self._c_unwinds.inc()
+        return failure
+
+    # -- outcomes ------------------------------------------------------------
+
+    def _succeeded(
+        self,
+        app_id: str,
+        shards: list[Shard],
+        committed: list[tuple[Shard, str, Decision]],
+        cut: int,
+        attempts: int,
+    ) -> ClusterAdmitResult:
+        merged = PhaseTimings()
+        for _shard, _part_id, decision in committed:
+            source = decision.layout.timings if decision.layout else None
+            if source is None:
+                continue
+            for phase_name, seconds in source.recorded_items():
+                merged.record(Phase(phase_name), seconds)
+        parts = tuple(
+            (shard.shard_id, part_id) for shard, part_id, _ in committed
+        )
+        layout = ClusterLayout(
+            app_id=app_id,
+            parts=parts,
+            layouts=tuple(d.layout for _, _, d in committed),
+            timings=merged,
+            cut_channels=cut,
+        )
+        decision = Decision(
+            admitted=True,
+            app_id=app_id,
+            epoch=shards[0].epoch,
+            layout=layout,
+            timings=merged,
+        )
+        return ClusterAdmitResult(decision, parts, cut, attempts)
+
+    def _failed(
+        self,
+        app_id: str,
+        shards: list[Shard],
+        reason: str,
+        attempts: int,
+        phase: Phase | None = None,
+        timings: PhaseTimings | None = None,
+    ) -> ClusterAdmitResult:
+        decision = Decision(
+            admitted=False,
+            app_id=app_id,
+            epoch=shards[0].epoch,
+            phase=phase if phase is not None else Phase.BINDING,
+            reason=reason,
+            code=ReasonCode.CROSS_SHARD_INFEASIBLE,
+            timings=timings if timings is not None else PhaseTimings(),
+        )
+        return ClusterAdmitResult(decision, None, 0, attempts)

@@ -1,0 +1,55 @@
+"""Shard routing: placement hints with deterministic spill-over.
+
+The router turns an ``app_id`` into an ordered candidate list: the
+*home* shard first (a stable CRC32 hash of the id — ``hash()`` is
+randomized per process and would break replay), then the remaining
+shards in ring order.  Candidates are filtered by the liveness
+registry's *routable* predicate (live and stale shards take traffic,
+dead and probation shards do not), so demotion re-routes a shard's
+traffic by construction — no rerouting pass, the next request simply
+never sees it.  A killed-but-not-yet-demoted shard still appears in
+the list; its :data:`~repro.reasons.ReasonCode.SHARD_DOWN` rejection
+is what makes spill-over cover the detection window.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.cluster.registry import LivenessRegistry
+from repro.cluster.shard import Shard
+
+__all__ = ["ShardRouter", "placement_hint"]
+
+
+def placement_hint(app_id: str) -> int:
+    """A stable, replay-safe placement hash for one application id."""
+    return zlib.crc32(app_id.encode("utf-8"))
+
+
+class ShardRouter:
+    """Hint-directed routing over the routable subset of the shards."""
+
+    def __init__(
+        self, shards: list[Shard], liveness: LivenessRegistry
+    ) -> None:
+        if not shards:
+            raise ValueError("router needs at least one shard")
+        self.shards = list(shards)
+        self.liveness = liveness
+
+    def home(self, app_id: str) -> Shard:
+        """The hint-preferred shard, liveness notwithstanding."""
+        return self.shards[placement_hint(app_id) % len(self.shards)]
+
+    def candidates(self, app_id: str) -> list[Shard]:
+        """Routable shards in probe order: home first, then the ring."""
+        count = len(self.shards)
+        start = placement_hint(app_id) % count
+        ordered = (
+            self.shards[(start + offset) % count] for offset in range(count)
+        )
+        return [
+            shard for shard in ordered
+            if self.liveness.routable(shard.shard_id)
+        ]

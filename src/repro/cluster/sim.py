@@ -1,0 +1,524 @@
+"""Sharded admission-service simulation: heartbeats, kills, recovery.
+
+:class:`ClusterAdmissionService` is the plain
+:class:`~repro.sim.service.AdmissionService` over a
+:class:`~repro.cluster.service.ClusterManager` plus three shard-level
+event hooks: heartbeat pulses (the liveness registry's only clock —
+every timestamp it sees is kernel sim-time, never the wall clock),
+shard kills and shard revivals.  Everything else — queue policies,
+the epoch short-circuit, the recovery requeue, drain — is inherited
+unchanged, which is what makes the single-shard cluster bit-identical
+to the unsharded service (no kills → no extra trace records, no extra
+RNG draws; asserted by the lockstep test in ``tests/test_cluster.py``).
+
+Event order at one instant follows :class:`~repro.sim.events.EventKind`:
+revivals (``REPAIR``) fire before the heartbeat pulse, so a revived
+shard's first post-revival beat lands in the same pulse and its
+probation clock starts immediately; the pulse fires before any
+same-instant kill (``FAULT``), so liveness decisions never observe a
+kill that "has not happened yet".
+
+The recovery story after a kill: the victims' bookkeeping survives in
+the cluster (``stranded_by_faults`` reports them), but recovery runs
+only once liveness *detects* the death — missed heartbeats crossing
+``dead_after`` — modelling the real detection window.  The engine
+then re-admits through the cluster controller, which routes to
+whatever is alive; apps that do not fit wait in the requeue and drain
+on departures or once the killed shard's probation elapses.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from random import Random
+
+from repro.cluster.registry import LivenessPolicy, ShardLiveness
+from repro.cluster.service import ClusterManager
+from repro.cluster.shard import build_shards
+from repro.core.cost import BOTH, CostWeights
+from repro.obs import Observability
+from repro.resilience import RecoveryPolicy, ResilienceConfig
+from repro.sim.events import Event, EventKernel, EventKind
+from repro.sim.metrics import ServiceMetrics
+from repro.sim.service import (
+    AdmissionRequest,
+    AdmissionService,
+    QueuePolicy,
+    SimulationConfig,
+    SimulationResult,
+    make_policy,
+)
+from repro.sim.trace import diff_traces, read_trace, write_trace
+from repro.sim.traffic import TrafficClass, default_traffic_classes
+
+__all__ = [
+    "ClusterAdmissionService",
+    "build_cluster_recipe",
+    "replay_cluster_trace",
+    "run_cluster_recipe",
+    "run_cluster_simulation",
+    "scheduled_kills",
+]
+
+
+class ClusterAdmissionService(AdmissionService):
+    """The admission service with shard lifecycle hooks."""
+
+    def __init__(self, cluster: ClusterManager, *args, **kwargs) -> None:
+        super().__init__(cluster, *args, **kwargs)
+        self.cluster = cluster
+        registry = self.obs.registry
+        self._c_demotions = registry.counter("cluster.demotions")
+        self._c_revivals = registry.counter("cluster.revivals")
+
+    # -- shard lifecycle events ---------------------------------------------
+
+    def kill_shard(self, shard_id: str, now: float) -> None:
+        """Crash one shard; liveness finds out via missed heartbeats."""
+        shard = self.cluster.by_id[shard_id]
+        if not shard.alive:
+            return
+        lost = shard.kill()
+        self.metrics.faults_injected += 1
+        self._c_faults.inc()
+        self.trace.record(
+            now, "shard_kill", shard=shard_id, lost=len(lost)
+        )
+        self.metrics.on_availability(now, self.cluster.alive_fraction())
+
+    def revive_shard(self, shard_id: str, now: float) -> None:
+        """The shard process returns (empty); trust returns later.
+
+        A revival is also a *detection* event: the process reports an
+        empty allocation state, so anything still booked to it is
+        provably lost — even when the kill was never demoted (a
+        downtime shorter than ``dead_after`` revives a merely-stale
+        shard).  Recovery runs here for exactly that window; after a
+        detected death the demotion pass already handled the victims
+        and the stranded set is empty.
+        """
+        shard = self.cluster.by_id[shard_id]
+        if shard.alive:
+            return
+        shard.revive()
+        self.trace.record(now, "shard_revive", shard=shard_id)
+        self.metrics.on_availability(now, self.cluster.alive_fraction())
+        if self.cluster.stranded_by_faults():
+            self._run_recovery(now)
+
+    def heartbeat_pulse(self, now: float) -> None:
+        """One liveness round: beats from the living, then deadlines.
+
+        Quiet rounds (every shard alive, nothing in transition) add no
+        trace records and draw no randomness — heartbeats are invisible
+        to the determinism contract.
+        """
+        liveness = self.cluster.liveness
+        transitions = []
+        for shard in self.cluster.shards:
+            if shard.alive:
+                shard.beat()
+                transitions.extend(liveness.heartbeat(shard.shard_id, now))
+        transitions.extend(liveness.observe(now))
+        if not transitions:
+            return
+        demoted = False
+        revived = False
+        for transition in transitions:
+            self.trace.record(
+                now, "shard_state",
+                shard=transition.shard_id,
+                state=transition.state.value,
+                was=transition.previous.value,
+                reason=transition.reason,
+            )
+            if transition.state is ShardLiveness.DEAD:
+                demoted = True
+                self._c_demotions.inc()
+            elif (transition.state is ShardLiveness.LIVE
+                    and transition.previous is ShardLiveness.PROBATION):
+                revived = True
+                self._c_revivals.inc()
+        if demoted:
+            self._run_recovery(now)
+        if revived:
+            # a probation graduate is fresh capacity: first the
+            # requeue (kill victims were admitted before anything
+            # still queued), then the queue policy
+            self._drain_requeue(now)
+            self.policy.on_capacity_freed(self, now)
+
+    def _run_recovery(self, now: float) -> None:
+        """Mirror of the resilient fault path's recovery stanza.
+
+        Runs when a shard is demoted to DEAD, and on a revival that
+        exposes stranded bookkeeping (a kill the deadlines never saw).
+        """
+        outcome = self._engine.recovery_pass(now)
+        self.metrics.recovered += len(outcome.recovered)
+        self.metrics.lost += len(outcome.lost)
+        self.trace.record(
+            now, "recovery",
+            stranded=list(outcome.stranded),
+            recovered=sorted(outcome.recovered),
+            lost=dict(sorted(outcome.lost.items())),
+            deferred=sorted(outcome.deferred),
+        )
+        for app_id in sorted(outcome.deferred):
+            entry = self._engine.pending_entry(app_id)
+            if entry is not None and entry.retry_event is None:
+                self._schedule_recovery_retry(
+                    entry, self._engine.policy.base_delay
+                )
+        if outcome.lost or outcome.recovered:
+            self.policy.on_capacity_freed(self, now)
+
+
+# -- kill campaigns ---------------------------------------------------------
+
+
+def scheduled_kills(
+    shard_count: int,
+    count: int,
+    duration: float,
+    downtime: float,
+) -> tuple[tuple[float, str, float], ...]:
+    """``(kill_time, shard_id, revive_time)`` spread evenly over the run.
+
+    Kill times follow the fault-campaign convention
+    (``duration * (i+1) / (count+1)``); targets cycle through the
+    shards in index order.  Raises when a revival would land beyond
+    the horizon — a silently never-revived shard would weaken the
+    campaign the caller specified.
+    """
+    if count < 1:
+        return ()
+    if downtime <= 0:
+        raise ValueError("downtime must be positive")
+    kills = []
+    for index in range(count):
+        when = duration * (index + 1) / (count + 1)
+        revive = when + downtime
+        if revive > duration:
+            raise ValueError(
+                f"kill at t={when:g} revives at t={revive:g}, beyond "
+                f"the horizon (duration {duration:g})"
+            )
+        kills.append((when, f"s{index % shard_count}", revive))
+    return tuple(kills)
+
+
+# -- the driver -------------------------------------------------------------
+
+
+def run_cluster_simulation(
+    rows: int,
+    cols: int,
+    shard_count: int,
+    classes: tuple[TrafficClass, ...],
+    policy: QueuePolicy,
+    config: SimulationConfig = SimulationConfig(),
+    kills: tuple[tuple[float, str, float], ...] = (),
+    liveness: LivenessPolicy | None = None,
+    recovery: RecoveryPolicy | None = None,
+    weights: CostWeights = BOTH,
+    fastpath: bool = True,
+    incremental: bool = True,
+    allow_split: bool = True,
+    obs: Observability | None = None,
+) -> SimulationResult:
+    """One sharded service run; the cluster twin of ``run_simulation``.
+
+    Wiring (kernel seed, per-class arrival RNG streams, request id
+    sequence, tick scheme, drain order) mirrors
+    :func:`repro.sim.service.run_simulation` exactly — that mirroring
+    plus quiet heartbeats is the whole lockstep argument for
+    ``shard_count == 1``.  The drain additionally asserts the cluster
+    integrity invariants: no orphan parts, no duplicate ownership —
+    i.e. no 2PC round ever leaked a partial allocation.
+    """
+    if not classes:
+        raise ValueError("need at least one traffic class")
+    names = [cls.name for cls in classes]
+    if len(set(names)) != len(names):
+        raise ValueError("traffic class names must be unique")
+    if policy.depth() != 0:
+        raise ValueError(
+            "policy still holds requests from a previous run; "
+            "construct a fresh policy per simulation"
+        )
+    for cls in classes:
+        reset = getattr(cls.arrivals, "reset", None)
+        if reset is not None:
+            reset()
+
+    kernel = EventKernel(seed=config.seed)
+    shards = build_shards(
+        rows, cols, shard_count, weights=weights,
+        fastpath=fastpath, incremental=incremental, obs=obs,
+    )
+    cluster = ClusterManager(
+        shards, liveness_policy=liveness, obs=obs, allow_split=allow_split,
+    )
+    service = ClusterAdmissionService(
+        cluster, policy, kernel,
+        metrics=ServiceMetrics(warmup=config.warmup),
+        resilience=ResilienceConfig(
+            recovery=recovery if recovery is not None else RecoveryPolicy()
+        ),
+    )
+    cursors = {cls.name: 0 for cls in classes}
+    arrival_rngs = {
+        cls.name: Random(f"{config.seed}:{cls.name}") for cls in classes
+    }
+    request_ids = iter(range(1, 1 << 62))
+
+    def arrival(cls: TrafficClass):
+        def handle(kernel: EventKernel, event: Event) -> None:
+            index = cursors[cls.name]
+            cursors[cls.name] = index + 1
+            app = cls.pool[index % len(cls.pool)]
+            request = AdmissionRequest(
+                request_id=next(request_ids),
+                app=app,
+                app_id=f"{cls.name}#{index}",
+                class_name=cls.name,
+                priority=cls.priority,
+                arrival_time=kernel.now,
+                cls=cls,
+            )
+            service.offer(request, kernel.now)
+            kernel.schedule(
+                cls.arrivals.next_interarrival(arrival_rngs[cls.name]),
+                EventKind.ARRIVAL,
+                handle,
+            )
+        return handle
+
+    for cls in classes:
+        kernel.schedule(
+            cls.arrivals.next_interarrival(arrival_rngs[cls.name]),
+            EventKind.ARRIVAL,
+            arrival(cls),
+        )
+
+    for when, shard_id, revive_at in kills:
+        if shard_id not in cluster.by_id:
+            raise ValueError(f"kill targets unknown shard {shard_id!r}")
+        if when > config.duration or revive_at > config.duration:
+            raise ValueError(
+                f"shard kill/revive at t={when}/{revive_at} lies beyond "
+                f"the horizon (duration {config.duration})"
+            )
+        kernel.schedule_at(
+            when, EventKind.FAULT,
+            lambda kernel, event: service.kill_shard(
+                event.payload["shard"], kernel.now
+            ),
+            shard=shard_id,
+        )
+        kernel.schedule_at(
+            revive_at, EventKind.REPAIR,
+            lambda kernel, event: service.revive_shard(
+                event.payload["shard"], kernel.now
+            ),
+            shard=shard_id,
+        )
+
+    interval = cluster.liveness.policy.heartbeat_interval
+
+    def pulse(kernel: EventKernel, event: Event) -> None:
+        service.heartbeat_pulse(kernel.now)
+        if kernel.now + interval <= config.duration:
+            kernel.schedule(interval, EventKind.HEARTBEAT, pulse)
+
+    kernel.schedule(interval, EventKind.HEARTBEAT, pulse)
+
+    def tick(kernel: EventKernel, event: Event) -> None:
+        service.sample(kernel.now)
+        if kernel.now + config.sample_interval <= config.duration:
+            kernel.schedule(config.sample_interval, EventKind.TICK, tick)
+
+    kernel.schedule(config.sample_interval, EventKind.TICK, tick)
+
+    started = _time.perf_counter()
+    kernel.run(until=config.duration)
+    wall = _time.perf_counter() - started
+
+    samples = service.metrics.samples
+    if not samples or samples[-1].time < config.duration:
+        service.sample(kernel.now)
+
+    service.metrics.finalize_availability(config.duration)
+
+    result = SimulationResult(
+        metrics=service.metrics,
+        trace=service.trace.records,
+        duration=config.duration,
+        wall_seconds=wall,
+        events_processed=kernel.processed,
+        observability=cluster.obs,
+    )
+    violations = cluster.verify_integrity()
+    assert not violations, f"cluster integrity violated: {violations}"
+    if config.drain:
+        for entry in service._engine.flush():
+            service.metrics.lost += 1
+            service.trace.record(
+                kernel.now, "recovery_lost",
+                id=entry.app_id, reason="drained",
+            )
+        policy.flush(service, kernel.now)
+        drained = sorted(cluster.admitted)
+        for app_id in drained:
+            cluster.release(app_id)
+        result.post_drain_utilization = cluster.utilization()
+        service.trace.record(
+            kernel.now, "drain",
+            released=len(drained),
+            utilization=result.post_drain_utilization,
+        )
+        assert result.post_drain_utilization == 0.0, (
+            "drained cluster not empty"
+        )
+        assert not cluster.verify_integrity(), (
+            "cluster integrity violated after drain"
+        )
+    return result
+
+
+# -- recipes ----------------------------------------------------------------
+
+
+def build_cluster_recipe(
+    platform: str = "12x12",
+    shards: int = 2,
+    duration: float = 120.0,
+    seed: int = 0,
+    policy: str = "fifo",
+    policy_params: dict | None = None,
+    rate_scale: float = 1.0,
+    pool_size: int = 8,
+    sample_interval: float = 5.0,
+    warmup: float = 0.0,
+    kills: int = 0,
+    downtime: float = 20.0,
+    heartbeat: "LivenessPolicy | dict | None" = None,
+    recovery: "RecoveryPolicy | dict | None" = None,
+    allow_split: bool = True,
+) -> dict:
+    """A JSON-able cluster run description, replayed by
+    :func:`run_cluster_recipe`.
+
+    The ``"shards"`` key is what distinguishes a cluster recipe from a
+    plain one — ``repro sim --replay`` dispatches on it.  ``kills``
+    schedules that many evenly-spaced shard kills, each revived
+    ``downtime`` later.
+    """
+    make_policy(policy, policy_params)  # validate early
+    if not isinstance(heartbeat, LivenessPolicy):
+        heartbeat = LivenessPolicy.from_params(heartbeat)
+    if not isinstance(recovery, RecoveryPolicy):
+        recovery = RecoveryPolicy.from_params(recovery)
+    rows, cols = _parse_mesh(platform)
+    if kills:
+        # validate the campaign fits the horizon before emitting it
+        scheduled_kills(shards, kills, duration, downtime)
+    recipe = {
+        "platform": platform,
+        "shards": shards,
+        "duration": duration,
+        "seed": seed,
+        "sample_interval": sample_interval,
+        "warmup": warmup,
+        "policy": make_policy(policy, policy_params).describe(),
+        "classes": {
+            "kind": "default",
+            "seed": seed,
+            "rate_scale": rate_scale,
+            "pool_size": pool_size,
+        },
+        "heartbeat": heartbeat.describe(),
+        "recovery": recovery.describe(),
+        "allow_split": allow_split,
+        "kills": kills,
+    }
+    if kills:
+        recipe["downtime"] = downtime
+    # early shard-count validation (same error surface as run time)
+    build_shards(rows, cols, shards)
+    return recipe
+
+
+def _parse_mesh(spec: str) -> tuple[int, int]:
+    try:
+        rows, cols = (int(part) for part in spec.lower().split("x"))
+    except ValueError:
+        raise ValueError(
+            f"cluster platform spec {spec!r} must be 'RxC' (e.g. '12x12')"
+        ) from None
+    return rows, cols
+
+
+def run_cluster_recipe(
+    recipe: dict,
+    trace_path=None,
+    incremental: bool = True,
+    obs: Observability | None = None,
+) -> SimulationResult:
+    """Execute a cluster recipe; optionally record the JSONL trace."""
+    rows, cols = _parse_mesh(recipe["platform"])
+    shard_count = int(recipe["shards"])
+    classes_spec = recipe["classes"]
+    if classes_spec.get("kind", "default") != "default":
+        raise ValueError(
+            f"unknown traffic class kind {classes_spec.get('kind')!r}"
+        )
+    classes = default_traffic_classes(
+        seed=classes_spec["seed"],
+        rate_scale=classes_spec["rate_scale"],
+        pool_size=classes_spec["pool_size"],
+    )
+    policy = make_policy(
+        recipe["policy"]["name"], recipe["policy"].get("params") or {}
+    )
+    config = SimulationConfig(
+        duration=recipe["duration"],
+        seed=recipe["seed"],
+        sample_interval=recipe["sample_interval"],
+        warmup=float(recipe.get("warmup", 0.0)),
+    )
+    liveness = LivenessPolicy.from_params(recipe.get("heartbeat"))
+    recovery = RecoveryPolicy.from_params(recipe.get("recovery"))
+    kills = scheduled_kills(
+        shard_count,
+        int(recipe.get("kills", 0)),
+        config.duration,
+        float(recipe.get("downtime", 20.0)),
+    )
+    result = run_cluster_simulation(
+        rows, cols, shard_count, classes, policy, config,
+        kills=kills, liveness=liveness, recovery=recovery,
+        incremental=incremental,
+        allow_split=bool(recipe.get("allow_split", True)),
+        obs=obs,
+    )
+    result.recipe = recipe
+    if trace_path is not None:
+        write_trace(trace_path, result.trace, header=recipe)
+    return result
+
+
+def replay_cluster_trace(path) -> tuple[bool, list[str], SimulationResult]:
+    """Re-run a recorded cluster trace's recipe and diff the streams."""
+    header, records = read_trace(path)
+    if header is None:
+        raise ValueError(f"{path}: trace has no recipe header; cannot replay")
+    if "shards" not in header:
+        raise ValueError(
+            f"{path}: not a cluster trace (no 'shards' in the header); "
+            "use replay_trace"
+        )
+    result = run_cluster_recipe(header)
+    differences = diff_traces(records, result.trace)
+    return not differences, differences, result

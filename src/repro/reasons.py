@@ -104,6 +104,16 @@ class ReasonCode(enum.StrEnum):
     #: commit() replans transparently rather than failing with this)
     EPOCH_CONFLICT = "epoch_conflict"
 
+    # -- sharded cluster (repro.cluster) --------------------------------------
+    #: the target shard is not accepting requests (crashed, or demoted
+    #: by the liveness registry) — the router spills over to siblings
+    SHARD_DOWN = "shard_down"
+    #: no routable shard at all: the whole cluster is demoted
+    CLUSTER_UNAVAILABLE = "cluster_unavailable"
+    #: the coordinator could not split the application into connected
+    #: parts, or the two-phase commit exhausted its retry budget
+    CROSS_SHARD_INFEASIBLE = "cross_shard_infeasible"
+
     UNKNOWN = "unknown"
 
     @classmethod

@@ -48,17 +48,24 @@ class EventKind(enum.IntEnum):
     """
 
     DEPARTURE = 0
-    #: MTTR-driven repair of a transient fault (see repro.resilience)
+    #: MTTR-driven repair of a transient fault (see repro.resilience);
+    #: shard revivals share this slot — capacity returning is visible
+    #: to every same-instant fault, arrival and liveness pulse
     REPAIR = 1
-    FAULT = 2
-    ARRIVAL = 3
-    RETRY = 4
+    #: cluster heartbeat pulse (see repro.cluster): liveness observes
+    #: after repairs/revivals but before the instant's fault lands, so
+    #: a revived shard's probation clock starts on time and demotion
+    #: decisions never see a fault that "has not happened yet"
+    HEARTBEAT = 2
+    FAULT = 3
+    ARRIVAL = 4
+    RETRY = 5
     #: resilience requeue drain attempt (backoff-scheduled)
-    RECOVERY_RETRY = 5
-    TIMEOUT = 6
-    TICK = 7
+    RECOVERY_RETRY = 6
+    TIMEOUT = 7
+    TICK = 8
     #: legacy fixed-step drivers (``run_workload`` / ``run_admission_churn``)
-    STEP = 8
+    STEP = 9
 
 
 @dataclass

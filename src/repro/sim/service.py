@@ -44,6 +44,7 @@ from a JSON recipe so a recorded run can be reproduced bit-identically
 from __future__ import annotations
 
 import bisect
+import itertools
 import time as _time
 from collections import deque
 from dataclasses import dataclass, field
@@ -221,12 +222,29 @@ class FifoPolicy(_BoundedQueuePolicy):
     def on_capacity_freed(self, service, now):
         # strict FIFO: stop at the first request that still does not
         # fit (head-of-line blocking is part of the policy's contract)
+        window = getattr(service, "batch_plan", 1)
+        if window > 1 and len(self.queue) > 1:
+            self._drain_batched(service, now, window)
+            return
         while self.queue:
             head = self.queue[0]
             if not service.try_admit(head, now):
                 break
             self.queue.popleft()
             self._dequeue(head)
+
+    def _drain_batched(self, service, now, window):
+        # decision-equivalent to the sequential loop (see
+        # AdmissionService.try_admit_batch); one pipeline transaction
+        # per window instead of one per request
+        while self.queue:
+            heads = list(itertools.islice(iter(self.queue), window))
+            admitted = service.try_admit_batch(heads, now)
+            for _ in range(admitted):
+                head = self.queue.popleft()
+                self._dequeue(head)
+            if admitted < len(heads):
+                break
 
     def _after_expire(self, service, now):
         # a timed-out head was the only thing blocking its followers:
@@ -390,9 +408,15 @@ class AdmissionService:
         metrics: ServiceMetrics | None = None,
         trace: TraceRecorder | None = None,
         resilience: ResilienceConfig | None = None,
+        batch_plan: int = 1,
     ) -> None:
+        if batch_plan < 1:
+            raise ValueError("batch_plan must be at least 1")
         self.manager = manager
         self.controller = manager.controller
+        #: queue-drain window for :meth:`try_admit_batch`; 1 keeps the
+        #: classic one-probe-per-request drain (policies consult this)
+        self.batch_plan = batch_plan
         self.policy = policy
         self.kernel = kernel
         self.metrics = metrics if metrics is not None else ServiceMetrics()
@@ -502,7 +526,12 @@ class AdmissionService:
             self.metrics.on_phase_rejection(decision.phase.value, decision.code)
             self.metrics.on_attempt_timings(decision.timings)
             return False
-        layout = decision.layout
+        self._note_admitted(request, decision.layout, now)
+        return True
+
+    def _note_admitted(self, request: AdmissionRequest, layout, now: float
+                       ) -> None:
+        """Shared success tail of a probe: metrics, departure, trace."""
         self.metrics.on_attempt_timings(layout.timings)
         wait = now - request.arrival_time
         self.metrics.on_admitted(request.class_name, wait, now)
@@ -523,7 +552,74 @@ class AdmissionService:
             id=request.app_id, wait=wait, hold=holding,
             attempts=request.attempts,
         )
-        return True
+
+    def try_admit_batch(
+        self, requests: list[AdmissionRequest], now: float
+    ) -> int:
+        """Probe a queue-front window through ``plan_batch`` and commit
+        the admissible prefix; returns how many were admitted.
+
+        Decision-equivalent to calling :meth:`try_admit` on each
+        request in order and stopping at the first failure — same
+        decisions, metrics and trace records (asserted by
+        ``tests/test_batch_plan.py``) — but the pipeline runs once per
+        request inside one planning transaction, keeping the binder
+        scratch pools and the gate's demand cache warm across the
+        window.  The equivalence argument:
+
+        * only the *head* can short-circuit — committing a predecessor
+          advances the epoch past any follower's recorded failure, so
+          the sequential loop would never short-circuit a non-head
+          request either;
+        * each plan is stamped with the in-transaction epoch its
+          committed predecessors produce, which is exactly the epoch a
+          sequential probe would observe, so failure memos recorded
+          from a batch replay identically afterwards;
+        * plans after the first failure are discarded uncommitted —
+          plans hold nothing, and the sequential loop never probed
+          those requests.
+        """
+        head = requests[0]
+        if head.holding is None and head.cls is None:
+            raise ValueError(
+                f"request {head.app_id} has neither a holding time nor "
+                "a traffic class to sample one from"
+            )
+        head.attempts += 1
+        epoch = self.manager.state.epoch
+        if head.last_failed_epoch == epoch:
+            self.metrics.probes_short_circuited += 1
+            self._c_short_circuits.inc()
+            self.metrics.on_phase_rejection(
+                head.last_failed_phase, head.last_failed_code
+            )
+            return 0
+        plans = self.controller.plan_batch(
+            [request.app for request in requests],
+            [request.app_id for request in requests],
+        )
+        admitted = 0
+        for index, (request, plan) in enumerate(zip(requests, plans)):
+            if index > 0:
+                if request.holding is None and request.cls is None:
+                    raise ValueError(
+                        f"request {request.app_id} has neither a holding "
+                        "time nor a traffic class to sample one from"
+                    )
+                request.attempts += 1
+            decision = self.controller.commit(plan)
+            if not decision.admitted:
+                request.last_failed_epoch = plan.epoch
+                request.last_failed_phase = decision.phase.value
+                request.last_failed_code = decision.code
+                self.metrics.on_phase_rejection(
+                    decision.phase.value, decision.code
+                )
+                self.metrics.on_attempt_timings(decision.timings)
+                return admitted
+            self._note_admitted(request, decision.layout, now)
+            admitted += 1
+        return admitted
 
     def _departure(self, kernel: EventKernel, event: Event) -> None:
         app_id = event.payload["app_id"]
@@ -855,6 +951,7 @@ def run_simulation(
     incremental: bool = True,
     resilience: ResilienceConfig | None = None,
     obs: Observability | None = None,
+    batch_plan: int = 1,
 ) -> SimulationResult:
     """Run one continuous-time admission-service simulation.
 
@@ -904,6 +1001,7 @@ def run_simulation(
         manager, policy, kernel,
         metrics=ServiceMetrics(warmup=config.warmup),
         resilience=resilience,
+        batch_plan=batch_plan,
     )
     cursors = {cls.name: 0 for cls in classes}
     arrival_rngs = {
@@ -1033,6 +1131,7 @@ def build_recipe(
     fault_links: float = 0.0,
     fault_storm: int = 0,
     resilience: "ResilienceConfig | dict | None" = None,
+    batch_plan: int = 1,
 ) -> dict:
     """A JSON-able description that :func:`run_recipe` reproduces exactly.
 
@@ -1083,6 +1182,12 @@ def build_recipe(
         if not isinstance(resilience, ResilienceConfig):
             resilience = ResilienceConfig.from_spec(resilience)
         recipe["resilience"] = resilience.describe()
+    if batch_plan < 1:
+        raise ValueError("batch_plan must be at least 1")
+    if batch_plan > 1:
+        # emitted only when batched: pre-existing recipes (and the
+        # traces recorded from them) stay byte-identical
+        recipe["batch_plan"] = batch_plan
     return recipe
 
 
@@ -1186,6 +1291,7 @@ def run_recipe(
     result = run_simulation(
         platform, classes, policy, config, faults=faults,
         incremental=incremental, resilience=resilience, obs=obs,
+        batch_plan=int(recipe.get("batch_plan", 1)),
     )
     result.recipe = recipe
     if trace_path is not None:
@@ -1203,6 +1309,11 @@ def replay_trace(path) -> tuple[bool, list[str], SimulationResult]:
     header, records = read_trace(path)
     if header is None:
         raise ValueError(f"{path}: trace has no recipe header; cannot replay")
+    if "shards" in header:
+        raise ValueError(
+            f"{path}: this is a cluster trace; replay it with "
+            "repro.cluster.replay_cluster_trace (repro cluster sim --replay)"
+        )
     result = run_recipe(header)
     differences = diff_traces(records, result.trace)
     return not differences, differences, result

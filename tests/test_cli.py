@@ -143,6 +143,39 @@ class TestSim:
         assert "error:" in capsys.readouterr().err
 
 
+class TestClusterSim:
+    def test_cluster_sim_smoke(self, capsys):
+        code = main([
+            "cluster", "sim", "--platform", "6x6", "--shards", "2",
+            "--duration", "10", "--rate-scale", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "across 2 shard(s)" in out
+        assert "events processed" in out
+
+    def test_cluster_kill_campaign_record_then_replay(self, tmp_path,
+                                                      capsys):
+        trace = tmp_path / "cluster.jsonl"
+        assert main([
+            "cluster", "sim", "--platform", "6x6", "--shards", "2",
+            "--duration", "20", "--rate-scale", "2", "--kills", "1",
+            "--downtime", "8", "--record", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shard kills" in out
+        assert "availability" in out
+        assert main(["cluster", "sim", "--replay", str(trace)]) == 0
+        assert "REPLAY IDENTICAL" in capsys.readouterr().out
+
+    def test_cluster_sim_validates_shard_split(self, capsys):
+        assert main([
+            "cluster", "sim", "--platform", "6x6", "--shards", "4",
+            "--duration", "5",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestArgparse:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
