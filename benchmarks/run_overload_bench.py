@@ -1,0 +1,308 @@
+#!/usr/bin/env python
+"""Emit ``BENCH_overload.json`` — graceful degradation under overload.
+
+Runs the continuous-time admission service (``repro.sim``) on the
+canonical 12x12 mesh under the three-class mix at 1x/2x/4x offered
+load, each load both *unshielded* (no overload control) and *shielded*
+(deadline budgets + watermark load-shedding + retry token budget), and
+reports for each:
+
+* accepted-work goodput (admissions per sim-time unit) and completed
+  departures,
+* the shed breakdown (watermark sheds, deadline expiries, retry-budget
+  denials) and the shed rate against offered load,
+* admission-wait percentiles of the *accepted* requests — the whole
+  point of shedding early is that the work you do accept waits less,
+* per-class admission ratios (the watermark protects the interactive
+  class) and kernel throughput.
+
+At the top load a third *brownout* mode adds the full config including
+the brownout controller.  Its numbers are reported but not gated:
+brownout trades placement quality for stability, and on this packing
+workload the first-fit degradation costs goodput — an honest trade
+the report shows rather than hides.
+
+The acceptance gate (``--check-against``) asserts that at 4x load the
+shielded run keeps goodput at least at the unshielded level while its
+accepted-request p99 admission wait is measurably lower, plus the
+usual events/sec regression floor.  A record/replay determinism check
+runs the harshest configuration (4x load, full overload config) and
+must be bit-identical.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_overload_bench.py \
+        [--output BENCH_overload.json] [--smoke] \
+        [--check-against BENCH_overload.json] [--max-regression 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from benchmarks.bench_env import environment_stanza  # noqa: E402
+from repro.overload import OverloadConfig  # noqa: E402
+from repro.sim import build_recipe, replay_trace, run_recipe  # noqa: E402
+
+#: the canonical service workload, matching the other sim benches
+PLATFORM = "12x12"
+DURATION = 120.0
+SMOKE_DURATION = 20.0
+SEED = 0
+SAMPLE_INTERVAL = 5.0
+POLICY = "fifo"
+
+#: 1x is the near-capacity baseline; 4x is a flash crowd
+BASE_RATE = 2.0
+LOADS = (1, 2, 4)
+
+
+def shielded_config() -> OverloadConfig:
+    """The gated shield: deadline + watermark + retry budget.
+
+    Brownout is deliberately excluded here — see the module docstring
+    and the separate ``brownout`` mode at top load.
+    """
+    return dataclasses.replace(OverloadConfig.defaults(), brownout=None)
+
+
+def load_recipe(load: int, overload: OverloadConfig | None,
+                duration: float) -> dict:
+    return build_recipe(
+        platform=PLATFORM,
+        duration=duration,
+        seed=SEED,
+        policy=POLICY,
+        rate_scale=BASE_RATE * load,
+        sample_interval=SAMPLE_INTERVAL,
+        overload=overload,
+    )
+
+
+def run_mode(load: int, overload: OverloadConfig | None,
+             duration: float) -> dict:
+    result = run_recipe(load_recipe(load, overload, duration))
+    summary = result.metrics.summary()
+    ov = summary["overload"]
+    shed = (ov["shed_watermark"] + ov["deadline_expired"]
+            + ov["retry_budget_exhausted"])
+    offered = summary["offered"]
+    return {
+        "offered": offered,
+        "admitted": summary["admitted"],
+        "departed": summary["departed"],
+        "goodput": summary["admitted"] / duration,
+        "blocking_probability": summary["blocking_probability"],
+        "shed": {
+            "total": shed,
+            "rate": shed / offered if offered else 0.0,
+            "watermark": ov["shed_watermark"],
+            "deadline_expired": ov["deadline_expired"],
+            "retry_budget": ov["retry_budget_exhausted"],
+        },
+        "admission_wait": summary["admission_wait"],
+        "mean_utilization": summary["mean_utilization"],
+        "max_brownout_level": ov["max_brownout_level"],
+        "per_class_admission": {
+            name: stats["admission_ratio"]
+            for name, stats in summary["per_class"].items()
+        },
+        "events_processed": result.events_processed,
+        "events_per_second": result.events_per_second,
+    }
+
+
+def bench_load(load: int, duration: float) -> dict:
+    entry = {
+        "load": load,
+        "rate_scale": BASE_RATE * load,
+        "unshielded": run_mode(load, None, duration),
+        "shielded": run_mode(load, shielded_config(), duration),
+    }
+    if load == LOADS[-1]:
+        entry["brownout"] = run_mode(
+            load, OverloadConfig.defaults(), duration
+        )
+    return entry
+
+
+def replay_check(duration: float) -> dict:
+    """Record/replay the harshest run: 4x load, full overload config."""
+    recipe = load_recipe(LOADS[-1], OverloadConfig.defaults(), duration)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "overload_trace.jsonl"
+        recorded = run_recipe(recipe, trace_path=path)
+        identical, differences, _ = replay_trace(path)
+    return {
+        "load": LOADS[-1],
+        "records": len(recorded.trace),
+        "identical": identical,
+        "first_differences": differences[:3],
+    }
+
+
+def check_shielding(report: dict) -> list[str]:
+    """The graceful-degradation assertion at top load (empty = pass).
+
+    Short smoke runs admit a few hundred requests, so the goodput
+    comparison gets a small tolerance there; full runs must hold the
+    line exactly.
+    """
+    entry = next(
+        e for e in report["loads"] if e["load"] == LOADS[-1]
+    )
+    slack = 0.95 if report["workload"]["smoke"] else 1.0
+    violations = []
+    shielded = entry["shielded"]
+    unshielded = entry["unshielded"]
+    if shielded["goodput"] < unshielded["goodput"] * slack:
+        violations.append(
+            f"{LOADS[-1]}x load: shielded goodput "
+            f"{shielded['goodput']:.2f} fell below unshielded "
+            f"{unshielded['goodput']:.2f} (slack {slack:g})"
+        )
+    p99_shielded = shielded["admission_wait"]["p99"]
+    p99_unshielded = unshielded["admission_wait"]["p99"]
+    if (p99_shielded is not None and p99_unshielded is not None
+            and p99_shielded >= p99_unshielded):
+        violations.append(
+            f"{LOADS[-1]}x load: shielded p99 admission wait "
+            f"{p99_shielded:.3f} did not drop below unshielded "
+            f"{p99_unshielded:.3f}"
+        )
+    return violations
+
+
+def check_regression(
+    report: dict, committed_path: Path, max_regression: float
+) -> list[str]:
+    """Per-load shielded-mode events/sec check (empty = pass)."""
+    committed = json.loads(committed_path.read_text())
+    if report["workload"]["smoke"]:
+        reference = committed.get("smoke_reference")
+        if reference is None:
+            return [
+                f"{committed_path} has no smoke_reference block; "
+                "regenerate it with a full bench run"
+            ]
+    else:
+        reference = {
+            str(entry["load"]): entry["shielded"]["events_per_second"]
+            for entry in committed.get("loads", ())
+        }
+    violations = []
+    for entry in report["loads"]:
+        baseline = reference.get(str(entry["load"]))
+        if baseline is None or baseline <= 0:
+            continue
+        floor = baseline * (1.0 - max_regression)
+        current = entry["shielded"]["events_per_second"]
+        if current < floor:
+            violations.append(
+                f"{entry['load']}x load: {current:,.0f} events/s is "
+                f"below the {max_regression:.0%}-regression floor "
+                f"{floor:,.0f} (committed {baseline:,.0f})"
+            )
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_overload.json")
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short CI run: correctness, replay and the shielding "
+             "assertion only",
+    )
+    parser.add_argument(
+        "--check-against", metavar="PATH",
+        help="committed BENCH_overload.json to compare events/sec "
+             "against (exit 1 on a regression beyond --max-regression)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.30,
+        help="tolerated fractional events/sec regression (default 0.30)",
+    )
+    args = parser.parse_args()
+    if not 0 <= args.max_regression < 1:
+        parser.error("--max-regression must be in [0, 1)")
+
+    duration = SMOKE_DURATION if args.smoke else DURATION
+    loads = [bench_load(load, duration) for load in LOADS]
+    replay = replay_check(duration)
+
+    report = {
+        "workload": {
+            "platform": f"mesh_{PLATFORM}",
+            "duration": duration,
+            "base_rate_scale": BASE_RATE,
+            "loads": list(LOADS),
+            "seed": SEED,
+            "policy": POLICY,
+            "traffic": "default 3-class mix (interactive/batch/bursty)",
+            "shield": shielded_config().describe(),
+            "smoke": args.smoke,
+        },
+        "loads": loads,
+        "replay": replay,
+        "environment": environment_stanza(),
+    }
+    if not args.smoke:
+        report["smoke_reference"] = {
+            str(entry["load"]): entry["shielded"]["events_per_second"]
+            for entry in (
+                bench_load(load, SMOKE_DURATION) for load in LOADS
+            )
+        }
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {output}", file=sys.stderr)
+    status = 0
+    if not replay["identical"]:
+        print("REPLAY DIVERGED — determinism regression", file=sys.stderr)
+        status = 1
+    shield_violations = check_shielding(report)
+    for line in shield_violations:
+        print(f"SHIELDING REGRESSION: {line}", file=sys.stderr)
+    if shield_violations:
+        status = 1
+    else:
+        print(
+            f"shielding holds at {LOADS[-1]}x load: goodput kept, "
+            "p99 admission wait reduced",
+            file=sys.stderr,
+        )
+    if args.check_against:
+        violations = check_regression(
+            report, Path(args.check_against), args.max_regression
+        )
+        for line in violations:
+            print(f"THROUGHPUT REGRESSION: {line}", file=sys.stderr)
+        if violations:
+            status = 1
+        else:
+            print(
+                f"throughput within {args.max_regression:.0%} of "
+                f"{args.check_against} for every load",
+                file=sys.stderr,
+            )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -154,6 +154,29 @@ def build_parser() -> argparse.ArgumentParser:
                           "engine (default admission; implies "
                           "--resilience semantics only when that flag "
                           "is set)")
+    sim.add_argument("--overload", action="store_true",
+                     help="enable overload control (deadline budgets, "
+                          "watermark shedding, retry budget, brownout) "
+                          "with default policies")
+    sim.add_argument("--deadline-budget", type=float, default=None,
+                     metavar="T",
+                     help="per-request sim-time deadline budget "
+                          "(implies --overload)")
+    sim.add_argument("--watermark-high", type=float, default=None,
+                     metavar="F",
+                     help="queue occupancy fraction that starts "
+                          "load-shedding (implies --overload)")
+    sim.add_argument("--watermark-low", type=float, default=None,
+                     metavar="F",
+                     help="queue occupancy fraction that stops "
+                          "load-shedding (implies --overload)")
+    sim.add_argument("--retry-tokens", type=float, default=None,
+                     metavar="N",
+                     help="retry-budget token capacity (implies "
+                          "--overload)")
+    sim.add_argument("--no-brownout", action="store_true",
+                     help="with --overload: keep placement quality, "
+                          "never degrade under sustained pressure")
     sim.add_argument("--warmup", type=float, default=0.0,
                      help="SLA warmup window in sim-time: requests "
                           "resolved earlier are excluded from the "
@@ -216,6 +239,11 @@ def build_parser() -> argparse.ArgumentParser:
     csim.add_argument("--downtime", type=float, default=20.0,
                       help="sim-time between a kill and its revival "
                            "(default 20)")
+    csim.add_argument("--overload", action="store_true",
+                      help="enable overload control (deadline budgets, "
+                           "watermark shedding, retry budget, per-shard "
+                           "circuit breakers, brownout) with default "
+                           "policies")
     csim.add_argument("--no-split", action="store_true",
                       help="disable cross-shard admission of "
                            "applications no single shard can host")
@@ -374,6 +402,60 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _overload_config(args):
+    """Build the CLI's OverloadConfig; None when nothing asked for it.
+
+    ``--overload`` turns everything on with defaults; any granular
+    tuning flag implies it.  Works for both the sim and cluster
+    parsers — flags a parser does not define simply read as unset.
+    """
+    import dataclasses
+
+    from repro.overload import DeadlinePolicy, OverloadConfig
+
+    budget = getattr(args, "deadline_budget", None)
+    high = getattr(args, "watermark_high", None)
+    low = getattr(args, "watermark_low", None)
+    tokens = getattr(args, "retry_tokens", None)
+    tuned = any(v is not None for v in (budget, high, low, tokens))
+    if not (args.overload or tuned):
+        return None
+    config = OverloadConfig.defaults()
+    if budget is not None:
+        config = dataclasses.replace(
+            config, deadline=DeadlinePolicy(budget=budget)
+        )
+    if high is not None or low is not None:
+        watermark = dataclasses.replace(
+            config.watermark,
+            high=config.watermark.high if high is None else high,
+            low=config.watermark.low if low is None else low,
+        )
+        config = dataclasses.replace(config, watermark=watermark)
+    if tokens is not None:
+        config = dataclasses.replace(
+            config,
+            retry_budget=dataclasses.replace(
+                config.retry_budget, capacity=tokens
+            ),
+        )
+    if getattr(args, "no_brownout", False):
+        config = dataclasses.replace(config, brownout=None)
+    return config
+
+
+def _print_overload_summary(summary: dict, cluster: bool = False) -> None:
+    ov = summary["overload"]
+    print(f"  overload         : {ov['shed_watermark']} shed, "
+          f"{ov['deadline_expired']} deadline-expired, "
+          f"{ov['retry_budget_exhausted']} retry-denied")
+    print(f"  brownout         : max level {ov['max_brownout_level']}, "
+          f"{ov['brownout_transitions']} transition(s)")
+    if cluster:
+        print(f"  breakers         : {ov['breaker_transitions']} "
+              f"transition(s), {ov['breaker_open']} probe(s) refused")
+
+
 def _cmd_sim(args) -> int:
     from repro.sim import build_recipe, replay_trace, run_recipe
 
@@ -425,6 +507,7 @@ def _cmd_sim(args) -> int:
             fault_links=args.fault_links,
             fault_storm=args.fault_storm,
             resilience=resilience,
+            overload=_overload_config(args),
             batch_plan=args.batch_plan,
         )
     except ValueError as exc:
@@ -485,6 +568,8 @@ def _cmd_sim(args) -> int:
               f"availability {res['availability']:.4f}, mttr {mttr}")
         print(f"  requeue          : {res['recovery_retries']} retries, "
               f"{res['lost_recovered']} lost-then-recovered")
+    if result.overload_stats is not None:
+        _print_overload_summary(summary)
     if args.profile:
         print()
         print("per-phase wall-clock latency (ms per attempt):")
@@ -586,6 +671,7 @@ def _cmd_cluster(args) -> int:
             kills=args.kills,
             downtime=args.downtime,
             allow_split=not args.no_split,
+            overload=_overload_config(args),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -623,6 +709,8 @@ def _cmd_cluster(args) -> int:
         print(f"  requeue          : {res['recovery_retries']} retries, "
               f"{res['lost_recovered']} lost-then-recovered")
         print(f"  availability     : {res['availability']:.4f}")
+    if result.overload_stats is not None:
+        _print_overload_summary(summary, cluster=True)
     if args.record:
         print(f"  trace            : {len(result.trace)} records -> "
               f"{args.record}")

@@ -29,6 +29,7 @@ from repro.cluster.router import ShardRouter
 from repro.cluster.shard import Shard
 from repro.manager.layout import Phase, PhaseTimings
 from repro.obs import DISABLED, Observability
+from repro.overload import BreakerBoard, OverloadConfig
 from repro.reasons import ReasonCode
 
 __all__ = ["ClusterController", "ClusterManager"]
@@ -77,6 +78,7 @@ class ClusterManager:
         obs: Observability | None = None,
         allow_split: bool = True,
         max_commit_retries: int = 2,
+        overload: OverloadConfig | None = None,
     ) -> None:
         if not shards:
             raise ValueError("a cluster needs at least one shard")
@@ -116,6 +118,24 @@ class ClusterManager:
         self._c_rejected = registry.counter("cluster.rejected")
         self._c_spillovers = registry.counter("cluster.spillovers")
         self._c_splits = registry.counter("cluster.splits")
+        self.overload = overload
+        breaker_policy = overload.breaker if overload is not None else None
+        #: per-shard circuit breakers around the router's candidates;
+        #: None without an :class:`OverloadConfig` (zero overhead, no
+        #: trace records — the legacy digest contract)
+        self.breakers = (
+            None if breaker_policy is None
+            else BreakerBoard(breaker_policy, self.by_id)
+        )
+        #: sim-clock accessor, rebound by ``run_cluster_simulation`` to
+        #: the kernel's clock; breakers and liveness faults read time
+        #: through it so direct (offline) use stays well-defined
+        self.now_fn = lambda: 0.0
+        #: (kind, payload) events produced inside :meth:`admit` —
+        #: breaker edges and fault-storm liveness transitions.  The
+        #: manager cannot reach the trace, so the service drains these
+        #: after each admission, keeping record order deterministic.
+        self.pending_records: list[tuple[str, dict]] = []
 
     # -- epochs --------------------------------------------------------------
 
@@ -145,9 +165,24 @@ class ClusterManager:
                 code=ReasonCode.CLUSTER_UNAVAILABLE,
                 timings=PhaseTimings(),
             )
+        if self.breakers is not None:
+            candidates = self._breaker_filter(candidates)
+            if not candidates:
+                self._c_rejected.inc()
+                return Decision(
+                    admitted=False,
+                    app_id=app_id,
+                    epoch=self.epoch,
+                    phase=Phase.BINDING,
+                    reason="every routable shard's breaker is open",
+                    code=ReasonCode.BREAKER_OPEN,
+                    timings=PhaseTimings(),
+                )
         first_failure: Decision | None = None
         for index, shard in enumerate(candidates):
             decision = shard.admit(app, app_id)
+            if self.breakers is not None:
+                self._note_probe(shard, decision)
             if decision.admitted:
                 if index > 0:
                     self._c_spillovers.inc()
@@ -170,6 +205,72 @@ class ClusterManager:
                 return result.decision
         self._c_rejected.inc()
         return first_failure
+
+    # -- circuit breakers ----------------------------------------------------
+
+    def _breaker_filter(self, candidates):
+        """Drop candidates whose breaker refuses probes right now."""
+        now = self.now_fn()
+        allowed = []
+        for shard in candidates:
+            ok, transition = self.breakers.allow(shard.shard_id, now)
+            if transition is not None:
+                self._note_breaker(transition)
+            if ok:
+                allowed.append(shard)
+            else:
+                self.obs.registry.counter(
+                    f"breaker.{shard.shard_id}.blocked"
+                ).inc()
+        return allowed
+
+    def _note_probe(self, shard: Shard, decision: Decision) -> None:
+        """Feed one probe outcome to the shard's breaker.
+
+        Only a ``SHARD_DOWN`` decision indicts the shard — a capacity
+        rejection is a healthy shard saying no and stays neutral.
+        Breaker failures also feed the liveness registry's fault
+        counter, so a genuinely dying shard still reaches the
+        storm-demotion path even when its breaker shields it from
+        further probes.  Split-admission probes are deliberately not
+        wired here: the 2PC coordinator owns its own retry discipline.
+        """
+        now = self.now_fn()
+        if decision.admitted:
+            transition = self.breakers.record(shard.shard_id, True, now)
+        elif decision.code == ReasonCode.SHARD_DOWN:
+            transition = self.breakers.record(shard.shard_id, False, now)
+            for lt in self.liveness.note_fault(shard.shard_id, now):
+                self._touched += 1
+                self.pending_records.append((
+                    "shard_state",
+                    {
+                        "shard": lt.shard_id,
+                        "state": lt.state.value,
+                        "was": lt.previous.value,
+                        "reason": lt.reason,
+                    },
+                ))
+        else:
+            transition = None
+        if transition is not None:
+            self._note_breaker(transition)
+
+    def _note_breaker(self, transition) -> None:
+        """One automaton edge: invalidate epochs, count, queue a record."""
+        self._touched += 1
+        self.obs.registry.counter(
+            f"breaker.{transition.shard_id}.transitions"
+        ).inc()
+        self.pending_records.append((
+            "breaker",
+            {
+                "shard": transition.shard_id,
+                "state": transition.state.value,
+                "was": transition.previous.value,
+                "reason": transition.reason,
+            },
+        ))
 
     def _book(
         self,
@@ -287,7 +388,7 @@ class ClusterManager:
 
     def summary(self) -> dict:
         """JSON-able cluster snapshot (CLI and trace footers)."""
-        return {
+        summary = {
             "shards": len(self.shards),
             "alive": sum(1 for s in self.shards if s.alive),
             "liveness": self.liveness.summary(),
@@ -295,6 +396,9 @@ class ClusterManager:
             "splits": int(self._c_splits.value),
             "spillovers": int(self._c_spillovers.value),
         }
+        if self.breakers is not None:
+            summary["breakers"] = self.breakers.summary()
+        return summary
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -37,6 +37,7 @@ from repro.cluster.service import ClusterManager
 from repro.cluster.shard import build_shards
 from repro.core.cost import BOTH, CostWeights
 from repro.obs import Observability
+from repro.overload import OverloadConfig
 from repro.resilience import RecoveryPolicy, ResilienceConfig
 from repro.sim.events import Event, EventKernel, EventKind
 from repro.sim.metrics import ServiceMetrics
@@ -70,6 +71,54 @@ class ClusterAdmissionService(AdmissionService):
         registry = self.obs.registry
         self._c_demotions = registry.counter("cluster.demotions")
         self._c_revivals = registry.counter("cluster.revivals")
+
+    # -- breaker record drain -----------------------------------------------
+
+    def _drain_cluster_records(self, now: float) -> None:
+        """Move the manager's queued breaker/liveness events into the trace.
+
+        The manager produces records inside :meth:`ClusterManager.admit`
+        where it cannot reach the trace; every service entry point that
+        can trigger admissions drains them immediately after, so record
+        order is a pure function of the event stream.  A fault-storm
+        demotion discovered here runs the same recovery stanza as a
+        heartbeat demotion — and recovery re-admits through the cluster,
+        which may queue more records, hence the loop (it terminates:
+        DEAD shards leave the candidate set and cannot re-demote).
+        """
+        cluster = self.cluster
+        while cluster.pending_records:
+            batch, cluster.pending_records = cluster.pending_records, []
+            demoted = False
+            for kind, payload in batch:
+                self.trace.record(now, kind, **payload)
+                if kind == "breaker":
+                    self.metrics.breaker_transitions += 1
+                elif (kind == "shard_state"
+                        and payload["state"] == ShardLiveness.DEAD.value):
+                    demoted = True
+                    self._c_demotions.inc()
+            if demoted:
+                self._run_recovery(now)
+
+    def try_admit(self, request: AdmissionRequest, now: float) -> bool:
+        admitted = super().try_admit(request, now)
+        self._drain_cluster_records(now)
+        return admitted
+
+    def try_admit_batch(self, requests, now):
+        outcome = super().try_admit_batch(requests, now)
+        self._drain_cluster_records(now)
+        return outcome
+
+    def _departure(self, kernel, event) -> None:
+        super()._departure(kernel, event)
+        self._drain_cluster_records(kernel.now)
+
+    def sample(self, now: float):
+        sample = super().sample(now)
+        self._drain_cluster_records(now)
+        return sample
 
     # -- shard lifecycle events ---------------------------------------------
 
@@ -105,6 +154,7 @@ class ClusterAdmissionService(AdmissionService):
         self.metrics.on_availability(now, self.cluster.alive_fraction())
         if self.cluster.stranded_by_faults():
             self._run_recovery(now)
+        self._drain_cluster_records(now)
 
     def heartbeat_pulse(self, now: float) -> None:
         """One liveness round: beats from the living, then deadlines.
@@ -147,6 +197,7 @@ class ClusterAdmissionService(AdmissionService):
             # still queued), then the queue policy
             self._drain_requeue(now)
             self.policy.on_capacity_freed(self, now)
+        self._drain_cluster_records(now)
 
     def _run_recovery(self, now: float) -> None:
         """Mirror of the resilient fault path's recovery stanza.
@@ -226,6 +277,7 @@ def run_cluster_simulation(
     incremental: bool = True,
     allow_split: bool = True,
     obs: Observability | None = None,
+    overload: OverloadConfig | None = None,
 ) -> SimulationResult:
     """One sharded service run; the cluster twin of ``run_simulation``.
 
@@ -259,13 +311,16 @@ def run_cluster_simulation(
     )
     cluster = ClusterManager(
         shards, liveness_policy=liveness, obs=obs, allow_split=allow_split,
+        overload=overload,
     )
+    cluster.now_fn = lambda: kernel.now
     service = ClusterAdmissionService(
         cluster, policy, kernel,
         metrics=ServiceMetrics(warmup=config.warmup),
         resilience=ResilienceConfig(
             recovery=recovery if recovery is not None else RecoveryPolicy()
         ),
+        overload=overload,
     )
     cursors = {cls.name: 0 for cls in classes}
     arrival_rngs = {
@@ -357,6 +412,7 @@ def run_cluster_simulation(
         duration=config.duration,
         wall_seconds=wall,
         events_processed=kernel.processed,
+        overload_stats=service.overload_state(),
         observability=cluster.obs,
     )
     violations = cluster.verify_integrity()
@@ -406,6 +462,7 @@ def build_cluster_recipe(
     heartbeat: "LivenessPolicy | dict | None" = None,
     recovery: "RecoveryPolicy | dict | None" = None,
     allow_split: bool = True,
+    overload: "OverloadConfig | dict | None" = None,
 ) -> dict:
     """A JSON-able cluster run description, replayed by
     :func:`run_cluster_recipe`.
@@ -445,6 +502,11 @@ def build_cluster_recipe(
     }
     if kills:
         recipe["downtime"] = downtime
+    overload = OverloadConfig.from_spec(overload)
+    if overload is not None:
+        # key present only when overload control is on: legacy cluster
+        # recipes (and their digests) are untouched by this feature
+        recipe["overload"] = overload.describe()
     # early shard-count validation (same error surface as run time)
     build_shards(rows, cols, shards)
     return recipe
@@ -502,6 +564,7 @@ def run_cluster_recipe(
         incremental=incremental,
         allow_split=bool(recipe.get("allow_split", True)),
         obs=obs,
+        overload=OverloadConfig.from_spec(recipe.get("overload")),
     )
     result.recipe = recipe
     if trace_path is not None:
@@ -519,6 +582,18 @@ def replay_cluster_trace(path) -> tuple[bool, list[str], SimulationResult]:
             f"{path}: not a cluster trace (no 'shards' in the header); "
             "use replay_trace"
         )
-    result = run_cluster_recipe(header)
+    try:
+        result = run_cluster_recipe(header)
+    except KeyError as exc:
+        # a mutated/truncated header is user input, not a library bug:
+        # surface a structured error, never a raw stack trace
+        raise ValueError(
+            f"{path}: trace header is not a valid recipe "
+            f"(missing key {exc})"
+        ) from exc
+    except (TypeError, AttributeError) as exc:
+        raise ValueError(
+            f"{path}: trace header is not a valid recipe ({exc!r})"
+        ) from exc
     differences = diff_traces(records, result.trace)
     return not differences, differences, result

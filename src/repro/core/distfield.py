@@ -298,7 +298,7 @@ class DistanceFieldEngine:
 
     __slots__ = (
         "state", "platform", "stats", "_tracer", "_fields", "_link_ends",
-        "_dirty_memo", "_cycle", "_pressure", "_dormant",
+        "_dirty_memo", "_cycle", "_pressure", "_dormant", "forced_dormant",
     )
 
     def __init__(
@@ -322,6 +322,10 @@ class DistanceFieldEngine:
         self._cycle = 0
         self._pressure = 0
         self._dormant = False
+        #: externally-imposed dormancy (the brownout controller's
+        #: level-3 lever): the engine answers None unconditionally —
+        #: decision-neutral, since callers run their live BFS instead
+        self.forced_dormant = False
 
     # -- fetch: revalidate or create ---------------------------------------
 
@@ -361,6 +365,12 @@ class DistanceFieldEngine:
         phase replays from cache.
         """
         if not force:
+            if self.forced_dormant:
+                # no probe cycles while forced: the imposer lifts
+                # dormancy explicitly (brownout recovery), not by
+                # regime detection
+                self.stats.c_bypasses.inc()
+                return None
             self._cycle += 1
             if self._dormant and self._cycle % _PROBE_INTERVAL:
                 self.stats.c_bypasses.inc()

@@ -1,0 +1,73 @@
+"""repro.overload — deadline budgets, shedding, breakers, brownout.
+
+The stack's defense against *overload* (as opposed to *faults*, which
+:mod:`repro.resilience` and :mod:`repro.cluster` own): classic
+admission-control mechanisms layered between the sim service and the
+cluster router, all opt-in via :class:`OverloadConfig` and all pure
+functions of the sim clock and event stream, so ``--record/--replay``
+bit-identity holds and legacy traces stay digest-identical when the
+config is absent.
+
+Four components, composable independently:
+
+* **deadline budgets** (:class:`DeadlinePolicy`) — every arrival
+  carries an absolute sim-time deadline; queued requests expire at it
+  (a distinct ``deadline_expired`` traced outcome, not a generic
+  timeout) and doomed retries are skipped outright.
+* **watermark backpressure** (:class:`WatermarkPolicy`,
+  :class:`~repro.overload.shedding.WatermarkController`) — high/low
+  occupancy hysteresis shedding low-priority arrivals at admission
+  time, plus a token :class:`RetryBudgetPolicy` so the retry policy
+  cannot storm a saturated mesh.
+* **per-shard circuit breakers** (:class:`BreakerPolicy`,
+  :class:`~repro.overload.breaker.BreakerBoard`) — a closed → open →
+  half-open automaton around the shard router's candidates, shielding
+  a sick-but-not-yet-dead shard during the liveness detection window.
+* **brownout** (:class:`BrownoutPolicy`,
+  :class:`~repro.overload.brownout.BrownoutController`) — sustained
+  pressure degrades placement quality in announced, reversible steps.
+
+See ``docs/overload.md`` for semantics, trace schema and the replay
+contract.
+"""
+
+from __future__ import annotations
+
+from repro.overload.breaker import (
+    BreakerBoard,
+    BreakerState,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from repro.overload.brownout import (
+    LEVEL_ACTIONS,
+    BrownoutController,
+    BrownoutLevers,
+)
+from repro.overload.config import (
+    BreakerPolicy,
+    BrownoutPolicy,
+    DeadlinePolicy,
+    OverloadConfig,
+    RetryBudgetPolicy,
+    WatermarkPolicy,
+)
+from repro.overload.shedding import RetryBudget, WatermarkController
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerPolicy",
+    "BreakerState",
+    "BreakerTransition",
+    "BrownoutController",
+    "BrownoutLevers",
+    "BrownoutPolicy",
+    "CircuitBreaker",
+    "DeadlinePolicy",
+    "LEVEL_ACTIONS",
+    "OverloadConfig",
+    "RetryBudget",
+    "RetryBudgetPolicy",
+    "WatermarkController",
+    "WatermarkPolicy",
+]

@@ -1,0 +1,156 @@
+"""Per-shard circuit breakers: the closed → open → half-open automaton.
+
+A breaker wraps one shard's probe stream.  Closed, it watches a
+sliding window of outcomes and trips when failures dominate; open, it
+refuses probes until a sim-clock cooldown elapses; half-open, it
+admits a bounded number of trial probes — one success closes it, one
+failure re-opens it.  All state is a deterministic function of the
+(probe outcome, sim-time) stream, so recorded traces replay breakers
+bit-identically.
+
+The breaker complements — not replaces — the heartbeat liveness
+registry: liveness needs missed deadlines to demote a shard, while a
+breaker reacts to the very first failed probes, shielding a
+sick-but-not-yet-dead shard during the detection window.  Breaker
+failures also feed :meth:`LivenessRegistry.note_fault`, so a genuinely
+dying shard still reaches the storm-demotion path.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+from repro.overload.config import BreakerPolicy
+
+__all__ = ["BreakerBoard", "BreakerState", "BreakerTransition", "CircuitBreaker"]
+
+
+class BreakerState(enum.StrEnum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One automaton edge, for tracing and metrics."""
+
+    shard_id: str
+    previous: BreakerState
+    state: BreakerState
+    reason: str
+
+
+class CircuitBreaker:
+    """One shard's breaker; see the module docstring for the automaton."""
+
+    def __init__(self, policy: BreakerPolicy) -> None:
+        self.policy = policy
+        self.state = BreakerState.CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=policy.window)
+        self._opened_at = 0.0
+        self._probes_left = 0
+        self.opens = 0
+
+    def allow(self, now: float) -> tuple[bool, str | None]:
+        """May this shard be probed right now?
+
+        Returns ``(allowed, edge)`` where ``edge`` is non-None when
+        the call itself moved the automaton (open → half-open after
+        the cooldown).  A half-open allowance consumes one of the
+        bounded trial-probe slots.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True, None
+        if self.state is BreakerState.OPEN:
+            if now - self._opened_at >= self.policy.cooldown:
+                self.state = BreakerState.HALF_OPEN
+                self._probes_left = self.policy.half_open_probes - 1
+                return True, "cooldown_elapsed"
+            return False, None
+        # half-open: bounded trial probes
+        if self._probes_left > 0:
+            self._probes_left -= 1
+            return True, None
+        return False, None
+
+    def record_success(self, now: float) -> str | None:
+        """A probe on this shard produced a non-breaker-failure outcome."""
+        if self.state is BreakerState.HALF_OPEN:
+            self.state = BreakerState.CLOSED
+            self._outcomes.clear()
+            return "probe_succeeded"
+        if self.state is BreakerState.CLOSED:
+            self._outcomes.append(False)
+        return None
+
+    def record_failure(self, now: float) -> str | None:
+        """A probe failed in a way that indicts the shard (SHARD_DOWN)."""
+        if self.state is BreakerState.HALF_OPEN:
+            self.state = BreakerState.OPEN
+            self._opened_at = now
+            self.opens += 1
+            return "probe_failed"
+        if self.state is BreakerState.CLOSED:
+            self._outcomes.append(True)
+            window = self._outcomes
+            if (
+                len(window) >= self.policy.min_samples
+                and sum(window) / len(window) >= self.policy.failure_threshold
+            ):
+                self.state = BreakerState.OPEN
+                self._opened_at = now
+                self._outcomes.clear()
+                self.opens += 1
+                return "failure_rate"
+        return None
+
+
+class BreakerBoard:
+    """The cluster's breakers, one per shard, keyed by shard id."""
+
+    def __init__(self, policy: BreakerPolicy, shard_ids) -> None:
+        self.policy = policy
+        self.breakers = {
+            shard_id: CircuitBreaker(policy)
+            for shard_id in sorted(shard_ids)
+        }
+
+    def allow(
+        self, shard_id: str, now: float
+    ) -> tuple[bool, BreakerTransition | None]:
+        breaker = self.breakers[shard_id]
+        previous = breaker.state
+        allowed, edge = breaker.allow(now)
+        if edge is None:
+            return allowed, None
+        return allowed, BreakerTransition(
+            shard_id, previous, breaker.state, edge
+        )
+
+    def record(
+        self, shard_id: str, success: bool, now: float
+    ) -> BreakerTransition | None:
+        breaker = self.breakers[shard_id]
+        previous = breaker.state
+        edge = (
+            breaker.record_success(now) if success
+            else breaker.record_failure(now)
+        )
+        if edge is None:
+            return None
+        return BreakerTransition(shard_id, previous, breaker.state, edge)
+
+    def state(self, shard_id: str) -> BreakerState:
+        return self.breakers[shard_id].state
+
+    def summary(self) -> dict:
+        return {
+            shard_id: {
+                "state": breaker.state.value,
+                "opens": breaker.opens,
+            }
+            for shard_id, breaker in self.breakers.items()
+        }

@@ -1,0 +1,88 @@
+"""Arrival-time shedding: watermark hysteresis and the retry budget.
+
+Both controllers are deterministic functions of the event stream —
+no randomness, no wall clock — so a recorded trace replays them
+bit-identically.
+"""
+
+from __future__ import annotations
+
+from repro.overload.config import RetryBudgetPolicy, WatermarkPolicy
+
+__all__ = ["RetryBudget", "WatermarkController"]
+
+
+class WatermarkController:
+    """High/low occupancy hysteresis deciding arrival-time sheds.
+
+    The mode only matters (and is only observed) when the service is
+    about to queue an arrival, so :meth:`observe` is called exactly
+    there: at each queue-admission attempt, with the pre-admission
+    depth.  Entering at ``occupancy >= high`` and exiting at
+    ``occupancy <= low`` gives the controller a band in which it
+    keeps its previous answer — the hysteresis that stops a queue
+    hovering at one threshold from flapping the mode every event.
+    """
+
+    def __init__(self, policy: WatermarkPolicy) -> None:
+        self.policy = policy
+        self.shedding = False
+        self.transitions = 0
+
+    def observe(self, depth: int, capacity: int) -> bool | None:
+        """Update the mode; returns the new mode on a transition."""
+        occupancy = depth / capacity if capacity else 0.0
+        if not self.shedding and occupancy >= self.policy.high:
+            self.shedding = True
+            self.transitions += 1
+            return True
+        if self.shedding and occupancy <= self.policy.low:
+            self.shedding = False
+            self.transitions += 1
+            return False
+        return None
+
+    def should_shed(self, priority: int) -> bool:
+        return self.shedding and priority < self.policy.protect_priority
+
+    def describe_state(self) -> dict:
+        return {"shedding": self.shedding, "transitions": self.transitions}
+
+
+class RetryBudget:
+    """Token bucket with lazy sim-time refill.
+
+    ``grant(now)`` refills ``(now - last) * refill_rate`` tokens
+    (capped at capacity), then spends one if at least one whole token
+    is available.  Lazy refill keeps the bucket O(1) per decision and
+    — because ``now`` comes from the event kernel — fully
+    deterministic.
+    """
+
+    def __init__(self, policy: RetryBudgetPolicy) -> None:
+        self.policy = policy
+        self.tokens = policy.capacity
+        self._last = 0.0
+        self.granted = 0
+        self.denied = 0
+
+    def grant(self, now: float) -> bool:
+        if now > self._last:
+            self.tokens = min(
+                self.policy.capacity,
+                self.tokens + (now - self._last) * self.policy.refill_rate,
+            )
+            self._last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False
+
+    def describe_state(self) -> dict:
+        return {
+            "tokens": self.tokens,
+            "granted": self.granted,
+            "denied": self.denied,
+        }

@@ -99,6 +99,17 @@ class ReasonCode(enum.StrEnum):
     DRAINED = "drained"
     RETRIES_EXHAUSTED = "retries_exhausted"
 
+    # -- overload control (repro.overload; values are the exact strings
+    # -- recorded in JSONL traces when an OverloadConfig is active) ----------
+    #: the request's sim-time deadline budget elapsed before admission
+    DEADLINE_EXPIRED = "deadline_expired"
+    #: shed at arrival by the watermark backpressure controller
+    SHED_WATERMARK = "shed_watermark"
+    #: the retry policy's token budget was empty (anti-storm brake)
+    RETRY_BUDGET_EXHAUSTED = "retry_budget_exhausted"
+    #: every routable shard's circuit breaker refused the probe
+    BREAKER_OPEN = "breaker_open"
+
     # -- plan/commit protocol -------------------------------------------------
     #: a plan's capacity epoch no longer matches the state (informational;
     #: commit() replans transparently rather than failing with this)

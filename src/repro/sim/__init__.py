@@ -25,6 +25,10 @@ Resilience mode (:class:`~repro.resilience.ResilienceConfig` on
 :func:`run_simulation` or the ``"resilience"`` recipe key) adds
 transient-fault repair events, the health registry's quarantine
 states, and requeue-with-backoff recovery — see ``docs/resilience.md``.
+Overload mode (:class:`~repro.overload.OverloadConfig` or the
+``"overload"`` recipe key) adds deadline budgets, watermark load
+shedding, a retry token budget and brownout degradation — see
+``docs/overload.md``.
 
 See ``docs/simulation.md`` for the full semantics.
 """
@@ -50,6 +54,7 @@ from repro.sim.service import (
     scheduled_faults,
 )
 from repro.sim.trace import (
+    TraceFormatError,
     TraceRecorder,
     diff_traces,
     read_trace,
@@ -87,6 +92,7 @@ __all__ = [
     "SimSample",
     "SimulationConfig",
     "SimulationResult",
+    "TraceFormatError",
     "TraceRecorder",
     "TrafficClass",
     "build_recipe",

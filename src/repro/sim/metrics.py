@@ -124,6 +124,15 @@ class ServiceMetrics:
     repair_times: list[float] = field(default_factory=list)
     #: requeue residence time of each lost-then-recovered application
     recovery_latencies: list[float] = field(default_factory=list)
+    # -- overload accounting (all zero without an OverloadConfig) ----------
+    #: watermark shedding-mode enters + exits
+    watermark_transitions: int = 0
+    #: brownout level moves (escalations + restorations)
+    brownout_transitions: int = 0
+    #: deepest brownout level the run reached
+    max_brownout_level: int = 0
+    #: circuit-breaker automaton edges (cluster runs only)
+    breaker_transitions: int = 0
     #: piecewise-constant integral of the element-availability fraction
     _avail_integral: float = 0.0
     _avail_last_time: float = 0.0
@@ -160,6 +169,21 @@ class ServiceMetrics:
         # steady-state ratio exactly as from the overall one
         if reason != "drained" and (now is None or now >= self.warmup):
             self.steady_blocked += 1
+
+    def on_overload_drop(self, code) -> None:
+        """Intern an overload drop into ``rejections_by_code``.
+
+        Overload sheds (deadline expiry, watermark sheds, retry-budget
+        denials) also flow through :meth:`on_dropped` like every other
+        drop; this hook additionally interns their
+        :class:`~repro.reasons.ReasonCode` so they are distinguishable
+        from pipeline rejections and generic timeouts in every surface
+        that reads ``rejections_by_code``.
+        """
+        key = str(getattr(code, "value", code))
+        self.rejections_by_code[key] = (
+            self.rejections_by_code.get(key, 0) + 1
+        )
 
     def on_phase_rejection(self, phase: str, code=None) -> None:
         self.rejections_by_phase[phase] = (
@@ -330,6 +354,20 @@ class ServiceMetrics:
                 "injected": self.faults_injected,
                 "recovered": self.recovered,
                 "lost": self.lost,
+            },
+            "overload": {
+                "deadline_expired": self.drops.get("deadline_expired", 0),
+                "shed_watermark": self.drops.get("shed_watermark", 0),
+                "retry_budget_exhausted": self.drops.get(
+                    "retry_budget_exhausted", 0
+                ),
+                "breaker_open": self.rejections_by_code.get(
+                    "breaker_open", 0
+                ),
+                "watermark_transitions": self.watermark_transitions,
+                "brownout_transitions": self.brownout_transitions,
+                "max_brownout_level": self.max_brownout_level,
+                "breaker_transitions": self.breaker_transitions,
             },
             "resilience": {
                 "repairs_completed": self.repairs_completed,

@@ -65,6 +65,12 @@ from repro.arch.topology import Platform
 from repro.core.cost import BOTH, CostWeights
 from repro.manager.kairos import Kairos
 from repro.obs import DISABLED, Observability
+from repro.overload import (
+    BrownoutController,
+    OverloadConfig,
+    RetryBudget,
+    WatermarkController,
+)
 from repro.reasons import ReasonCode
 from repro.resilience import HealthRegistry, HealthState, ResilienceConfig
 from repro.sim.events import Event, EventKernel, EventKind
@@ -89,6 +95,11 @@ class AdmissionRequest:
     attempts: int = 0
     enqueued_at: float | None = None
     timeout_event: Event | None = None
+    #: absolute sim-time admission deadline (overload deadline budgets;
+    #: None without an active DeadlinePolicy) and the queued expiry
+    #: event enforcing it
+    deadline: float | None = None
+    deadline_event: Event | None = None
     #: capacity epoch at the last failed probe plus the phase/reason it
     #: failed with — when the epoch is unchanged, a re-probe is
     #: provably identical, so the service replays the outcome without
@@ -152,6 +163,8 @@ class _BoundedQueuePolicy(QueuePolicy):
         self, service: "AdmissionService", request: AdmissionRequest,
         now: float,
     ) -> bool:
+        if service.overload_shed(request, self.depth(), self.capacity, now):
+            return False
         if self.depth() >= self.capacity:
             service.drop(request, ReasonCode.QUEUE_FULL, now)
             return False
@@ -162,6 +175,18 @@ class _BoundedQueuePolicy(QueuePolicy):
                 EventKind.TIMEOUT,
                 lambda kernel, event: self._expire(service, request, kernel.now),
             )
+        if request.deadline is not None:
+            # the deadline-budget expiry: a distinct traced outcome
+            # (deadline_expired), independent of the residence timeout
+            # — whichever fires first resolves the request, the other
+            # no-ops via _remove
+            request.deadline_event = service.kernel.schedule_at(
+                request.deadline,
+                EventKind.TIMEOUT,
+                lambda kernel, event: self._expire_deadline(
+                    service, request, kernel.now
+                ),
+            )
         service.note_queued(request, now, self.depth() + 1)
         return True
 
@@ -169,6 +194,9 @@ class _BoundedQueuePolicy(QueuePolicy):
         if request.timeout_event is not None:
             request.timeout_event.cancel()
             request.timeout_event = None
+        if request.deadline_event is not None:
+            request.deadline_event.cancel()
+            request.deadline_event = None
         request.enqueued_at = None
 
     def _expire(
@@ -178,6 +206,15 @@ class _BoundedQueuePolicy(QueuePolicy):
         if self._remove(request):
             self._dequeue(request)
             service.drop(request, ReasonCode.TIMEOUT, now)
+            self._after_expire(service, now)
+
+    def _expire_deadline(
+        self, service: "AdmissionService", request: AdmissionRequest,
+        now: float,
+    ) -> None:
+        if self._remove(request):
+            self._dequeue(request)
+            service.drop_expired(request, now)
             self._after_expire(service, now)
 
     def _after_expire(
@@ -336,6 +373,13 @@ class RetryPolicy(QueuePolicy):
             service.drop(request, ReasonCode.RETRIES_EXHAUSTED, now)
             return
         delay = self.base_delay * self.backoff ** (request.attempts - 1)
+        if request.deadline is not None and now + delay > request.deadline:
+            # the retry could only re-arrive past the deadline: skip
+            # the doomed probe entirely instead of burning an event
+            service.drop_expired(request, now)
+            return
+        if not service.grant_retry(request, now):
+            return  # retry budget exhausted; the service dropped it
         self.waiting.add(request)
         service.kernel.schedule(
             delay,
@@ -409,6 +453,7 @@ class AdmissionService:
         trace: TraceRecorder | None = None,
         resilience: ResilienceConfig | None = None,
         batch_plan: int = 1,
+        overload: OverloadConfig | None = None,
     ) -> None:
         if batch_plan < 1:
             raise ValueError("batch_plan must be at least 1")
@@ -457,11 +502,52 @@ class AdmissionService:
             self._permanent: set[tuple] = set()
             #: (kind, target) -> sim-time the current down window began
             self._down_since: dict[tuple, float] = {}
+        #: overload control (repro.overload): deadline budgets,
+        #: watermark shedding, a retry budget and the brownout
+        #: controller.  None (the default) is byte-identical to the
+        #: pre-overload service — no extra trace records, RNG draws or
+        #: epoch movement, so legacy traces replay unchanged.
+        self.overload = overload
+        self._deadline = None
+        self._watermark = None
+        self._retry_budget = None
+        self._brownout = None
+        if overload is not None:
+            self._deadline = overload.deadline
+            if overload.watermark is not None:
+                self._watermark = WatermarkController(overload.watermark)
+            if overload.retry_budget is not None:
+                self._retry_budget = RetryBudget(overload.retry_budget)
+            if overload.brownout is not None:
+                # a cluster manager degrades every shard in lockstep;
+                # an unsharded manager is its own single target
+                targets = [
+                    shard.manager
+                    for shard in getattr(manager, "shards", ())
+                ] or [manager]
+                self._brownout = BrownoutController(
+                    overload.brownout, targets
+                )
+            self._c_deadline_expired = registry.counter(
+                "overload.deadline_expired"
+            )
+            self._c_shed = registry.counter("overload.shed")
+            self._c_retry_denied = registry.counter("overload.retry_denied")
+            self._c_watermark = registry.counter(
+                "overload.watermark_transitions"
+            )
+            self._c_brownout = registry.counter(
+                "overload.brownout_transitions"
+            )
 
     # -- request lifecycle -------------------------------------------------
 
     def offer(self, request: AdmissionRequest, now: float) -> bool:
         """First-time arrival: try to admit, else consult the policy."""
+        if self._deadline is not None and request.deadline is None:
+            request.deadline = now + self._deadline.budget_for(
+                request.class_name
+            )
         self.metrics.on_offered(request.class_name)
         self._c_offered.inc()
         self.trace.record(
@@ -478,6 +564,11 @@ class AdmissionService:
         self.metrics.retries += 1
         self._c_retries.inc()
         self.trace.record(now, "retry", id=request.app_id)
+        if request.deadline is not None and now > request.deadline:
+            # belt-and-braces for custom policies: the stock retry
+            # policy never schedules a retry past the deadline
+            self.drop_expired(request, now)
+            return False
         if self.try_admit(request, now):
             return True
         self.policy.on_rejected(self, request, now)
@@ -671,6 +762,74 @@ class AdmissionService:
         self.trace.record(
             now, "retry_scheduled", id=request.app_id, delay=delay
         )
+
+    # -- overload hooks ----------------------------------------------------
+
+    def overload_shed(
+        self, request: AdmissionRequest, depth: int, capacity: int,
+        now: float,
+    ) -> bool:
+        """Watermark backpressure at queue-admission time.
+
+        Updates the hysteresis mode from the pre-admission occupancy,
+        traces mode transitions, and — while shedding — drops
+        unprotected-priority arrivals with ``shed_watermark``.
+        Returns True when the request was shed (caller stops).
+        """
+        controller = self._watermark
+        if controller is None:
+            return False
+        changed = controller.observe(depth, capacity)
+        if changed is not None:
+            self.metrics.watermark_transitions += 1
+            self._c_watermark.inc()
+            self.trace.record(
+                now, "watermark",
+                mode="shedding" if changed else "normal", depth=depth,
+            )
+        if controller.should_shed(request.priority):
+            self.metrics.on_overload_drop(ReasonCode.SHED_WATERMARK)
+            self._c_shed.inc()
+            self.drop(request, ReasonCode.SHED_WATERMARK, now)
+            return True
+        return False
+
+    def grant_retry(self, request: AdmissionRequest, now: float) -> bool:
+        """Spend one retry-budget token, or drop the request.
+
+        Always grants without a configured budget; on denial the
+        request is dropped with ``retry_budget_exhausted`` and the
+        caller must not schedule the retry.
+        """
+        budget = self._retry_budget
+        if budget is None or budget.grant(now):
+            return True
+        self.metrics.on_overload_drop(ReasonCode.RETRY_BUDGET_EXHAUSTED)
+        self._c_retry_denied.inc()
+        self.drop(request, ReasonCode.RETRY_BUDGET_EXHAUSTED, now)
+        return False
+
+    def drop_expired(self, request: AdmissionRequest, now: float) -> None:
+        """Resolve a request whose deadline budget ran out."""
+        self.metrics.on_overload_drop(ReasonCode.DEADLINE_EXPIRED)
+        self._c_deadline_expired.inc()
+        self.drop(request, ReasonCode.DEADLINE_EXPIRED, now)
+
+    def overload_state(self) -> dict | None:
+        """JSON-able snapshot of every active overload controller."""
+        if self.overload is None:
+            return None
+        state: dict = {}
+        if self._watermark is not None:
+            state["watermark"] = self._watermark.describe_state()
+        if self._retry_budget is not None:
+            state["retry_budget"] = self._retry_budget.describe_state()
+        if self._brownout is not None:
+            state["brownout"] = self._brownout.describe_state()
+        breakers = getattr(self.manager, "breakers", None)
+        if breakers is not None:
+            state["breakers"] = breakers.summary()
+        return state
 
     # -- fault events ------------------------------------------------------
 
@@ -869,6 +1028,26 @@ class AdmissionService:
         # ticks double as probation clock edges: without them a quiet
         # stretch would leave repaired elements penalized forever
         self._observe_health(now)
+        if self._brownout is not None:
+            # queue occupancy at the tick is the pressure signal —
+            # deterministic in the event stream, so brownout levels
+            # replay bit-identically.  Unbounded policies (reject,
+            # retry) have no capacity and never brown out.
+            capacity = getattr(self.policy, "capacity", 0)
+            occupancy = self.policy.depth() / capacity if capacity else 0.0
+            for was, level, action in self._brownout.observe(occupancy):
+                # levels change the decision function (mapper, search
+                # depth): bump the epoch so gate memos and the probe
+                # short-circuit cannot replay pre-transition outcomes
+                self.manager.state.touch()
+                self.metrics.brownout_transitions += 1
+                self.metrics.max_brownout_level = max(
+                    self.metrics.max_brownout_level, level
+                )
+                self._c_brownout.inc()
+                self.trace.record(
+                    now, "brownout", level=level, was=was, action=action
+                )
         sample = SimSample(
             time=now,
             utilization=self.manager.utilization(),
@@ -928,6 +1107,8 @@ class SimulationResult:
     fastpath_stats: dict | None = None
     #: the distance-field engine's counters (zeros when incremental off)
     distfield_stats: dict | None = None
+    #: end-of-run overload controller states (None without a config)
+    overload_stats: dict | None = None
     #: the run's observability bundle (registry + tracer); DISABLED
     #: when the caller did not opt in, so ``result.observability
     #: .snapshot()`` is always safe to call
@@ -952,6 +1133,7 @@ def run_simulation(
     resilience: ResilienceConfig | None = None,
     obs: Observability | None = None,
     batch_plan: int = 1,
+    overload: OverloadConfig | None = None,
 ) -> SimulationResult:
     """Run one continuous-time admission-service simulation.
 
@@ -1002,6 +1184,7 @@ def run_simulation(
         metrics=ServiceMetrics(warmup=config.warmup),
         resilience=resilience,
         batch_plan=batch_plan,
+        overload=overload,
     )
     cursors = {cls.name: 0 for cls in classes}
     arrival_rngs = {
@@ -1085,6 +1268,7 @@ def run_simulation(
         events_processed=kernel.processed,
         fastpath_stats=manager.fastpath_stats,
         distfield_stats=manager.distfield_stats,
+        overload_stats=service.overload_state(),
         observability=manager.obs,
     )
     if config.drain:
@@ -1132,6 +1316,7 @@ def build_recipe(
     fault_storm: int = 0,
     resilience: "ResilienceConfig | dict | None" = None,
     batch_plan: int = 1,
+    overload: "OverloadConfig | dict | None" = None,
 ) -> dict:
     """A JSON-able description that :func:`run_recipe` reproduces exactly.
 
@@ -1182,6 +1367,12 @@ def build_recipe(
         if not isinstance(resilience, ResilienceConfig):
             resilience = ResilienceConfig.from_spec(resilience)
         recipe["resilience"] = resilience.describe()
+    if overload is not None:
+        # emitted only when set: pre-overload recipes (and the traces
+        # recorded from them) stay byte-identical
+        if not isinstance(overload, OverloadConfig):
+            overload = OverloadConfig.from_spec(overload)
+        recipe["overload"] = overload.describe()
     if batch_plan < 1:
         raise ValueError("batch_plan must be at least 1")
     if batch_plan > 1:
@@ -1288,10 +1479,12 @@ def run_recipe(
         storm_radius=int(recipe.get("fault_storm", 0)),
     )
     resilience = ResilienceConfig.from_spec(recipe.get("resilience"))
+    overload = OverloadConfig.from_spec(recipe.get("overload"))
     result = run_simulation(
         platform, classes, policy, config, faults=faults,
         incremental=incremental, resilience=resilience, obs=obs,
         batch_plan=int(recipe.get("batch_plan", 1)),
+        overload=overload,
     )
     result.recipe = recipe
     if trace_path is not None:
@@ -1314,6 +1507,18 @@ def replay_trace(path) -> tuple[bool, list[str], SimulationResult]:
             f"{path}: this is a cluster trace; replay it with "
             "repro.cluster.replay_cluster_trace (repro cluster sim --replay)"
         )
-    result = run_recipe(header)
+    try:
+        result = run_recipe(header)
+    except KeyError as exc:
+        # a mutated/truncated header is user input, not a library bug:
+        # surface a structured error, never a raw stack trace
+        raise ValueError(
+            f"{path}: trace header is not a valid recipe "
+            f"(missing key {exc})"
+        ) from exc
+    except (TypeError, AttributeError) as exc:
+        raise ValueError(
+            f"{path}: trace header is not a valid recipe ({exc!r})"
+        ) from exc
     differences = diff_traces(records, result.trace)
     return not differences, differences, result

@@ -18,6 +18,24 @@ import json
 from pathlib import Path
 
 
+class TraceFormatError(ValueError):
+    """A trace file is malformed; names the file, line and problem.
+
+    Raised (instead of a bare :class:`json.JSONDecodeError` escaping
+    with a stack trace) for truncated lines, invalid JSON and records
+    that are not JSON objects — everything a mangled or partially
+    written trace can contain.  A plain :class:`ValueError`, so
+    pre-existing ``except ValueError`` handlers (the CLI's replay
+    path) keep working.
+    """
+
+    def __init__(self, path, line_number: int, problem: str) -> None:
+        super().__init__(f"{path}:{line_number}: {problem}")
+        self.path = str(path)
+        self.line_number = line_number
+        self.problem = problem
+
+
 class TraceRecorder:
     """Accumulates decision records in arrival order."""
 
@@ -52,17 +70,45 @@ def write_trace(
 
 
 def read_trace(path: str | Path) -> tuple[dict | None, list[dict]]:
-    """Read a JSONL trace back; returns (header-or-None, records)."""
+    """Read a JSONL trace back; returns (header-or-None, records).
+
+    Malformed input — truncated/invalid JSON, non-object lines, a
+    header that is not an object — raises :class:`TraceFormatError`
+    with the offending line number, never a raw decoder stack trace.
+    """
     header: dict | None = None
     records: list[dict] = []
     with open(path) as handle:
-        for line_number, line in enumerate(handle):
+        try:
+            lines = handle.readlines()
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(
+                path, 0, f"not valid UTF-8: {exc.reason}"
+            ) from None
+        for line_number, line in enumerate(lines):
             line = line.strip()
             if not line:
                 continue
-            entry = json.loads(line)
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    path, line_number + 1, f"invalid JSON: {exc.msg}"
+                ) from None
+            if not isinstance(entry, dict):
+                raise TraceFormatError(
+                    path, line_number + 1,
+                    "expected a JSON object, got "
+                    f"{type(entry).__name__}",
+                )
             if line_number == 0 and "header" in entry:
                 header = entry["header"]
+                if not isinstance(header, dict):
+                    raise TraceFormatError(
+                        path, line_number + 1,
+                        "trace header must be a JSON object, got "
+                        f"{type(header).__name__}",
+                    )
             else:
                 records.append(entry)
     return header, records
