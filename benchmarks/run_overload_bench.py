@@ -79,12 +79,18 @@ def shielded_config() -> OverloadConfig:
 
 def load_recipe(load: int, overload: OverloadConfig | None,
                 duration: float) -> dict:
+    # the flash_crowd traffic shape is this bench's original ad-hoc
+    # rate scaling lifted into repro.sim.traffic: surge multiplies
+    # every class rate, so the decision stream is bit-identical to the
+    # old rate_scale=BASE_RATE*load recipes
     return build_recipe(
         platform=PLATFORM,
         duration=duration,
         seed=SEED,
         policy=POLICY,
-        rate_scale=BASE_RATE * load,
+        rate_scale=BASE_RATE,
+        traffic="flash_crowd",
+        traffic_params={"surge": float(load)},
         sample_interval=SAMPLE_INTERVAL,
         overload=overload,
     )

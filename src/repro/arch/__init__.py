@@ -7,6 +7,7 @@ routers, capacity-limited links, and the run-time occupancy ledger.
 
 from repro.arch.builders import (
     crisp,
+    fat_tree,
     heterogeneous_mesh,
     irregular,
     line,
@@ -53,6 +54,7 @@ __all__ = [
     "ZERO",
     "crisp",
     "default_capacity",
+    "fat_tree",
     "fraction_of",
     "heterogeneous_mesh",
     "irregular",

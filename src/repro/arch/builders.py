@@ -10,6 +10,9 @@ zoo used by the tests and experiments:
 * :func:`line` — a degenerate pipeline topology,
 * :func:`irregular` — a seeded random partial mesh, exercising the
   "heterogeneous or irregular architectures" claim,
+* :func:`fat_tree` — an indirect tree fabric whose links widen toward
+  the root (the classic datacenter/NoC hierarchy: elements at the
+  leaves, routers in a balanced arity-ary tree),
 * :func:`crisp` — a reconstruction of the CRISP platform of Fig. 6:
   one ARM, one FPGA, and five packages of 9 DSPs + 2 memories + 1
   hardware test unit, chained by a NoC that is deliberately less
@@ -360,6 +363,75 @@ def crisp(
         arm_router, routers[(last, PACKAGE_ROWS - 1, PACKAGE_COLS - 1)],
         virtual_channels, bandwidth,
     )
+    return platform.freeze()
+
+
+def fat_tree(
+    leaves: int,
+    arity: int = 4,
+    element_factory: ElementFactory = _dsp_factory,
+    virtual_channels: int = 4,
+    bandwidth: float = 100.0,
+    fatness: float = 2.0,
+    endpoint_virtual_channels: int = ENDPOINT_VCS,
+    endpoint_bandwidth: float | None = None,
+) -> Platform:
+    """A fat tree: ``leaves`` elements under a balanced router tree.
+
+    Each leaf router hosts one element; every ``arity`` routers of a
+    level share one parent, up to a single root.  Router—router links
+    *widen* toward the root — the level-``l`` uplink carries
+    ``virtual_channels * 2**l`` virtual channels and
+    ``bandwidth * fatness**l`` bandwidth — which is what makes the
+    tree "fat": aggregate capacity is preserved up the hierarchy
+    instead of funneling into a root bottleneck.  Any hop count
+    between two leaves is at most twice the tree depth, so large
+    fabrics are *shallower* than the equivalent mesh — the topology
+    axis the scenario sweeps use to contrast with grid diameter.
+
+    Deterministic: no randomness, stable names (``dsp_0_<i>`` leaves,
+    ``ft_r<level>_<index>`` routers).
+    """
+    if leaves < 2:
+        raise ValueError("fat tree needs at least 2 leaves")
+    if arity < 2:
+        raise ValueError("fat tree arity must be at least 2")
+    if fatness < 1.0:
+        raise ValueError("fatness must be at least 1.0 (widening links)")
+    platform = Platform(f"fat_tree_{leaves}a{arity}")
+    # leaf level: one router + one element per leaf
+    level_routers: list[Router] = []
+    for index in range(leaves):
+        router = platform.add_router(
+            Router(f"ft_r0_{index}", position=(float(index), 0.0))
+        )
+        level_routers.append(router)
+        element = platform.add_element(element_factory(0, index))
+        platform.add_link(
+            element, router, endpoint_virtual_channels,
+            endpoint_bandwidth if endpoint_bandwidth is not None else bandwidth,
+        )
+    # upper levels: every `arity` children share one parent; the
+    # child->parent link is the fat one (wider per level)
+    level = 0
+    while len(level_routers) > 1:
+        level += 1
+        uplink_vcs = virtual_channels * 2 ** (level - 1)
+        uplink_bandwidth = bandwidth * fatness ** (level - 1)
+        parents: list[Router] = []
+        for start in range(0, len(level_routers), arity):
+            children = level_routers[start:start + arity]
+            x = sum(r.position[0] for r in children) / len(children)
+            parent = platform.add_router(
+                Router(f"ft_r{level}_{len(parents)}",
+                       position=(x, float(level)))
+            )
+            parents.append(parent)
+            for child in children:
+                platform.add_link(
+                    child, parent, uplink_vcs, uplink_bandwidth
+                )
+        level_routers = parents
     return platform.freeze()
 
 

@@ -113,7 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
              "faults, trace record/replay)",
     )
     sim.add_argument("--platform", default="12x12",
-                     help="'crisp' or a RxC mesh spec (default 12x12)")
+                     help="'crisp', a RxC mesh spec, or a family spec — "
+                          "mesh:RxC, torus:RxC, hetmesh:RxC, "
+                          "fat_tree:N[:arity] (default 12x12)")
     sim.add_argument("--duration", type=float, default=120.0,
                      help="sim-time to run (default 120)")
     sim.add_argument("--seed", type=int, default=0)
@@ -122,6 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="queue policy (default fifo)")
     sim.add_argument("--rate-scale", type=float, default=4.0,
                      help="multiplies every class arrival rate (default 4.0)")
+    sim.add_argument("--traffic", default="default",
+                     help="named traffic shape: default, hot_spot, "
+                          "diurnal_mmpp, flash_crowd (default: default)")
+    sim.add_argument("--mapper", default="kairos",
+                     help="placement strategy from the pipeline registry "
+                          "(kairos, first_fit, random, annealing, optimal; "
+                          "default kairos)")
     sim.add_argument("--pool-size", type=int, default=8,
                      help="generated applications per traffic class")
     sim.add_argument("--sample-interval", type=float, default=5.0,
@@ -258,6 +267,36 @@ def build_parser() -> argparse.ArgumentParser:
     csim.add_argument("--trace-spans", metavar="PATH",
                       help="enable the span tracer and write spans "
                            "(coordinator.plan/commit/unwind) as JSONL")
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="scenario-matrix strategy sweep: topology x traffic x "
+             "mapper grids with per-condition statistics (see "
+             "docs/scenarios.md)",
+    )
+    sweep.add_argument("--preset", default="default",
+                       choices=("smoke", "default", "storm", "large",
+                                "cluster"),
+                       help="built-in matrix preset (default: default)")
+    sweep.add_argument("--smoke", action="store_true",
+                       help="shorthand for --preset smoke --verify (the "
+                            "CI gate)")
+    sweep.add_argument("--matrix", metavar="PATH",
+                       help="load the matrix spec from a JSON file "
+                            "instead of a preset")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run cells in an N-process pool (default 1: "
+                            "serial; results are identical either way)")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="override the matrix seed")
+    sweep.add_argument("--output", metavar="PATH",
+                       help="write the sweep report JSON")
+    sweep.add_argument("--report", metavar="PATH",
+                       help="write the markdown report")
+    sweep.add_argument("--verify", action="store_true",
+                       help="run the sweep twice — serial and pooled — "
+                            "and require byte-identical canonical "
+                            "payloads (exit 1 on divergence)")
 
     obs = commands.add_parser(
         "obs",
@@ -509,6 +548,8 @@ def _cmd_sim(args) -> int:
             resilience=resilience,
             overload=_overload_config(args),
             batch_plan=args.batch_plan,
+            traffic=args.traffic,
+            mapper=args.mapper,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -831,6 +872,88 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    import json
+
+    from repro.scenarios import (
+        ScenarioMatrix,
+        canonical_payload,
+        cluster_matrix,
+        default_matrix,
+        large_matrix,
+        render_reports,
+        run_sweep,
+        smoke_matrix,
+        storm_matrix,
+    )
+
+    presets = {
+        "smoke": smoke_matrix,
+        "default": default_matrix,
+        "storm": storm_matrix,
+        "large": large_matrix,
+        "cluster": cluster_matrix,
+    }
+    preset = "smoke" if args.smoke else args.preset
+    verify = args.verify or args.smoke
+    seed = 0 if args.seed is None else args.seed
+    try:
+        if args.matrix:
+            with open(args.matrix, encoding="utf-8") as handle:
+                spec = json.load(handle)
+            if args.seed is not None:
+                spec["seed"] = args.seed
+            matrix = ScenarioMatrix.from_spec(spec)
+        else:
+            matrix = presets[preset](seed=seed)
+        matrix.expand()  # surface axis errors before any cell runs
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_sweep(matrix, jobs=args.jobs, progress=print)
+    if verify:
+        pooled = run_sweep(matrix, jobs=max(2, args.jobs), progress=print)
+        if canonical_payload(report) != canonical_payload(pooled):
+            print("SWEEP DIVERGED: pooled run does not match the serial "
+                  "run", file=sys.stderr)
+            return 1
+        print("SWEEP VERIFIED: serial and pooled runs are byte-identical")
+    cells = report["cells"]
+    blocking = [
+        cell["decisions"]["blocking_probability"] for cell in cells
+    ]
+    print(f"swept matrix '{matrix.name}': {len(cells)} cells, "
+          f"blocking {min(blocking):.3f}..{max(blocking):.3f}")
+    for condition, row in report["analysis"]["best_strategy"].items():
+        print(f"  {condition:<40} best={row['mapper']} "
+              f"(goodput {row['goodput']:.3f}, margin "
+              f"{row['margin']:+.3f} vs {row['runner_up']})")
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"  report JSON -> {args.output}")
+    if args.report:
+        document = render_reports(
+            [report], f"Scenario sweep: {matrix.name}"
+        )
+        try:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(document)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.report}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"  report markdown -> {args.report}")
+    return 0
+
+
 def _cmd_experiment(command: str) -> int:
     from repro.experiments import (
         HarnessScale,
@@ -873,6 +996,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sim(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "obs":
         return _cmd_obs(args)
     return _cmd_experiment(args.command)

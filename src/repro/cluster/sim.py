@@ -50,7 +50,7 @@ from repro.sim.service import (
     make_policy,
 )
 from repro.sim.trace import diff_traces, read_trace, write_trace
-from repro.sim.traffic import TrafficClass, default_traffic_classes
+from repro.sim.traffic import TrafficClass, make_traffic_classes
 
 __all__ = [
     "ClusterAdmissionService",
@@ -463,6 +463,8 @@ def build_cluster_recipe(
     recovery: "RecoveryPolicy | dict | None" = None,
     allow_split: bool = True,
     overload: "OverloadConfig | dict | None" = None,
+    traffic: str = "default",
+    traffic_params: dict | None = None,
 ) -> dict:
     """A JSON-able cluster run description, replayed by
     :func:`run_cluster_recipe`.
@@ -473,6 +475,10 @@ def build_cluster_recipe(
     ``downtime`` later.
     """
     make_policy(policy, policy_params)  # validate early
+    make_traffic_classes(  # validate shape + params early
+        traffic, seed=seed, rate_scale=rate_scale, pool_size=pool_size,
+        **(traffic_params or {}),
+    )
     if not isinstance(heartbeat, LivenessPolicy):
         heartbeat = LivenessPolicy.from_params(heartbeat)
     if not isinstance(recovery, RecoveryPolicy):
@@ -490,7 +496,7 @@ def build_cluster_recipe(
         "warmup": warmup,
         "policy": make_policy(policy, policy_params).describe(),
         "classes": {
-            "kind": "default",
+            "kind": traffic,
             "seed": seed,
             "rate_scale": rate_scale,
             "pool_size": pool_size,
@@ -500,6 +506,8 @@ def build_cluster_recipe(
         "allow_split": allow_split,
         "kills": kills,
     }
+    if traffic_params:
+        recipe["classes"]["params"] = dict(traffic_params)
     if kills:
         recipe["downtime"] = downtime
     overload = OverloadConfig.from_spec(overload)
@@ -527,19 +535,18 @@ def run_cluster_recipe(
     trace_path=None,
     incremental: bool = True,
     obs: Observability | None = None,
+    fastpath: bool = True,
 ) -> SimulationResult:
     """Execute a cluster recipe; optionally record the JSONL trace."""
     rows, cols = _parse_mesh(recipe["platform"])
     shard_count = int(recipe["shards"])
     classes_spec = recipe["classes"]
-    if classes_spec.get("kind", "default") != "default":
-        raise ValueError(
-            f"unknown traffic class kind {classes_spec.get('kind')!r}"
-        )
-    classes = default_traffic_classes(
+    classes = make_traffic_classes(
+        classes_spec.get("kind", "default"),
         seed=classes_spec["seed"],
         rate_scale=classes_spec["rate_scale"],
         pool_size=classes_spec["pool_size"],
+        **(classes_spec.get("params") or {}),
     )
     policy = make_policy(
         recipe["policy"]["name"], recipe["policy"].get("params") or {}
@@ -561,7 +568,7 @@ def run_cluster_recipe(
     result = run_cluster_simulation(
         rows, cols, shard_count, classes, policy, config,
         kills=kills, liveness=liveness, recovery=recovery,
-        incremental=incremental,
+        fastpath=fastpath, incremental=incremental,
         allow_split=bool(recipe.get("allow_split", True)),
         obs=obs,
         overload=OverloadConfig.from_spec(recipe.get("overload")),

@@ -62,12 +62,17 @@ from repro.sim.trace import (
     write_trace,
 )
 from repro.sim.traffic import (
+    TRAFFIC_SHAPES,
     ExponentialHolding,
     LognormalHolding,
     MMPPProcess,
     PoissonProcess,
     TrafficClass,
     default_traffic_classes,
+    diurnal_mmpp_classes,
+    flash_crowd_classes,
+    hot_spot_classes,
+    make_traffic_classes,
     traffic_pool,
 )
 
@@ -92,13 +97,18 @@ __all__ = [
     "SimSample",
     "SimulationConfig",
     "SimulationResult",
+    "TRAFFIC_SHAPES",
     "TraceFormatError",
     "TraceRecorder",
     "TrafficClass",
     "build_recipe",
     "default_traffic_classes",
     "diff_traces",
+    "diurnal_mmpp_classes",
+    "flash_crowd_classes",
+    "hot_spot_classes",
     "make_policy",
+    "make_traffic_classes",
     "percentile",
     "pop_random",
     "read_trace",

@@ -50,8 +50,15 @@ from collections import deque
 from dataclasses import dataclass, field
 from random import Random
 
+from repro.api.pipeline import PhasePipeline
 from repro.apps.taskgraph import Application
-from repro.arch.builders import crisp, mesh
+from repro.arch.builders import (
+    crisp,
+    fat_tree,
+    heterogeneous_mesh,
+    mesh,
+    torus,
+)
 from repro.arch.faults import (
     Fault,
     apply_fault,
@@ -76,7 +83,7 @@ from repro.resilience import HealthRegistry, HealthState, ResilienceConfig
 from repro.sim.events import Event, EventKernel, EventKind
 from repro.sim.metrics import ServiceMetrics, SimSample
 from repro.sim.trace import TraceRecorder, diff_traces, read_trace, write_trace
-from repro.sim.traffic import TrafficClass, default_traffic_classes
+from repro.sim.traffic import TrafficClass, make_traffic_classes
 
 
 @dataclass(eq=False)
@@ -1134,6 +1141,8 @@ def run_simulation(
     obs: Observability | None = None,
     batch_plan: int = 1,
     overload: OverloadConfig | None = None,
+    mapper: str = "kairos",
+    mapper_params: dict | None = None,
 ) -> SimulationResult:
     """Run one continuous-time admission-service simulation.
 
@@ -1153,7 +1162,10 @@ def run_simulation(
     Stateful arrival processes (MMPP) are reset at start-up so traffic
     classes can be reused across runs; the *policy* must be fresh —
     its queue holds requests bound to one run's kernel, so reuse is
-    rejected.
+    rejected.  ``mapper`` selects the placement strategy from the
+    phase-pipeline registry (``kairos``, ``first_fit``, ``random``,
+    ``annealing``, ``optimal``) — unlike fastpath/incremental this
+    *does* change decisions, so it is part of the recipe.
     """
     if not classes:
         raise ValueError("need at least one traffic class")
@@ -1179,6 +1191,16 @@ def run_simulation(
         fastpath=fastpath, incremental=incremental, health=health,
         obs=obs,
     )
+    if mapper != "kairos" or mapper_params:
+        # swap only the mapping phase; binder/router/validator stay at
+        # the defaults the "kairos" pipeline above would have used
+        manager.pipeline = PhasePipeline(
+            binder="regret",
+            mapper=mapper,
+            mapper_params=mapper_params,
+            router=manager.router,
+            validator="skip",
+        )
     service = AdmissionService(
         manager, policy, kernel,
         metrics=ServiceMetrics(warmup=config.warmup),
@@ -1317,6 +1339,10 @@ def build_recipe(
     resilience: "ResilienceConfig | dict | None" = None,
     batch_plan: int = 1,
     overload: "OverloadConfig | dict | None" = None,
+    traffic: str = "default",
+    traffic_params: dict | None = None,
+    mapper: str = "kairos",
+    mapper_params: dict | None = None,
 ) -> dict:
     """A JSON-able description that :func:`run_recipe` reproduces exactly.
 
@@ -1334,8 +1360,19 @@ def build_recipe(
     :class:`~repro.resilience.ResilienceConfig`) are emitted only when
     set, so pre-resilience recipes — and the traces recorded from
     them — stay byte-identical.
+
+    ``traffic`` names a shape from
+    :data:`~repro.sim.traffic.TRAFFIC_SHAPES` (``traffic_params`` are
+    forwarded to the preset); ``mapper`` selects the placement
+    strategy from the pipeline registry.  Both are emitted only when
+    they deviate from the defaults, so pre-scenario recipes stay
+    byte-identical.
     """
     resolved = make_policy(policy, policy_params)  # validate early
+    make_traffic_classes(  # validate shape + params early
+        traffic, seed=seed, rate_scale=rate_scale, pool_size=pool_size,
+        **(traffic_params or {}),
+    )
     if fault_mttr is not None and fault_mttr <= 0:
         raise ValueError("fault_mttr must be positive (or None)")
     if not 0.0 <= fault_links <= 1.0:
@@ -1350,13 +1387,20 @@ def build_recipe(
         "warmup": warmup,
         "policy": resolved.describe(),
         "classes": {
-            "kind": "default",
+            "kind": traffic,
             "seed": seed,
             "rate_scale": rate_scale,
             "pool_size": pool_size,
         },
         "faults": faults,
     }
+    if traffic_params:
+        recipe["classes"]["params"] = dict(traffic_params)
+    if mapper != "kairos" or mapper_params:
+        PhasePipeline(mapper=mapper, mapper_params=mapper_params)  # validate
+        recipe["mapper"] = mapper
+        if mapper_params:
+            recipe["mapper_params"] = dict(mapper_params)
     if fault_mttr is not None:
         recipe["fault_mttr"] = fault_mttr
     if fault_links:
@@ -1382,17 +1426,68 @@ def build_recipe(
     return recipe
 
 
-def platform_from_spec(spec: str) -> Platform:
-    """``"crisp"`` or ``"RxC"`` (e.g. ``"12x12"``) -> a Platform."""
+#: builders reachable from a ``family:shape`` platform spec
+_PLATFORM_FAMILIES = ("mesh", "torus", "hetmesh", "fat_tree")
+
+
+def _parse_platform_spec(spec: str) -> tuple[str, tuple[int, ...]]:
+    """Validate a spec without building it; -> ``(family, dims)``.
+
+    Accepted forms: ``"crisp"``; ``"RxC"`` (legacy, -> mesh);
+    ``"mesh:RxC"``; ``"torus:RxC"``; ``"hetmesh:RxC"``;
+    ``"fat_tree:N"`` or ``"fat_tree:N:arity"``.  Kept separate from
+    :func:`platform_from_spec` so a 64x64 matrix cell can be
+    validated at expansion time without paying to build it.
+    """
     if spec == "crisp":
-        return crisp()
+        return "crisp", ()
+    family, _, shape = spec.partition(":")
+    if not shape:
+        family, shape = "mesh", spec  # legacy bare "RxC"
+    if family not in _PLATFORM_FAMILIES:
+        raise ValueError(
+            f"platform spec {spec!r}: unknown family {family!r} "
+            f"(choose from {', '.join(_PLATFORM_FAMILIES)}, "
+            "'crisp', or bare 'RxC')"
+        )
     try:
-        rows, cols = (int(part) for part in spec.lower().split("x"))
+        if family == "fat_tree":
+            dims = tuple(int(part) for part in shape.split(":"))
+            if len(dims) not in (1, 2):
+                raise ValueError
+        else:
+            dims = tuple(int(part) for part in shape.lower().split("x"))
+            if len(dims) != 2:
+                raise ValueError
     except ValueError:
         raise ValueError(
-            f"platform spec {spec!r} is neither 'crisp' nor 'RxC'"
+            f"platform spec {spec!r}: malformed shape {shape!r}"
         ) from None
-    return mesh(rows, cols)
+    if any(dim < 1 for dim in dims):
+        raise ValueError(f"platform spec {spec!r}: dimensions must be >= 1")
+    if family == "fat_tree" and dims[0] < 2:
+        raise ValueError(f"platform spec {spec!r}: need at least 2 leaves")
+    return family, dims
+
+
+def platform_from_spec(spec: str) -> Platform:
+    """Build the platform a spec describes.
+
+    ``"crisp"`` and bare ``"RxC"`` (-> mesh) are the legacy forms;
+    ``"mesh:RxC"``, ``"torus:RxC"``, ``"hetmesh:RxC"`` and
+    ``"fat_tree:N[:arity]"`` select the other builders (see
+    :func:`_parse_platform_spec`).
+    """
+    family, dims = _parse_platform_spec(spec)
+    if family == "crisp":
+        return crisp()
+    if family == "mesh":
+        return mesh(*dims)
+    if family == "torus":
+        return torus(*dims)
+    if family == "hetmesh":
+        return heterogeneous_mesh(*dims)
+    return fat_tree(*dims)
 
 
 def scheduled_faults(
@@ -1442,25 +1537,25 @@ def run_recipe(
     trace_path=None,
     incremental: bool = True,
     obs: Observability | None = None,
+    fastpath: bool = True,
 ) -> SimulationResult:
     """Execute a recipe; optionally write the JSONL trace (header first).
 
-    ``incremental`` toggles the manager's distance-field engine; it is
-    deliberately *not* part of the recipe — engines change wall-clock,
-    never decisions, so a trace recorded either way replays both ways.
-    ``obs`` is excluded from the recipe for the same reason: metrics
-    and spans observe the run without influencing it.
+    ``incremental`` toggles the manager's distance-field engine and
+    ``fastpath`` its admission gate/memo; both are deliberately *not*
+    part of the recipe — they change wall-clock, never decisions, so a
+    trace recorded either way replays both ways.  ``obs`` is excluded
+    from the recipe for the same reason: metrics and spans observe the
+    run without influencing it.
     """
     platform = platform_from_spec(recipe["platform"])
     classes_spec = recipe["classes"]
-    if classes_spec.get("kind", "default") != "default":
-        raise ValueError(
-            f"unknown traffic class kind {classes_spec.get('kind')!r}"
-        )
-    classes = default_traffic_classes(
+    classes = make_traffic_classes(
+        classes_spec.get("kind", "default"),
         seed=classes_spec["seed"],
         rate_scale=classes_spec["rate_scale"],
         pool_size=classes_spec["pool_size"],
+        **(classes_spec.get("params") or {}),
     )
     policy = make_policy(
         recipe["policy"]["name"], recipe["policy"].get("params") or {}
@@ -1482,9 +1577,12 @@ def run_recipe(
     overload = OverloadConfig.from_spec(recipe.get("overload"))
     result = run_simulation(
         platform, classes, policy, config, faults=faults,
-        incremental=incremental, resilience=resilience, obs=obs,
+        fastpath=fastpath, incremental=incremental,
+        resilience=resilience, obs=obs,
         batch_plan=int(recipe.get("batch_plan", 1)),
         overload=overload,
+        mapper=recipe.get("mapper", "kairos"),
+        mapper_params=recipe.get("mapper_params"),
     )
     result.recipe = recipe
     if trace_path is not None:

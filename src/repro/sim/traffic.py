@@ -10,11 +10,22 @@ deterministic pool of generated applications, mirroring the paper's
 
 Every draw takes an explicit :class:`random.Random` so the simulation
 stays deterministic for a given seed.
+
+Named **traffic shapes** (:data:`TRAFFIC_SHAPES`,
+:func:`make_traffic_classes`) are seeded, recipe-serializable presets
+over the same machinery: ``default`` (the canonical three-class mix),
+``hot_spot`` (load concentrated in one aggressive class),
+``diurnal_mmpp`` (day/night modulation of every class) and
+``flash_crowd`` (the overload bench's surge, lifted into the
+library).  A recipe's ``classes`` stanza selects one by name — see
+:func:`repro.sim.service.build_recipe` — which is what lets the
+scenario sweep (:mod:`repro.scenarios`) treat traffic as an axis.
 """
 
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 from dataclasses import dataclass
 from random import Random
 
@@ -253,4 +264,181 @@ def default_traffic_classes(
             ),
             priority=1,
         ),
+    )
+
+
+# -- named traffic shapes ---------------------------------------------------
+
+
+def hot_spot_classes(
+    seed: int = 0,
+    rate_scale: float = 1.0,
+    pool_size: int = 8,
+    hot_share: float = 0.8,
+) -> tuple[TrafficClass, ...]:
+    """Load concentrated in one aggressive class (the "hot spot").
+
+    A two-class mix with the same total mean arrival rate as the
+    default mix (≈1.92 per unit sim-time at ``rate_scale=1``):
+    ``hot_share`` of it arrives as the ``hot`` class — mid-size apps,
+    long residency, high priority — and the rest as small background
+    fill.  Stresses the packing very differently from the balanced
+    default mix: the platform saturates on one demand profile instead
+    of averaging over three.
+    """
+    if rate_scale <= 0:
+        raise ValueError("rate_scale must be positive")
+    if not 0.0 < hot_share < 1.0:
+        raise ValueError("hot_share must lie strictly in (0, 1)")
+    total = 1.92 * rate_scale
+    return (
+        TrafficClass(
+            name="hot",
+            arrivals=PoissonProcess(total * hot_share),
+            holding=LognormalHolding(median=10.0, sigma=0.5),
+            pool=traffic_pool(
+                pool_size, seed * 100 + 11,
+                internals_low=3, internals_high=5,
+                utilization_low=0.35, utilization_high=0.6,
+            ),
+            priority=2,
+        ),
+        TrafficClass(
+            name="background",
+            arrivals=PoissonProcess(total * (1.0 - hot_share)),
+            holding=ExponentialHolding(5.0),
+            pool=traffic_pool(
+                pool_size, seed * 100 + 12,
+                internals_low=1, internals_high=2,
+                utilization_low=0.25, utilization_high=0.45,
+            ),
+            priority=0,
+        ),
+    )
+
+
+def diurnal_mmpp_classes(
+    seed: int = 0,
+    rate_scale: float = 1.0,
+    pool_size: int = 8,
+    day_dwell: float = 30.0,
+    night_dwell: float = 30.0,
+    night_fraction: float = 0.1,
+) -> tuple[TrafficClass, ...]:
+    """Day/night modulation: every class is an MMPP over two phases.
+
+    Each class spends Exp(``day_dwell``) sim-time at its busy rate and
+    Exp(``night_dwell``) at ``night_fraction`` of it, cyclically — a
+    compressed diurnal cycle.  The busy rates reuse the default mix's
+    levels, so at ``night_fraction=1`` this degenerates to (roughly)
+    the default mix; at the default 0.1 the service alternates between
+    overload and near-idle, exercising queue drains, fill transients
+    and the fast path's epoch churn in both directions.
+    """
+    if rate_scale <= 0:
+        raise ValueError("rate_scale must be positive")
+    if day_dwell <= 0 or night_dwell <= 0:
+        raise ValueError("dwell times must be positive")
+    if not 0.0 < night_fraction <= 1.0:
+        raise ValueError("night_fraction must lie in (0, 1]")
+
+    def diurnal(rate: float) -> MMPPProcess:
+        return MMPPProcess((
+            (rate, day_dwell),
+            (rate * night_fraction, night_dwell),
+        ))
+
+    return (
+        TrafficClass(
+            name="interactive",
+            arrivals=diurnal(0.9 * rate_scale),
+            holding=ExponentialHolding(6.0),
+            pool=traffic_pool(
+                pool_size, seed * 100 + 1,
+                internals_low=1, internals_high=3,
+                utilization_low=0.25, utilization_high=0.5,
+            ),
+            priority=2,
+        ),
+        TrafficClass(
+            name="batch",
+            arrivals=diurnal(0.45 * rate_scale),
+            holding=LognormalHolding(median=12.0, sigma=0.6),
+            pool=traffic_pool(
+                pool_size, seed * 100 + 2,
+                internals_low=3, internals_high=6,
+                utilization_low=0.35, utilization_high=0.65,
+            ),
+            priority=0,
+        ),
+        TrafficClass(
+            name="bursty",
+            arrivals=diurnal(1.6 * rate_scale),
+            holding=ExponentialHolding(5.0),
+            pool=traffic_pool(
+                pool_size, seed * 100 + 3,
+                internals_low=2, internals_high=4,
+                utilization_low=0.3, utilization_high=0.55,
+            ),
+            priority=1,
+        ),
+    )
+
+
+def flash_crowd_classes(
+    seed: int = 0,
+    rate_scale: float = 1.0,
+    pool_size: int = 8,
+    surge: float = 4.0,
+) -> tuple[TrafficClass, ...]:
+    """The overload bench's flash crowd as a named library preset.
+
+    The default three-class mix with every arrival rate multiplied by
+    ``surge`` — holding times, pools, priorities and class structure
+    untouched, so the *same* population suddenly arrives ``surge``
+    times as fast.  This is exactly the ad-hoc ``rate_scale = base *
+    load`` construction ``benchmarks/run_overload_bench.py`` used
+    before it was lifted here (the bench now calls this preset), which
+    keeps its decision streams bit-identical.
+    """
+    if surge <= 0:
+        raise ValueError("surge must be positive")
+    return default_traffic_classes(
+        seed=seed, rate_scale=rate_scale * surge, pool_size=pool_size
+    )
+
+
+#: shape name -> factory(seed, rate_scale, pool_size, **params);
+#: the ``classes`` stanza of a recipe selects one by name.  "default"
+#: keeps its historical spelling so legacy recipes (and the traces
+#: recorded from them) stay byte-identical.
+TRAFFIC_SHAPES: dict[str, Callable[..., tuple[TrafficClass, ...]]] = {
+    "default": default_traffic_classes,
+    "hot_spot": hot_spot_classes,
+    "diurnal_mmpp": diurnal_mmpp_classes,
+    "flash_crowd": flash_crowd_classes,
+}
+
+
+def make_traffic_classes(
+    shape: str = "default",
+    seed: int = 0,
+    rate_scale: float = 1.0,
+    pool_size: int = 8,
+    **params,
+) -> tuple[TrafficClass, ...]:
+    """Instantiate a named traffic shape (fresh, stateful processes).
+
+    ``params`` are forwarded to the shape factory (e.g.
+    ``surge=2.0`` for ``flash_crowd``); unknown shapes raise
+    ``ValueError`` listing the registry.
+    """
+    factory = TRAFFIC_SHAPES.get(shape)
+    if factory is None:
+        raise ValueError(
+            f"unknown traffic shape {shape!r}; "
+            f"choose from {sorted(TRAFFIC_SHAPES)}"
+        )
+    return factory(
+        seed=seed, rate_scale=rate_scale, pool_size=pool_size, **params
     )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -172,6 +174,64 @@ class TestClusterSim:
         assert main([
             "cluster", "sim", "--platform", "6x6", "--shards", "4",
             "--duration", "5",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_smoke_verifies_and_writes(self, tmp_path, capsys):
+        output = tmp_path / "sweep.json"
+        report = tmp_path / "sweep.md"
+        code = main([
+            "sweep", "--smoke",
+            "--output", str(output), "--report", str(report),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SWEEP VERIFIED" in out
+        assert "swept matrix 'smoke'" in out
+        assert "best=" in out
+        payload = json.loads(output.read_text())
+        assert payload["name"] == "smoke"
+        assert len(payload["cells"]) == 8
+        assert report.read_text().startswith("# Scenario sweep: smoke")
+
+    def test_sweep_matrix_from_file(self, tmp_path, capsys):
+        spec = {
+            "name": "filed",
+            "topologies": ["mesh:4x4"],
+            "traffic": ["default"],
+            "mappers": ["kairos", "first_fit"],
+            "duration": 4.0,
+            "rate_scale": 2.0,
+        }
+        path = tmp_path / "matrix.json"
+        path.write_text(json.dumps(spec))
+        code = main(["sweep", "--matrix", str(path), "--seed", "7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "swept matrix 'filed': 2 cells" in out
+
+    def test_sweep_bad_matrix_rejected(self, tmp_path, capsys):
+        path = tmp_path / "matrix.json"
+        path.write_text(json.dumps({"name": "bad",
+                                    "topologies": ["ring:4x4"]}))
+        assert main(["sweep", "--matrix", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sim_traffic_and_mapper_flags(self, capsys):
+        code = main([
+            "sim", "--platform", "fat_tree:16", "--duration", "6",
+            "--traffic", "hot_spot", "--mapper", "first_fit",
+            "--rate-scale", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "class hot" in out
+
+    def test_sim_unknown_traffic_rejected(self, capsys):
+        assert main([
+            "sim", "--duration", "5", "--traffic", "nope",
         ]) == 2
         assert "error:" in capsys.readouterr().err
 

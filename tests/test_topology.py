@@ -14,6 +14,7 @@ from repro.arch import (
     Router,
     TopologyError,
     crisp,
+    fat_tree,
     heterogeneous_mesh,
     irregular,
     line,
@@ -187,6 +188,68 @@ class TestBuilders:
             torus(2, 3)
         with pytest.raises(ValueError):
             irregular(3, 3, drop_fraction=1.0)
+
+
+class TestFatTree:
+    def test_counts(self):
+        platform = fat_tree(16, arity=4)
+        # 16 leaf routers + 4 aggregators + 1 root
+        assert len(platform.elements) == 16
+        assert len(platform.routers) == 21
+        # links: 16 endpoint + 16 leaf uplinks + 4 aggregator uplinks
+        assert len(platform.links) == 36
+
+    def test_is_frozen_and_connected(self):
+        platform = fat_tree(16)
+        assert platform.is_connected()
+        with pytest.raises(TopologyError):
+            platform.add_router(Router("extra"))
+
+    def test_hop_distance_bounded_by_depth(self):
+        platform = fat_tree(16, arity=4)
+        # leaf -> root -> leaf plus the two endpoint hops
+        assert platform.hop_distance("dsp_0_0", "dsp_0_15") == 6
+        # siblings under one aggregator stay local
+        assert platform.hop_distance("dsp_0_0", "dsp_0_1") == 4
+
+    def test_shallower_than_mesh(self):
+        tree = fat_tree(64, arity=4)
+        grid = mesh(8, 8)
+        tree_diameter = tree.hop_distance("dsp_0_0", "dsp_0_63")
+        grid_diameter = grid.hop_distance("dsp_0_0", "dsp_7_7")
+        assert tree_diameter < grid_diameter
+
+    def test_links_widen_toward_root(self):
+        platform = fat_tree(16, arity=4, virtual_channels=4,
+                            bandwidth=100.0, fatness=2.0)
+        by_vcs = {}
+        for link in platform.links:
+            if link.a.name.startswith("ft_r") and \
+                    link.b.name.startswith("ft_r"):
+                by_vcs.setdefault(link.virtual_channels, set()).add(
+                    link.bandwidth
+                )
+        # leaf->aggregator at base width, aggregator->root doubled
+        assert by_vcs == {4: {100.0}, 8: {200.0}}
+
+    def test_uneven_leaf_count_still_connects(self):
+        platform = fat_tree(10, arity=4)
+        assert platform.is_connected()
+        assert len(platform.elements) == 10
+
+    def test_deterministic_construction(self):
+        a = fat_tree(16)
+        b = fat_tree(16)
+        assert [n.name for n in a.nodes] == [n.name for n in b.nodes]
+        assert {l.key() for l in a.links} == {l.key() for l in b.links}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            fat_tree(1)
+        with pytest.raises(ValueError):
+            fat_tree(8, arity=1)
+        with pytest.raises(ValueError):
+            fat_tree(8, fatness=0.5)
 
 
 class TestCrisp:
